@@ -1,0 +1,90 @@
+"""Component micro-benchmarks: the real (wall-clock) hot paths.
+
+These are genuine pytest-benchmark measurements of the library's kernels —
+useful for tracking performance regressions of the reproduction itself
+(the figure benchmarks above measure *simulated* time, not wall time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.filesystem import SimulatedFilesystem
+from repro.datastore.bundle import write_bundles
+from repro.datastore.store import DistributedDataStore
+from repro.jag.dataset import JagSchema
+from repro.jag.sampling import design_points
+from repro.jag.simulator import JagSimulator
+from repro.models.autoencoder import MultimodalAutoencoder
+from repro.models.cyclegan import ICFSurrogate, SurrogateConfig
+from repro.tensorlib.optimizers import Adam
+from repro.utils.rng import RngFactory
+
+SCHEMA = JagSchema(image_size=16)
+
+
+@pytest.fixture(scope="module")
+def surrogate_and_batch():
+    rngs = RngFactory(0)
+    cfg = SurrogateConfig(schema=SCHEMA)
+    ae = MultimodalAutoencoder(
+        rngs.child("ae"), SCHEMA, hidden=cfg.ae_hidden, latent_dim=cfg.latent_dim
+    )
+    surrogate = ICFSurrogate(rngs.child("s"), cfg, ae)
+    rng = np.random.default_rng(0)
+    batch = {
+        "params": rng.random((128, 5)).astype(np.float32),
+        "scalars": rng.normal(size=(128, 15)).astype(np.float32),
+        "images": rng.random((128, SCHEMA.image_flat_dim)).astype(np.float32),
+    }
+    return surrogate, ae, batch
+
+
+def test_bench_gan_train_step(benchmark, surrogate_and_batch):
+    surrogate, _, batch = surrogate_and_batch
+    d_opt, g_opt = Adam(1e-3), Adam(1e-3)
+    benchmark(surrogate.train_step, batch, d_opt, g_opt)
+
+
+def test_bench_surrogate_inference(benchmark, surrogate_and_batch):
+    surrogate, _, batch = surrogate_and_batch
+    benchmark(surrogate.predict_outputs, batch["params"])
+
+
+def test_bench_autoencoder_step(benchmark, surrogate_and_batch):
+    _, ae, batch = surrogate_and_batch
+    opt = Adam(1e-3)
+    benchmark(ae.train_step, batch, opt)
+
+
+def test_bench_jag_simulate_and_render(benchmark):
+    sim = JagSimulator(image_size=16)
+    x = design_points(512, 5, method="lattice").astype(np.float32)
+
+    def run():
+        state = sim.run(x)
+        return sim.render_images(state)
+
+    benchmark(run)
+
+
+def test_bench_datastore_fetch(benchmark):
+    fs = SimulatedFilesystem()
+    rng = np.random.default_rng(0)
+    fields = {"x": rng.normal(size=(2000, 64)).astype(np.float32)}
+    paths = write_bundles(fs, fields, samples_per_bundle=100)
+    store = DistributedDataStore(16, 10**8)
+    store.preload(fs, paths)
+    ids = rng.choice(2000, size=128, replace=False)
+    benchmark(store.fetch_batch, ids)
+
+
+def test_bench_generator_exchange_payload(benchmark, surrogate_and_batch):
+    surrogate, _, _ = surrogate_and_batch
+
+    def exchange():
+        state = surrogate.get_generator_state()
+        surrogate.set_generator_state(state)
+
+    benchmark(exchange)

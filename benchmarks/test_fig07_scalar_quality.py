@@ -1,0 +1,24 @@
+"""Benchmark harness for Figure 7: predicted vs ground-truth 15-D scalars.
+
+Trains the surrogate with LTFB (shared with the Figure-8 benchmark via the
+session workbench cache) and scores scalar predictions on validation data.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_scalars
+
+
+def test_fig07_scalar_quality(benchmark, quality_bench, fig0708_schedule, archive):
+    report = benchmark.pedantic(
+        fig07_scalars.run,
+        kwargs=dict(bench=quality_bench, **fig0708_schedule),
+        rounds=1,
+        iterations=1,
+    )
+    archive(report, "fig07_scalar_quality")
+    assert len(report.rows) == 15  # one row per scalar observable
+    # Most scalar channels must be well predicted (strong R^2).
+    good = [r for r in report.rows if r["r2"] > 0.7]
+    assert len(good) >= 10, report.render()
+    assert report.all_checks_pass, report.render()

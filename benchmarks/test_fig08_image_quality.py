@@ -1,0 +1,26 @@
+"""Benchmark harness for Figure 8: predicted vs ground-truth capsule images.
+
+Reuses the Figure-7 trained surrogate (same workbench training cache) and
+scores per-(view, channel) image quality.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_images
+
+
+def test_fig08_image_quality(benchmark, quality_bench, fig0708_schedule, archive):
+    report = benchmark.pedantic(
+        fig08_images.run,
+        kwargs=dict(bench=quality_bench, **fig0708_schedule),
+        rounds=1,
+        iterations=1,
+    )
+    archive(report, "fig08_image_quality")
+    schema = quality_bench.dataset.schema
+    assert len(report.rows) == schema.views * schema.channels
+    # Every view/channel visually close (PSNR bar) and explaining most
+    # pixel variance.
+    for r in report.rows:
+        assert r["psnr_db"] > 20.0, report.render()
+    assert report.all_checks_pass, report.render()

@@ -1,0 +1,23 @@
+"""Benchmark harness for Figure 9: data-parallel strong scaling.
+
+Regenerates the paper's series (steady-state epoch time for 1-16 GPUs,
+naive ingestion, 1M samples) from the calibrated performance model, checks
+the headline shape (9.36x speedup / 58% efficiency at 16 GPUs), and
+benchmarks the model-evaluation cost itself.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_data_parallel
+
+
+def test_fig09_data_parallel(benchmark, archive):
+    report = benchmark.pedantic(
+        fig09_data_parallel.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    archive(report, "fig09_data_parallel")
+    assert len(report.rows) == 5
+    assert report.all_checks_pass, report.render()
+    # Epoch time strictly decreases with GPUs.
+    epochs = report.column("epoch_s")
+    assert all(a > b for a, b in zip(epochs, epochs[1:]))

@@ -1,0 +1,20 @@
+"""Benchmark harness for Figure 10: data-store modes vs naive ingestion."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_datastore
+
+
+def test_fig10_datastore(benchmark, archive):
+    report = benchmark.pedantic(
+        fig10_datastore.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    archive(report, "fig10_datastore")
+    assert len(report.rows) == 5
+    assert report.all_checks_pass, report.render()
+    # Preload must be infeasible exactly at 1 and 2 GPUs.
+    ooms = [r["gpus"] for r in report.rows if r["preload_steady_s"] == "OOM"]
+    assert ooms == [1, 2]
+    # Steady-state store epochs beat naive epochs wherever the store fits.
+    for r in report.rows:
+        assert r["dynamic_steady_s"] < r["naive_steady_s"]

@@ -1,0 +1,18 @@
+"""Benchmark harness for Figure 11: LTFB strong scaling to 1024 GPUs."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_ltfb_scaling
+
+
+def test_fig11_ltfb_scaling(benchmark, archive):
+    report = benchmark.pedantic(
+        fig11_ltfb_scaling.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    archive(report, "fig11_ltfb_scaling")
+    assert [r["trainers"] for r in report.rows] == [1, 8, 16, 32, 64]
+    assert report.all_checks_pass, report.render()
+    # Super-linear efficiency at every multi-trainer point.
+    for r in report.rows:
+        if r["trainers"] > 1:
+            assert r["efficiency_pct"] > 100.0

@@ -1,0 +1,32 @@
+"""Benchmark harness for Figure 12: quality vs per-trainer iterations.
+
+Runs real LTFB training at several population sizes on the shared
+workbench dataset and reports the population-best validation loss per
+round, with improvement ratios over the k=1 baseline at equal per-trainer
+iteration counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_quality
+
+
+def test_fig12_quality_vs_iterations(benchmark, quality_bench, archive):
+    report = benchmark.pedantic(
+        fig12_quality.run,
+        kwargs=dict(
+            bench=quality_bench,
+            trainer_counts=(1, 2, 4, 8),
+            rounds=40,
+            steps_per_round=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(report, "fig12_quality_vs_iters")
+    assert len(report.rows) == 40
+    # Loss series decrease over training for every population size.
+    for k in (1, 2, 4, 8):
+        series = report.column(f"k{k}_val_loss")
+        assert series[-1] < series[0]
+    assert report.all_checks_pass, report.render()

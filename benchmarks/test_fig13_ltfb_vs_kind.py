@@ -1,0 +1,48 @@
+"""Benchmark harness for Figure 13: LTFB vs partitioned K-independent.
+
+Runs both algorithms on identical contiguous (non-IID, sweep-ordered)
+silos with identical schedules and hyperparameters, averaged over two
+population seeds, and reports per-round population-best validation loss
+plus the final-loss gap at each k.
+
+At laptop scale this comparison carries substantial seed-to-seed variance
+(see EXPERIMENTS.md "Figure 13"): across our runs the gap ranged from
+0.67x to 1.26x.  The paper's regime (10M samples; silos simultaneously
+biased and a vanishing data fraction) is not reachable here, so the
+assertions are structural — both algorithms must train and the full
+series must be archived — while the shape checks print the measured gaps
+against the paper's claim.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_ltfb_vs_kindependent
+
+
+def test_fig13_ltfb_vs_kindependent(benchmark, sweep_quality_bench, archive):
+    report = benchmark.pedantic(
+        fig13_ltfb_vs_kindependent.run,
+        kwargs=dict(
+            bench=sweep_quality_bench,
+            trainer_counts=(2, 4),
+            rounds=30,
+            steps_per_round=15,
+            # Equal configurations across trainers: the comparison is
+            # exchange-vs-no-exchange, not a hyperparameter lottery.
+            hyperparam_jitter=0.0,
+            n_seeds=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive(report, "fig13_ltfb_vs_kind")
+    assert len(report.rows) == 30
+    # Both algorithms learn on every silo count.
+    final = report.rows[-1]
+    first = report.rows[0]
+    for k in (2, 4):
+        assert final[f"k{k}_ltfb"] < first[f"k{k}_ltfb"]
+        assert final[f"k{k}_kind"] < first[f"k{k}_kind"]
+    # The measured gaps are reported by the shape checks (tolerances sized
+    # for the variance documented in EXPERIMENTS.md).
+    assert report.all_checks_pass, report.render()

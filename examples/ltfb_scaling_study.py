@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Paper-scale performance study: regenerate Figures 9, 10 and 11.
+
+Uses the calibrated Lassen performance model (compute + collectives +
+parallel file system) over the paper-scale CycleGAN architecture and the
+10M-sample dataset geometry.  Prints the three series with the paper's
+headline numbers alongside, plus a per-step cost breakdown and a what-if
+sweep over the interconnect (the kind of question the models exist to
+answer).
+
+Run:  python examples/ltfb_scaling_study.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster import lassen
+from repro.comm.costmodel import LinkParams
+from repro.core.perfmodel import (
+    IngestionMode,
+    PerfDataset,
+    TrainerPerfModel,
+    TrainerResources,
+)
+from repro.experiments import fig09_data_parallel, fig10_datastore, fig11_ltfb_scaling
+from repro.jag import paper_schema
+from repro.models import paper_architecture
+from repro.utils.units import GB, format_time
+
+
+def main() -> None:
+    print(fig09_data_parallel.run().render())
+    print()
+    print(fig10_datastore.run().render())
+    print()
+    print(fig11_ltfb_scaling.run().render())
+
+    # Per-step breakdown at the paper's standard trainer geometry.
+    machine = lassen()
+    arch = paper_architecture()
+    model = TrainerPerfModel(
+        machine,
+        arch,
+        TrainerResources(16, 4),
+        PerfDataset(1_000_000, paper_schema().sample_nbytes),
+        IngestionMode.STORE_PRELOAD,
+        global_batch=128,
+    )
+    bd = model.step_breakdown(steady=True)
+    print("\nper-step cost breakdown (16 GPUs / 4 nodes, preloaded store):")
+    print(f"  compute            {format_time(bd.compute)}")
+    print(f"  framework overhead {format_time(bd.overhead)}")
+    print(f"  gradient allreduce {format_time(bd.allreduce)}")
+    print(f"  exposed shuffle    {format_time(bd.shuffle_exposed)}")
+    print(f"  total              {format_time(bd.total)}")
+
+    # What-if: single-rail EDR instead of dual-rail.
+    print("\nwhat-if: single-rail InfiniBand (12.5 GB/s per node):")
+    slow_node = dataclasses.replace(
+        machine.node, inter_node=LinkParams(latency=1.5e-6, bandwidth=12.5 * GB)
+    )
+    slow = machine.with_(node=slow_node)
+    for label, m in (("dual-rail", machine), ("single-rail", slow)):
+        t = TrainerPerfModel(
+            m,
+            arch,
+            TrainerResources(16, 4),
+            PerfDataset(1_000_000, paper_schema().sample_nbytes),
+            IngestionMode.STORE_PRELOAD,
+            global_batch=128,
+        )
+        print(
+            f"  {label:12s} allreduce {format_time(t.allreduce_time())}, "
+            f"steady epoch {format_time(t.epoch_time())}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: reproduction of "Parallelizing Training of Deep Generative
+Models on Massive Scientific Datasets" (Jacobs et al., CLUSTER 2019).
+
+Subpackages (see README.md for the architecture overview):
+
+- :mod:`repro.tensorlib` — NumPy neural-network substrate (LBANN analog);
+- :mod:`repro.comm` — SPMD communicator and collective cost models
+  (Aluminum analog);
+- :mod:`repro.cluster` — simulated Lassen-class machine: compute and
+  parallel-file-system models;
+- :mod:`repro.datastore` — the distributed in-memory data store;
+- :mod:`repro.jag` — synthetic JAG ICF data generator;
+- :mod:`repro.workflow` — ensemble workflow engine (Merlin analog);
+- :mod:`repro.models` — multimodal autoencoder + CycleGAN surrogate;
+- :mod:`repro.core` — trainers, the LTFB tournament algorithm, baselines,
+  checkpointing, and the paper-scale performance models;
+- :mod:`repro.experiments` — one harness per paper figure, plus ablations.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core import (
+    EnsembleSpec,
+    KIndependentDriver,
+    LtfbConfig,
+    LtfbDriver,
+    Trainer,
+    TrainerConfig,
+    build_population,
+    pretrain_autoencoder,
+)
+from repro.jag import JagDatasetConfig, JagSchema, generate_dataset
+from repro.models import ICFSurrogate, MultimodalAutoencoder, SurrogateConfig
+from repro.utils.rng import RngFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RngFactory",
+    "JagDatasetConfig",
+    "JagSchema",
+    "generate_dataset",
+    "MultimodalAutoencoder",
+    "ICFSurrogate",
+    "SurrogateConfig",
+    "EnsembleSpec",
+    "TrainerConfig",
+    "Trainer",
+    "LtfbConfig",
+    "LtfbDriver",
+    "KIndependentDriver",
+    "build_population",
+    "pretrain_autoencoder",
+    "__version__",
+]

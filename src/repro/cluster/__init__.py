@@ -1,0 +1,47 @@
+"""Simulated HPC machine: hardware specs, compute/IO performance models.
+
+The paper's experiments ran on Lassen, a CORAL-class system (795 nodes,
+2 POWER9 + 4 Volta V100 per node, NVLink2 intra-node, dual-rail IB EDR
+inter-node, 256 GB host memory per node, GPFS parallel file system).  This
+package models that machine analytically:
+
+- :mod:`repro.cluster.machine` — hardware specifications and the Lassen
+  defaults, plus the calibration constants of the performance model;
+- :mod:`repro.cluster.compute` — GPU step-time model (FLOP throughput with
+  a small-batch efficiency roll-off and fixed per-step framework overhead);
+- :mod:`repro.cluster.filesystem` — a functional simulated parallel file
+  system (tracks opens/reads so tests can assert ingestion behaviour) and
+  a PFS *cost* model (open latency with contention, per-stream and
+  aggregate bandwidth caps).
+
+All constants are dataclass fields documented at their definition; the
+benchmarks print the constants they used next to the series they produce.
+"""
+
+from repro.cluster.machine import (
+    FilesystemSpec,
+    GpuSpec,
+    MachineSpec,
+    NodeSpec,
+    PerfCalibration,
+    lassen,
+)
+from repro.cluster.compute import ComputeModel
+from repro.cluster.filesystem import (
+    FsStats,
+    PfsCostModel,
+    SimulatedFilesystem,
+)
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "FilesystemSpec",
+    "MachineSpec",
+    "PerfCalibration",
+    "lassen",
+    "ComputeModel",
+    "SimulatedFilesystem",
+    "FsStats",
+    "PfsCostModel",
+]

@@ -1,0 +1,54 @@
+"""GPU compute-time model.
+
+Prices one forward/backward pass from the per-sample FLOP count of the
+model architecture.  Two effects beyond raw throughput matter for the
+paper's figures:
+
+- **small-batch roll-off** — with a fixed global mini-batch, strong
+  scaling shrinks the per-GPU batch; skinny GEMMs underutilize the GPU, so
+  per-sample time *rises* as per-GPU batch falls.  Modelled as a
+  saturating efficiency factor ``b / (b + b_half)``.
+- **fixed step overhead** — per-step framework/launch cost that does not
+  shrink with parallelism (see :class:`repro.cluster.machine.PerfCalibration`).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import MachineSpec
+
+__all__ = ["ComputeModel"]
+
+
+class ComputeModel:
+    """Analytic per-step compute time for one rank (one GPU)."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+
+    def sustained_flops(self, per_gpu_batch: float) -> float:
+        """Sustained FLOP/s of one GPU at the given per-GPU batch size."""
+        if per_gpu_batch <= 0:
+            raise ValueError(f"per_gpu_batch must be positive, got {per_gpu_batch}")
+        gpu = self.machine.gpu
+        rolloff = per_gpu_batch / (per_gpu_batch + gpu.batch_half_saturation)
+        return gpu.peak_flops * gpu.gemm_efficiency * rolloff
+
+    def step_compute_time(
+        self, train_flops_per_sample: float, per_gpu_batch: float
+    ) -> float:
+        """Compute time of one optimizer step on one rank (forward +
+        backward for ``per_gpu_batch`` samples), excluding communication
+        and the fixed step overhead."""
+        if train_flops_per_sample < 0:
+            raise ValueError("train_flops_per_sample must be >= 0")
+        flops = train_flops_per_sample * per_gpu_batch
+        return flops / self.sustained_flops(per_gpu_batch)
+
+    def inference_time(
+        self, fwd_flops_per_sample: float, per_gpu_batch: float
+    ) -> float:
+        """Forward-only time for a batch on one rank (tournament evaluation)."""
+        if fwd_flops_per_sample < 0:
+            raise ValueError("fwd_flops_per_sample must be >= 0")
+        flops = fwd_flops_per_sample * per_gpu_batch
+        return flops / self.sustained_flops(per_gpu_batch)

@@ -1,0 +1,218 @@
+"""Simulated parallel file system: functional store + cost model.
+
+Two separable concerns:
+
+- :class:`SimulatedFilesystem` *functionally* holds named files (arbitrary
+  payload objects plus a logical byte size) and records every open and
+  read.  The data-store tests use the statistics to assert the paper's key
+  ingestion invariant — *"after the first epoch, no data is read from the
+  file system"* — and the naive reader's pathology — *"each file may be
+  accessed by multiple processes at the same time"*.
+
+- :class:`PfsCostModel` prices opens and reads from a
+  :class:`~repro.cluster.machine.FilesystemSpec`: per-open metadata latency
+  with a super-linear contention penalty under open storms, sequential
+  streams capped per-stream and in aggregate, and a much lower effective
+  bandwidth for random sample-sized reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.cluster.machine import FilesystemSpec
+
+__all__ = ["FsStats", "FileHandle", "SimulatedFilesystem", "PfsCostModel"]
+
+
+@dataclass
+class FsStats:
+    """Counters maintained by :class:`SimulatedFilesystem`."""
+
+    opens: int = 0
+    reads: int = 0
+    bytes_read: int = 0
+    opens_per_file: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "FsStats":
+        return FsStats(
+            self.opens, self.reads, self.bytes_read, dict(self.opens_per_file)
+        )
+
+    def reset(self) -> None:
+        self.opens = 0
+        self.reads = 0
+        self.bytes_read = 0
+        self.opens_per_file.clear()
+
+
+class FileHandle:
+    """An open file: reading returns the stored payload."""
+
+    def __init__(self, fs: "SimulatedFilesystem", path: str) -> None:
+        self._fs = fs
+        self.path = path
+        self._closed = False
+
+    def read(self) -> Any:
+        if self._closed:
+            raise ValueError(f"read on closed file {self.path!r}")
+        return self._fs._do_read(self.path)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SimulatedFilesystem:
+    """In-memory file namespace with open/read accounting."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, tuple[Any, int]] = {}
+        self.stats = FsStats()
+
+    # -- namespace ---------------------------------------------------------
+
+    def write(self, path: str, payload: Any, nbytes: int) -> None:
+        """Create or replace a file with a payload and a logical size."""
+        if not path:
+            raise ValueError("path must be non-empty")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self._files[path] = (payload, int(nbytes))
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def nbytes(self, path: str) -> int:
+        return self._files[path][1]
+
+    def paths(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(n for _, n in self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # -- access --------------------------------------------------------------
+
+    def open(self, path: str) -> FileHandle:
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        self.stats.opens += 1
+        self.stats.opens_per_file[path] = self.stats.opens_per_file.get(path, 0) + 1
+        return FileHandle(self, path)
+
+    def read_file(self, path: str) -> Any:
+        """Convenience open+read+close."""
+        with self.open(path) as fh:
+            return fh.read()
+
+    def _do_read(self, path: str) -> Any:
+        payload, nbytes = self._files[path]
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        return payload
+
+
+class PfsCostModel:
+    """Analytic timing for PFS operations under concurrency."""
+
+    def __init__(self, spec: FilesystemSpec) -> None:
+        self.spec = spec
+
+    def open_time(self, concurrent_openers: int, access: str = "random") -> float:
+        """Cost of one open under contention.
+
+        ``access="random"`` models many clients randomly hitting a shared
+        pool of files (lock/MDS-cache collisions: low knee); ``"bulk"``
+        models disjoint sequential assignments (only machine-wide open
+        storms hurt: high knee).
+        """
+        if concurrent_openers < 1:
+            raise ValueError("concurrent_openers must be >= 1")
+        s = self.spec
+        if access == "random":
+            knee = s.random_open_knee
+        elif access == "bulk":
+            knee = s.bulk_open_knee
+        else:
+            raise ValueError(f"access must be 'random' or 'bulk', got {access!r}")
+        penalty = 1.0 + (concurrent_openers / knee) ** s.open_contention_power
+        return s.open_latency * penalty
+
+    def effective_aggregate_bandwidth(self, concurrent_streams: int) -> float:
+        """Delivered aggregate bandwidth degrades under very many clients
+        (inter-trainer interference at the PFS, Fig. 11)."""
+        if concurrent_streams < 1:
+            raise ValueError("concurrent_streams must be >= 1")
+        s = self.spec
+        degradation = 1.0 + (
+            concurrent_streams / s.aggregate_degradation_knee
+        ) ** s.aggregate_degradation_power
+        return s.aggregate_bandwidth / degradation
+
+    def stream_bandwidth(self, concurrent_streams: int) -> float:
+        """Per-stream sequential bandwidth: stream cap or fair share of the
+        (degraded) aggregate, whichever binds."""
+        if concurrent_streams < 1:
+            raise ValueError("concurrent_streams must be >= 1")
+        s = self.spec
+        return min(
+            s.per_stream_bandwidth,
+            self.effective_aggregate_bandwidth(concurrent_streams)
+            / concurrent_streams,
+        )
+
+    def sequential_read_time(self, nbytes: float, concurrent_streams: int) -> float:
+        """Time for one client to stream ``nbytes`` sequentially."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return nbytes / self.stream_bandwidth(concurrent_streams)
+
+    def random_sample_read_time(
+        self, sample_nbytes: float, concurrent_clients: int
+    ) -> float:
+        """Time to fetch one randomly placed sample from inside a bundle
+        file: the open is amortized by the caller; the read itself runs at
+        the (seek-bound) random-read bandwidth, degraded further when the
+        clients' fair share of the aggregate is smaller."""
+        if sample_nbytes < 0:
+            raise ValueError("sample_nbytes must be >= 0")
+        s = self.spec
+        bw = min(
+            s.random_read_bandwidth,
+            self.effective_aggregate_bandwidth(max(1, concurrent_clients))
+            / max(1, concurrent_clients),
+        )
+        return sample_nbytes / bw
+
+    def bulk_preload_time(
+        self,
+        bytes_per_reader: float,
+        files_per_reader: float,
+        total_concurrent_readers: int,
+    ) -> float:
+        """Time for one reader of a cohort to preload its disjoint file
+        assignment: sequential streaming plus one contended open per file.
+
+        ``total_concurrent_readers`` counts *every* rank preloading across
+        the whole machine — inter-trainer interference at the PFS is what
+        degrades the 64-trainer preload point in Fig. 11.
+        """
+        if bytes_per_reader < 0 or files_per_reader < 0:
+            raise ValueError("preload sizes must be >= 0")
+        t_stream = self.sequential_read_time(bytes_per_reader, total_concurrent_readers)
+        t_open = files_per_reader * self.open_time(
+            total_concurrent_readers, access="bulk"
+        )
+        return t_stream + t_open

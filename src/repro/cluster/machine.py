@@ -1,0 +1,242 @@
+"""Hardware specifications and the Lassen-like default machine.
+
+Every number that the performance model depends on lives here as a
+documented dataclass field, so experiments can print exactly which
+constants produced their series and tests can perturb them.
+
+Sources for the defaults:
+
+- Lassen publicly documented specs (IBM AC922 nodes: 2 POWER9, 4 V100,
+  NVLink2, dual-rail EDR InfiniBand, 256 GB DDR4).
+- V100 peak single-precision throughput: 15.7 TFLOP/s (CUDA cores); dense
+  fully-connected training sustains a fraction of peak, captured by
+  ``gemm_efficiency`` and the small-batch roll-off in
+  :mod:`repro.cluster.compute`.
+- PFS constants are calibrated so the ingestion behaviour matches the
+  paper's Figures 9-11 in *shape* (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.comm.costmodel import LinkParams
+from repro.utils.units import GB, GIB, MB
+
+__all__ = [
+    "GpuSpec",
+    "NodeSpec",
+    "FilesystemSpec",
+    "PerfCalibration",
+    "MachineSpec",
+    "lassen",
+]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator.
+
+    ``peak_flops`` is peak single-precision throughput; ``gemm_efficiency``
+    is the sustained fraction of peak for large dense training workloads;
+    ``batch_half_saturation`` is the per-GPU mini-batch size at which
+    sustained throughput reaches half of its large-batch value (skinny
+    GEMMs underutilize the SMs — this drives the strong-scaling roll-off in
+    Fig. 9 as the fixed global mini-batch is split across more GPUs).
+    The surrogate's layers are extremely narrow at the latent end (width
+    20), so the half-saturation batch is large: even a 128-sample batch
+    runs these GEMMs well below the sustained large-GEMM rate.
+    """
+
+    name: str = "V100-16GB"
+    peak_flops: float = 15.7e12
+    gemm_efficiency: float = 0.60
+    batch_half_saturation: float = 200.0
+    memory_bytes: int = 16 * GIB
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or not 0 < self.gemm_efficiency <= 1:
+            raise ValueError("invalid GPU throughput parameters")
+        if self.batch_half_saturation < 0:
+            raise ValueError("batch_half_saturation must be >= 0")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node and its two link classes.
+
+    ``intra_node`` models NVLink2 between ranks sharing a node;
+    ``inter_node`` models the node's NIC (dual-rail EDR: 2 x 12.5 GB/s),
+    which is *shared* by all ranks on the node (the cost model accounts
+    for that sharing).
+    """
+
+    gpus_per_node: int = 4
+    memory_bytes: int = 256 * GIB
+    # Fraction of node memory the data store may occupy (OS, framework,
+    # activation workspace, and file-cache headroom take the rest).
+    usable_memory_fraction: float = 0.85
+    intra_node: LinkParams = field(
+        default_factory=lambda: LinkParams(latency=3.0e-6, bandwidth=75 * GB)
+    )
+    inter_node: LinkParams = field(
+        default_factory=lambda: LinkParams(latency=1.5e-6, bandwidth=25 * GB)
+    )
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0 or self.memory_bytes <= 0:
+            raise ValueError("invalid node parameters")
+        if not 0 < self.usable_memory_fraction <= 1:
+            raise ValueError("usable_memory_fraction must be in (0, 1]")
+
+    def datastore_bytes_per_rank(self, ranks_per_node: int | None = None) -> int:
+        """Host memory available to one data-store rank.
+
+        Resource sets on CORAL systems bind each rank to one GPU and a
+        corresponding share of host memory; by default that share is
+        ``1/gpus_per_node`` of the usable memory *even if fewer ranks run
+        on the node*.  Pass ``ranks_per_node`` to model custom resource
+        sets (the paper's Fig.-11 single-trainer baseline ran 1 rank/node
+        with the full node memory).
+        """
+        share = ranks_per_node if ranks_per_node is not None else self.gpus_per_node
+        if share <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        return int(self.memory_bytes * self.usable_memory_fraction / share)
+
+
+@dataclass(frozen=True)
+class FilesystemSpec:
+    """Parallel file system (GPFS/Lustre-like) cost parameters.
+
+    - ``aggregate_bandwidth``: total deliverable bandwidth across all
+      clients, before client-count degradation (below).
+    - ``per_stream_bandwidth``: what one sequential reader stream can pull.
+    - ``random_read_bandwidth``: effective per-client bandwidth of small
+      random (sample-sized) reads inside large files — seek-bound, far
+      below streaming.
+    - ``open_latency``: base metadata cost to open a file.
+    - Open-cost contention multiplies the latency by
+      ``1 + (concurrent_openers / knee) ** power`` with *two* knees:
+      ``random_open_knee`` for clients hammering a shared pool of files
+      (mini-batch random access collides on file locks and MDS cache —
+      this is the Fig. 9/10 naive-reader pathology) and the much larger
+      ``bulk_open_knee`` for disjoint sequential assignments (preload
+      ensures "each file is only opened by one process per trainer" — it
+      only degrades under machine-wide open storms, the Fig.-11 64-trainer
+      preload point).
+    - ``aggregate_degradation_knee`` / ``_power``: delivered aggregate
+      bandwidth itself degrades as ``1 + (clients / knee) ** power`` once
+      very many clients stream at once (inter-trainer interference at the
+      GPFS, Fig. 11).
+    """
+
+    aggregate_bandwidth: float = 120 * GB
+    per_stream_bandwidth: float = 1.6 * GB
+    random_read_bandwidth: float = 40 * MB
+    open_latency: float = 4.0e-3
+    random_open_knee: float = 19.0
+    bulk_open_knee: float = 512.0
+    open_contention_power: float = 2.0
+    aggregate_degradation_knee: float = 800.0
+    aggregate_degradation_power: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(self.aggregate_bandwidth, self.per_stream_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.random_read_bandwidth <= 0 or self.open_latency < 0:
+            raise ValueError("invalid PFS read parameters")
+        if min(self.random_open_knee, self.bulk_open_knee) <= 0:
+            raise ValueError("open contention knees must be positive")
+        if self.open_contention_power < 0:
+            raise ValueError("open_contention_power must be >= 0")
+        if self.aggregate_degradation_knee <= 0 or self.aggregate_degradation_power < 0:
+            raise ValueError("invalid aggregate degradation parameters")
+
+
+@dataclass(frozen=True)
+class PerfCalibration:
+    """Cross-cutting calibration constants of the step-time model.
+
+    - ``step_overhead``: fixed per-optimizer-step framework/kernel-launch
+      cost per rank (does not shrink with more GPUs; contributes to the
+      Fig. 9 efficiency roll-off).  The GAN step runs two phases with
+      dozens of kernels each plus optimizer updates, hence tens of ms.
+    - ``shuffle_overlap``: fraction of compute time available to hide the
+      data-store mini-batch shuffle (the store shuffles on background
+      threads; overlap is good but not perfect).
+    - ``io_overlap``: fraction of compute time available to hide *naive*
+      file ingestion (LBANN data readers prefetch on background I/O
+      threads).  At 1 GPU ingestion dwarfs compute and is almost fully
+      exposed; at 16 GPUs a large share hides — this asymmetry is what
+      lets the naive config strong-scale super-proportionally to its I/O
+      share (Fig. 9) while still losing badly to the data store at low
+      GPU counts (Fig. 10).
+    - ``dynamic_store_residual``: fixed per-step overhead of the
+      *dynamically populated* store (store-index bookkeeping and
+      fragmented host allocations, vs the preloaded store's contiguous
+      per-file layout) — the ~1.10x preloaded-vs-dynamic steady-state gap
+      at 16 GPUs in Fig. 10.
+    - ``cache_pressure_knee`` / ``cache_pressure_coeff``: host-side
+      slowdown of the per-step path when the data store occupies a large
+      fraction of node memory:
+      ``penalty = 1 + coeff * max(0, occupancy - knee)**2``.  This
+      implements the paper's own explanation of the Fig. 11 super-linear
+      speedup ("cache effects as the aggregate working set size is
+      increased"): the 16-node single-trainer baseline runs at ~58%
+      occupancy while 4-node LTFB trainers run nearly empty.
+    """
+
+    step_overhead: float = 29.0e-3
+    shuffle_overlap: float = 0.95
+    io_overlap: float = 0.70
+    dynamic_store_residual: float = 9.6e-3
+    cache_pressure_knee: float = 0.25
+    cache_pressure_coeff: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.step_overhead < 0 or not 0 <= self.shuffle_overlap <= 1:
+            raise ValueError("invalid calibration")
+        if not 0 <= self.io_overlap <= 1:
+            raise ValueError("io_overlap must be in [0, 1]")
+        if self.dynamic_store_residual < 0:
+            raise ValueError("dynamic_store_residual must be >= 0")
+        if self.cache_pressure_coeff < 0 or not 0 <= self.cache_pressure_knee < 1:
+            raise ValueError("invalid cache-pressure parameters")
+
+    def cache_pressure_penalty(self, occupancy: float) -> float:
+        """Multiplier on the host-side step path at a given data-store
+        occupancy fraction of usable node memory (see class docstring)."""
+        if occupancy < 0:
+            raise ValueError(f"occupancy must be >= 0, got {occupancy}")
+        excess = max(0.0, occupancy - self.cache_pressure_knee)
+        return 1.0 + self.cache_pressure_coeff * excess * excess
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole machine: nodes, GPUs, file system, calibration."""
+
+    name: str = "lassen-sim"
+    num_nodes: int = 795
+    node: NodeSpec = field(default_factory=NodeSpec)
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    filesystem: FilesystemSpec = field(default_factory=FilesystemSpec)
+    calibration: PerfCalibration = field(default_factory=PerfCalibration)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    def with_(self, **kwargs) -> "MachineSpec":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **kwargs)
+
+
+def lassen() -> MachineSpec:
+    """The default Lassen-like machine used by all paper benchmarks."""
+    return MachineSpec()

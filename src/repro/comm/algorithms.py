@@ -1,0 +1,144 @@
+"""Reference implementations of the collective algorithms the cost models
+price, runnable over the SPMD communicator.
+
+The :class:`~repro.comm.costmodel.CollectiveCostModel` charges for ring
+reduce-scatter/allgather and for a hierarchical (intra-node, inter-node)
+allreduce.  These are the corresponding executable algorithms; tests
+verify they produce exactly the arithmetic the trainers rely on
+(sum-allreduce of gradient buffers) with the communication pattern the
+models assume (2(p-1) ring steps; intra-node reduction around an
+inter-node ring).
+
+They operate on 1-D float arrays (gradient buffers are flattened views in
+practice) and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.spmd import SpmdComm
+from repro.comm.topology import RankPlacement
+
+__all__ = [
+    "ring_reduce_scatter",
+    "ring_allgather",
+    "ring_allreduce",
+    "hierarchical_allreduce",
+]
+
+
+def _chunks(n: int, p: int) -> list[slice]:
+    """Split ``range(n)`` into p contiguous chunks (sizes differ by <= 1)."""
+    bounds = np.linspace(0, n, p + 1).astype(int)
+    return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def ring_reduce_scatter(comm: SpmdComm, values: np.ndarray) -> np.ndarray:
+    """Ring reduce-scatter: after p-1 steps, rank r holds the fully
+    reduced chunk r.  Returns that chunk."""
+    p = comm.size
+    values = np.array(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("ring collectives operate on 1-D arrays")
+    if p == 1:
+        return values
+    chunks = _chunks(values.size, p)
+    acc = values.copy()
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    # At step s, rank r sends chunk (r - s) and receives chunk (r - s - 1),
+    # accumulating into it; after p-1 steps chunk (r + 1) is complete...
+    # with this indexing, rank r ends owning chunk (r + 1) mod p; we
+    # relabel at the end so rank r returns chunk r (one extra rotation).
+    for step in range(p - 1):
+        send_idx = (comm.rank - step) % p
+        recv_idx = (comm.rank - step - 1) % p
+        comm.send(acc[chunks[send_idx]].copy(), dest=right, tag=("rs", step))
+        acc[chunks[recv_idx]] += comm.recv(source=left, tag=("rs", step))
+    owned = (comm.rank + 1) % p
+    if owned != comm.rank:
+        # Rotate ownership so rank r returns chunk r (a final shift,
+        # equivalent to starting the ring one position earlier).
+        comm.send(acc[chunks[owned]].copy(), dest=owned, tag=("rs", "fix"))
+        return comm.recv(source=(comm.rank - 1) % p, tag=("rs", "fix"))
+    return acc[chunks[owned]]
+
+
+def ring_allgather(comm: SpmdComm, chunk: np.ndarray, total_size: int) -> np.ndarray:
+    """Ring allgather: every rank contributes its chunk; all ranks end
+    with the concatenation (chunk r at slot r)."""
+    p = comm.size
+    chunk = np.asarray(chunk, dtype=np.float64)
+    if p == 1:
+        return chunk.copy()
+    chunks = _chunks(total_size, p)
+    out = np.zeros(total_size, dtype=np.float64)
+    out[chunks[comm.rank]] = chunk
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    for step in range(p - 1):
+        send_idx = (comm.rank - step) % p
+        recv_idx = (comm.rank - step - 1) % p
+        comm.send(out[chunks[send_idx]].copy(), dest=right, tag=("ag", step))
+        out[chunks[recv_idx]] = comm.recv(source=left, tag=("ag", step))
+    return out
+
+
+def ring_allreduce(comm: SpmdComm, values: np.ndarray) -> np.ndarray:
+    """Bandwidth-optimal ring allreduce: reduce-scatter then allgather —
+    the 2(p-1)-step pattern the cost model charges for."""
+    values = np.asarray(values, dtype=np.float64)
+    chunk = ring_reduce_scatter(comm, values)
+    return ring_allgather(comm, chunk, values.size)
+
+
+def hierarchical_allreduce(
+    comm: SpmdComm, values: np.ndarray, placement: RankPlacement
+) -> np.ndarray:
+    """Two-level allreduce matching the cost model's hierarchy: reduce to
+    each node's leader, ring allreduce across leaders, broadcast within
+    the node.
+
+    ``placement`` maps ranks to nodes (must match ``comm.size``).
+    """
+    if placement.num_ranks != comm.size:
+        raise ValueError(
+            f"placement has {placement.num_ranks} ranks, comm has {comm.size}"
+        )
+    values = np.asarray(values, dtype=np.float64)
+    node = placement.node_of[comm.rank]
+    local_ranks = placement.ranks_on_node(node)
+    leader = local_ranks[0]
+    leaders = [placement.ranks_on_node(n)[0] for n in range(placement.num_nodes)]
+
+    # Intra-node reduction to the leader.
+    if comm.rank == leader:
+        total = values.copy()
+        for r in local_ranks[1:]:
+            total += comm.recv(source=r, tag="h-reduce")
+    else:
+        comm.send(values, dest=leader, tag="h-reduce")
+        total = None
+
+    # Inter-node ring among leaders (pairwise ring over the leader list).
+    if comm.rank == leader:
+        n_nodes = len(leaders)
+        if n_nodes > 1:
+            my_pos = leaders.index(comm.rank)
+            right = leaders[(my_pos + 1) % n_nodes]
+            left = leaders[(my_pos - 1) % n_nodes]
+            acc = total
+            partial = total.copy()
+            for step in range(n_nodes - 1):
+                comm.send(partial, dest=right, tag=("h-ring", step))
+                partial = comm.recv(source=left, tag=("h-ring", step))
+                acc = acc + partial
+            total = acc
+
+    # Intra-node broadcast of the result.
+    if comm.rank == leader:
+        for r in local_ranks[1:]:
+            comm.send(total, dest=r, tag="h-bcast")
+        return total
+    return comm.recv(source=leader, tag="h-bcast")

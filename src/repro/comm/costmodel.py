@@ -1,0 +1,167 @@
+"""Alpha-beta communication cost models over a two-level topology.
+
+Latency/bandwidth ("alpha-beta") models are the standard analytic tool for
+HPC collectives: a message of ``B`` bytes over a link costs
+``alpha + B / bandwidth``.  Two link classes exist, matching Lassen:
+
+- *intra-node* (NVLink2 / shared memory between ranks on one node), and
+- *inter-node* (the node's InfiniBand NIC, **shared** by all ranks on the
+  node — the sharing is what makes a flat ring across multi-GPU nodes so
+  much worse than a hierarchical allreduce, and is modelled explicitly).
+
+These models price the paper's communication phases:
+
+- gradient allreduce inside a trainer (every training step, Fig. 9);
+- the data-store mini-batch shuffle (every step, Fig. 10);
+- LTFB generator exchange between trainer pairs (every tournament round,
+  Fig. 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.comm.topology import RankPlacement
+
+__all__ = ["LinkParams", "CollectiveCostModel"]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """One link class: start-up latency (s) and bandwidth (bytes/s)."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """alpha + B/bw for one message."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+class CollectiveCostModel:
+    """Prices point-to-point and collective operations for a placement."""
+
+    def __init__(self, intra_node: LinkParams, inter_node: LinkParams) -> None:
+        self.intra = intra_node
+        self.inter = inter_node
+
+    # -- point to point -----------------------------------------------------
+
+    def p2p_time(self, nbytes: float, same_node: bool) -> float:
+        link = self.intra if same_node else self.inter
+        return link.transfer_time(nbytes)
+
+    # -- allreduce ------------------------------------------------------------
+
+    def allreduce_time(self, nbytes: float, placement: RankPlacement) -> float:
+        """Ring / hierarchical allreduce of ``nbytes`` per rank.
+
+        - 1 rank: free.
+        - single node: ring over NVLink,
+          ``2(p-1) a_intra + 2 (p-1)/p B / bw_intra``.
+        - multi-node, 1 rank/node: flat inter-node ring,
+          ``2(n-1) a_inter + 2 (n-1)/n B / bw_inter``.
+        - multi-node, g ranks/node: hierarchical reduce-scatter within the
+          node, concurrent inter-node rings on 1/g shards (which together
+          push the full ``B`` through each shared NIC), then an intra-node
+          allgather:
+          ``2(g-1) a_intra + 2(g-1)/g B / bw_intra
+            + 2(n-1) a_inter + 2(n-1)/n B / bw_inter``.
+        """
+        p = placement.num_ranks
+        if p == 1 or nbytes == 0:
+            return 0.0
+        n = placement.num_nodes
+        g = placement.max_ranks_per_node
+        if n == 1:
+            return 2 * (p - 1) * self.intra.latency + 2 * (
+                (p - 1) / p
+            ) * nbytes / self.intra.bandwidth
+        if g == 1:
+            return 2 * (n - 1) * self.inter.latency + 2 * (
+                (n - 1) / n
+            ) * nbytes / self.inter.bandwidth
+        intra = 2 * (g - 1) * self.intra.latency + 2 * (
+            (g - 1) / g
+        ) * nbytes / self.intra.bandwidth
+        inter = 2 * (n - 1) * self.inter.latency + 2 * (
+            (n - 1) / n
+        ) * nbytes / self.inter.bandwidth
+        return intra + inter
+
+    # -- broadcast ---------------------------------------------------------------
+
+    def bcast_time(self, nbytes: float, placement: RankPlacement) -> float:
+        """Binomial-tree broadcast: inter-node tree, then intra-node tree."""
+        p = placement.num_ranks
+        if p == 1 or nbytes == 0:
+            return 0.0
+        n = placement.num_nodes
+        g = placement.max_ranks_per_node
+        t = 0.0
+        if n > 1:
+            t += math.ceil(math.log2(n)) * self.inter.transfer_time(nbytes)
+        if g > 1:
+            t += math.ceil(math.log2(g)) * self.intra.transfer_time(nbytes)
+        return t
+
+    # -- data-store shuffle --------------------------------------------------------
+
+    def shuffle_time(
+        self,
+        recv_bytes_per_rank: float,
+        placement: RankPlacement,
+        messages_per_rank: int = 1,
+    ) -> float:
+        """Personalized exchange where each rank receives
+        ``recv_bytes_per_rank`` from uniformly random owner ranks.
+
+        A fraction :meth:`RankPlacement.remote_fraction` of the bytes
+        crosses the NIC, which is shared by all ranks on the node; the rest
+        moves over intra-node links in parallel.  This is the per-step
+        mini-batch shuffle of the distributed data store (Section III-B of
+        the paper); the store overlaps it with compute on background
+        threads, so callers typically combine it with compute time via an
+        overlap rule rather than adding it outright.
+        """
+        if recv_bytes_per_rank < 0:
+            raise ValueError("recv_bytes_per_rank must be >= 0")
+        p = placement.num_ranks
+        if p == 1 or recv_bytes_per_rank == 0:
+            return 0.0
+        f_remote = max(placement.remote_fraction(r) for r in range(p))
+        g = placement.max_ranks_per_node
+        # Every rank on a node both sends and receives its remote share
+        # through the same NIC; charge the receive path (full duplex).
+        nic_bytes = recv_bytes_per_rank * f_remote * g
+        t_remote = self.inter.latency * messages_per_rank + (
+            nic_bytes / self.inter.bandwidth
+        )
+        t_local = self.intra.latency * messages_per_rank + (
+            recv_bytes_per_rank * (1.0 - f_remote) / self.intra.bandwidth
+        )
+        return max(t_remote, t_local)
+
+    # -- LTFB model exchange -----------------------------------------------------
+
+    def model_exchange_time(self, state_nbytes: float) -> float:
+        """Swap of model state between two paired trainers.
+
+        Trainers live on disjoint node sets, so the exchange crosses the
+        fabric; sends in the two directions proceed concurrently (full
+        duplex), so the cost is one inter-node transfer of the state.
+        """
+        if state_nbytes < 0:
+            raise ValueError("state_nbytes must be >= 0")
+        if state_nbytes == 0:
+            return 0.0
+        return self.inter.transfer_time(state_nbytes)

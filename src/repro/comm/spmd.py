@@ -1,0 +1,283 @@
+"""A functional, thread-backed SPMD communicator (mpi4py-flavoured).
+
+``run_spmd(size, fn)`` launches ``size`` rank threads, each receiving an
+:class:`SpmdComm` bound to its rank, and returns the per-rank results.
+The API follows mpi4py's lowercase generic-object conventions
+(``send``/``recv``/``bcast``/``scatter``/``gather``/``allreduce``/
+``alltoall``); collectives are built from point-to-point messages, so the
+communicator doubles as a reference implementation of the collective
+algorithms the cost models price.
+
+This backend exists so the distributed data store and LTFB exchange logic
+can be executed *for real* (ranks genuinely exchanging objects through
+mailboxes) in tests and examples.  It makes no timing claims — performance
+questions go through :mod:`repro.comm.costmodel`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["SpmdComm", "SpmdError", "Request", "run_spmd"]
+
+
+class SpmdError(RuntimeError):
+    """Raised on misuse or when a peer rank has failed."""
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py-style).
+
+    ``isend`` completes immediately (sends are buffered); ``irecv``
+    completes when the message arrives.  ``wait`` returns the received
+    object (or ``None`` for sends); ``test`` polls without blocking.
+    """
+
+    def __init__(self, poll, blocking_wait) -> None:
+        self._poll = poll
+        self._wait = blocking_wait
+        self._done = False
+        self._value = None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(done, value_or_None)``."""
+        if not self._done:
+            ok, value = self._poll()
+            if ok:
+                self._done, self._value = True, value
+        return self._done, self._value
+
+    def wait(self) -> Any:
+        """Block until complete; return the result."""
+        if not self._done:
+            self._done, self._value = True, self._wait()
+        return self._value
+
+
+class _Fabric:
+    """Shared state between the ranks of one SPMD run."""
+
+    def __init__(self, size: int, timeout: float) -> None:
+        self.size = size
+        self.timeout = timeout
+        self.mailboxes: dict[tuple[int, int, Any], queue.Queue] = {}
+        self._mb_lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+        self.failed = threading.Event()
+
+    def mailbox(self, src: int, dst: int, tag: Any) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._mb_lock:
+            q = self.mailboxes.get(key)
+            if q is None:
+                q = self.mailboxes[key] = queue.Queue()
+            return q
+
+
+class SpmdComm:
+    """Communicator handle owned by one rank thread."""
+
+    def __init__(self, fabric: _Fabric, rank: int) -> None:
+        self._fabric = fabric
+        self.rank = rank
+        self.size = fabric.size
+        self._coll_seq = 0  # SPMD programs call collectives in lock-step
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a picklable-style object to ``dest`` (buffered, non-blocking)."""
+        self._check_peer(dest)
+        self._fabric.mailbox(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive the next object sent by ``source`` with ``tag``."""
+        self._check_peer(source)
+        q = self._fabric.mailbox(source, self.rank, tag)
+        try:
+            return q.get(timeout=self._fabric.timeout)
+        except queue.Empty:
+            raise SpmdError(
+                f"rank {self.rank}: recv from {source} tag {tag!r} timed out "
+                f"after {self._fabric.timeout}s"
+                + (" (a peer rank failed)" if self._fabric.failed.is_set() else "")
+            ) from None
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Exchange objects with ``peer`` (deadlock-free pairwise swap)."""
+        self.send(obj, peer, tag)
+        return self.recv(peer, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send.  Buffered sends complete immediately; the
+        request exists for mpi4py-style symmetry (``req.wait()``)."""
+        self.send(obj, dest, tag)
+        return Request(poll=lambda: (True, None), blocking_wait=lambda: None)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive: returns a :class:`Request` whose
+        ``wait()`` yields the message (the data-store shuffle overlaps
+        these with compute in the real system)."""
+        self._check_peer(source)
+        q = self._fabric.mailbox(source, self.rank, tag)
+
+        def poll():
+            try:
+                return True, q.get_nowait()
+            except queue.Empty:
+                return False, None
+
+        def blocking_wait():
+            try:
+                return q.get(timeout=self._fabric.timeout)
+            except queue.Empty:
+                raise SpmdError(
+                    f"rank {self.rank}: irecv from {source} tag {tag!r} "
+                    f"timed out after {self._fabric.timeout}s"
+                ) from None
+
+        return Request(poll=poll, blocking_wait=blocking_wait)
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        try:
+            self._fabric.barrier.wait(timeout=self._fabric.timeout)
+        except threading.BrokenBarrierError:
+            raise SpmdError(
+                f"rank {self.rank}: barrier broken (peer failure or timeout)"
+            ) from None
+
+    def _ctag(self, kind: str) -> tuple:
+        self._coll_seq += 1
+        return ("__coll__", kind, self._coll_seq)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_peer(root)
+        tag = self._ctag("bcast")
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self._fabric.mailbox(root, r, tag).put(obj)
+            return obj
+        return self._recv_tagged(root, tag)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        tag = self._ctag("scatter")
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise SpmdError(
+                    f"scatter root needs exactly {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            for r in range(self.size):
+                if r != root:
+                    self._fabric.mailbox(root, r, tag).put(objs[r])
+            return objs[root]
+        return self._recv_tagged(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        tag = self._ctag("gather")
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self._recv_tagged(r, tag)
+            return out
+        self._fabric.mailbox(self.rank, root, tag).put(obj)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        """Reduce with ``op`` (default: ``+``, which is elementwise for
+        NumPy arrays) and distribute the result to all ranks."""
+        contributions = self.allgather(value)
+        if op is None:
+            total = contributions[0]
+            for c in contributions[1:]:
+                total = total + c
+            return total
+        total = contributions[0]
+        for c in contributions[1:]:
+            total = op(total, c)
+        return total
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Personalized exchange: send ``objs[r]`` to rank r; receive one
+        object from every rank (including self)."""
+        if len(objs) != self.size:
+            raise SpmdError(
+                f"alltoall needs exactly {self.size} items, got {len(objs)}"
+            )
+        tag = self._ctag("alltoall")
+        for r in range(self.size):
+            if r != self.rank:
+                self._fabric.mailbox(self.rank, r, tag).put(objs[r])
+        out = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        for r in range(self.size):
+            if r != self.rank:
+                out[r] = self._recv_tagged(r, tag)
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _recv_tagged(self, source: int, tag: tuple) -> Any:
+        q = self._fabric.mailbox(source, self.rank, tag)
+        try:
+            return q.get(timeout=self._fabric.timeout)
+        except queue.Empty:
+            raise SpmdError(
+                f"rank {self.rank}: collective {tag} timed out waiting on "
+                f"rank {source}"
+            ) from None
+
+    def _check_peer(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise SpmdError(f"invalid peer rank {rank} (size {self.size})")
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 60.0,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` on ``size`` rank threads; return per-rank results.
+
+    If any rank raises, the first exception (by rank order) is re-raised in
+    the caller after all threads have terminated.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    fabric = _Fabric(size, timeout)
+    results: list[Any] = [None] * size
+    errors: list[BaseException | None] = [None] * size
+
+    def runner(rank: int) -> None:
+        comm = SpmdComm(fabric, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors[rank] = exc
+            fabric.failed.set()
+            fabric.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results

@@ -1,0 +1,82 @@
+"""Rank-to-hardware placement.
+
+A :class:`RankPlacement` records, for every MPI rank of a trainer, which
+node it lives on.  Communication cost depends on whether two ranks share a
+node (NVLink / shared memory) or not (the node's NIC), and on how many
+ranks share each NIC — both derivable from the placement.
+
+The paper uses two placements that matter for the experiments:
+
+- the standard LTFB trainer: 4 nodes x 4 GPUs (16 ranks, 4 per node);
+- the single-trainer Fig-11 baseline: 16 nodes x 1 GPU (the data store
+  needed the extra node memory to hold the full 10M-sample set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RankPlacement", "contiguous_placement"]
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Maps ranks ``0..n-1`` to node ids.
+
+    ``node_of[i]`` is the node hosting rank ``i``.  Node ids are dense
+    ``0..num_nodes-1``.
+    """
+
+    node_of: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_of:
+            raise ValueError("placement must contain at least one rank")
+        nodes = set(self.node_of)
+        if nodes != set(range(len(nodes))):
+            raise ValueError(f"node ids must be dense 0..k-1, got {sorted(nodes)}")
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.node_of)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(set(self.node_of))
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        return [r for r, n in enumerate(self.node_of) if n == node]
+
+    @property
+    def max_ranks_per_node(self) -> int:
+        counts: dict[int, int] = {}
+        for n in self.node_of:
+            counts[n] = counts.get(n, 0) + 1
+        return max(counts.values())
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of[a] == self.node_of[b]
+
+    def remote_fraction(self, rank: int) -> float:
+        """Fraction of *other* ranks that are off-node from ``rank``.
+
+        Drives the data-store shuffle model: a uniformly random sample
+        owner is remote with this probability.
+        """
+        if self.num_ranks == 1:
+            return 0.0
+        local = len(self.ranks_on_node(self.node_of[rank])) - 1
+        return 1.0 - local / (self.num_ranks - 1)
+
+
+def contiguous_placement(num_ranks: int, ranks_per_node: int) -> RankPlacement:
+    """Pack ranks onto nodes in order, ``ranks_per_node`` at a time.
+
+    ``contiguous_placement(16, 4)`` is the paper's standard trainer;
+    ``contiguous_placement(16, 1)`` is the Fig-11 single-trainer baseline.
+    """
+    if num_ranks <= 0:
+        raise ValueError(f"num_ranks must be positive, got {num_ranks}")
+    if ranks_per_node <= 0:
+        raise ValueError(f"ranks_per_node must be positive, got {ranks_per_node}")
+    return RankPlacement(tuple(r // ranks_per_node for r in range(num_ranks)))

@@ -1,0 +1,135 @@
+"""Checkpointing: serialize and restore trainer and population state.
+
+Long LTFB campaigns on shared machines need to survive preemption; LBANN
+checkpoints trainers independently (each trainer is a self-contained unit:
+model weights, optimizer state, step counters, tournament tallies).  This
+module packs exactly that into a single byte buffer per trainer — NumPy
+arrays via the flat-buffer codec of :mod:`repro.utils.serialization`,
+scalars via a small JSON header — so checkpoints are portable and contain
+no pickled code.
+
+Restoring requires an architecturally identical trainer (same config and
+weight names); mismatches raise instead of silently corrupting state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.trainer import Trainer
+
+__all__ = [
+    "trainer_checkpoint",
+    "restore_trainer",
+    "population_checkpoint",
+    "restore_population",
+]
+
+_HEADER_KEY = "__checkpoint_header__"
+_FORMAT_VERSION = 1
+
+
+def _flatten_optimizer(prefix: str, state: Mapping) -> tuple[dict, dict]:
+    """Split optimizer state into array leaves and scalar metadata."""
+    arrays: dict[str, np.ndarray] = {}
+    meta = {"step_count": int(state["step_count"]), "slots": []}
+    for wname, slots in state["slots"].items():
+        for slot_name, value in slots.items():
+            key = f"{prefix}/{wname}\x1e{slot_name}"
+            arrays[key] = np.asarray(value)
+            meta["slots"].append([wname, slot_name])
+    return arrays, meta
+
+
+def _unflatten_optimizer(prefix: str, meta: Mapping, arrays: Mapping) -> dict:
+    slots: dict[str, dict[str, np.ndarray]] = {}
+    for wname, slot_name in meta["slots"]:
+        key = f"{prefix}/{wname}\x1e{slot_name}"
+        slots.setdefault(wname, {})[slot_name] = np.array(arrays[key])
+    return {"step_count": int(meta["step_count"]), "slots": slots}
+
+
+def trainer_checkpoint(trainer: Trainer) -> bytes:
+    """Serialize one trainer: model, both optimizers, counters."""
+    arrays: dict[str, np.ndarray] = {
+        f"model/{k}": v for k, v in trainer.surrogate.get_full_state().items()
+    }
+    gen_arrays, gen_meta = _flatten_optimizer(
+        "opt_gen", trainer.gen_optimizer.get_state()
+    )
+    disc_arrays, disc_meta = _flatten_optimizer(
+        "opt_disc", trainer.disc_optimizer.get_state()
+    )
+    arrays.update(gen_arrays)
+    arrays.update(disc_arrays)
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trainer.name,
+        "steps_done": trainer.steps_done,
+        "tournaments_won": trainer.tournaments_won,
+        "tournaments_lost": trainer.tournaments_lost,
+        "surrogate_steps": trainer.surrogate.steps_trained,
+        "gen_optimizer": gen_meta,
+        "disc_optimizer": disc_meta,
+    }
+    buf = io.BytesIO()
+    escaped = {k.replace("/", "\x1f"): v for k, v in arrays.items()}
+    escaped[_HEADER_KEY] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(buf, **escaped)
+    return buf.getvalue()
+
+
+def restore_trainer(trainer: Trainer, payload: bytes) -> None:
+    """Load a checkpoint into an architecturally identical trainer."""
+    with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+        arrays = {
+            k.replace("\x1f", "/"): np.array(data[k])
+            for k in data.files
+            if k != _HEADER_KEY
+        }
+        header = json.loads(bytes(data[_HEADER_KEY]).decode("utf-8"))
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {header.get('version')!r}"
+        )
+    model_state = {
+        k.removeprefix("model/"): v
+        for k, v in arrays.items()
+        if k.startswith("model/")
+    }
+    trainer.surrogate.set_full_state(model_state)
+    trainer.gen_optimizer.set_state(
+        _unflatten_optimizer("opt_gen", header["gen_optimizer"], arrays)
+    )
+    trainer.disc_optimizer.set_state(
+        _unflatten_optimizer("opt_disc", header["disc_optimizer"], arrays)
+    )
+    trainer.steps_done = int(header["steps_done"])
+    trainer.tournaments_won = int(header["tournaments_won"])
+    trainer.tournaments_lost = int(header["tournaments_lost"])
+    trainer.surrogate.steps_trained = int(header["surrogate_steps"])
+
+
+def population_checkpoint(trainers: Sequence[Trainer]) -> dict[str, bytes]:
+    """Checkpoint every trainer of a population, keyed by trainer name."""
+    names = [t.name for t in trainers]
+    if len(set(names)) != len(names):
+        raise ValueError(f"trainer names must be unique, got {names}")
+    return {t.name: trainer_checkpoint(t) for t in trainers}
+
+
+def restore_population(
+    trainers: Sequence[Trainer], checkpoints: Mapping[str, bytes]
+) -> None:
+    """Restore a population from :func:`population_checkpoint` output."""
+    missing = {t.name for t in trainers} - set(checkpoints)
+    if missing:
+        raise ValueError(f"no checkpoint for trainers: {sorted(missing)}")
+    for t in trainers:
+        restore_trainer(t, checkpoints[t.name])

@@ -1,0 +1,180 @@
+"""Population construction: shared autoencoder, silos, trainers.
+
+Sequencing follows the paper: the multimodal autoencoder is trained *a
+priori* (once, before the GAN phase) and defines the 20-D latent space all
+trainers share; then k trainers are built over a k-way partition of the
+training data, each with its own weight initialization, (optionally
+jittered) hyperparameters, local tournament holdout, and local
+discriminator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.datastore.partition import partition_indices
+from repro.jag.dataset import JagDataset
+from repro.models.autoencoder import MultimodalAutoencoder
+from repro.models.cyclegan import ICFSurrogate, SurrogateConfig
+from repro.tensorlib.optimizers import Adam
+from repro.utils.rng import RngFactory
+
+__all__ = ["EnsembleSpec", "pretrain_autoencoder", "build_population"]
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    """How to build a k-trainer population."""
+
+    k: int = 4
+    surrogate: SurrogateConfig = dataclasses.field(default_factory=SurrogateConfig)
+    trainer: TrainerConfig = dataclasses.field(default_factory=TrainerConfig)
+    partition_mode: str = "contiguous"  # the paper's file-range silos
+    tournament_fraction: float = 0.10  # held-out share of the training ids
+    # "global": one unbiased tournament holdout shared by every trainer
+    # (each trainer's data store holds a copy of the evaluation data, as
+    # the paper's does).  "local": each trainer judges on a holdout from
+    # its *own* silo — an ablation that cripples tournament propagation,
+    # because a silo-local judge always favours the silo-local model.
+    tournament_scope: str = "global"
+    ae_epochs: int = 10
+    ae_max_samples: int = 4096  # AE pre-training subsample cap
+    # Log10 half-range of per-trainer learning-rate jitter: the paper's
+    # populations differ in "weights and hyperparameters"; 0 disables.
+    hyperparam_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if not 0.0 < self.tournament_fraction < 0.5:
+            raise ValueError("tournament_fraction must be in (0, 0.5)")
+        if self.tournament_scope not in ("global", "local"):
+            raise ValueError(
+                f"tournament_scope must be 'global' or 'local', "
+                f"got {self.tournament_scope!r}"
+            )
+        if self.ae_epochs <= 0 or self.ae_max_samples <= 0:
+            raise ValueError("invalid autoencoder pre-training settings")
+        if self.hyperparam_jitter < 0:
+            raise ValueError("hyperparam_jitter must be >= 0")
+
+
+def pretrain_autoencoder(
+    dataset: JagDataset,
+    train_ids: np.ndarray,
+    rngs: RngFactory,
+    spec: EnsembleSpec,
+) -> MultimodalAutoencoder:
+    """Train the shared multimodal autoencoder a priori.
+
+    Uses an unbiased (strided) subsample of the training ids so the latent
+    space covers the whole parameter range even though individual silos
+    will not.
+    """
+    cfg = spec.surrogate
+    ae = MultimodalAutoencoder(
+        rngs.child("autoencoder"),
+        cfg.schema,
+        hidden=cfg.ae_hidden,
+        latent_dim=cfg.latent_dim,
+    )
+    ids = np.asarray(train_ids)
+    if ids.size > spec.ae_max_samples:
+        stride = ids.size // spec.ae_max_samples
+        ids = ids[::stride][: spec.ae_max_samples]
+    reader = dataset.reader(ids, rngs.generator("autoencoder/reader"))
+    optimizer = Adam(cfg.learning_rate)
+    for _ in range(spec.ae_epochs):
+        for mb in reader.epoch(min(cfg.batch_size, ids.size)):
+            ae.train_step(mb.feeds, optimizer)
+    return ae
+
+
+def _jittered_config(
+    cfg: SurrogateConfig, jitter: float, rng: np.random.Generator
+) -> SurrogateConfig:
+    if jitter == 0.0:
+        return cfg
+    factor_gen = 10.0 ** rng.uniform(-jitter, jitter)
+    factor_disc = 10.0 ** rng.uniform(-jitter, jitter)
+    return dataclasses.replace(
+        cfg,
+        learning_rate=cfg.learning_rate * factor_gen,
+        disc_learning_rate=cfg.disc_learning_rate * factor_disc,
+    )
+
+
+def build_population(
+    dataset: JagDataset,
+    train_ids: np.ndarray,
+    rngs: RngFactory,
+    spec: EnsembleSpec,
+    autoencoder: MultimodalAutoencoder,
+) -> list[Trainer]:
+    """Build k trainers over a k-way partition of ``train_ids``.
+
+    With ``tournament_scope="global"`` (default), ``tournament_fraction``
+    of the training ids is held out *before* partitioning (strided, so it
+    spans the whole parameter space) and every trainer judges tournaments
+    on a copy of it — matching the paper's data store, which holds
+    evaluation data alongside the training partition.  With ``"local"``,
+    each silo holds out its own tournament set instead.
+
+    Trainers share the frozen autoencoder but have independent generator /
+    discriminator initializations, hyperparameter jitter, and reader
+    shuffles.
+    """
+    train_ids = np.asarray(train_ids)
+    stride = max(2, int(round(1.0 / spec.tournament_fraction)))
+
+    global_tournament: dict[str, np.ndarray] | None = None
+    silo_source = train_ids
+    if spec.tournament_scope == "global":
+        tournament_ids = train_ids[::stride]
+        mask = np.ones(train_ids.size, dtype=bool)
+        mask[::stride] = False
+        silo_source = train_ids[mask]
+        global_tournament = {
+            k: v[tournament_ids] for k, v in dataset.fields.items()
+        }
+
+    silos = partition_indices(
+        silo_source.size,
+        spec.k,
+        mode=spec.partition_mode,
+        rng=rngs.generator("partition"),
+    )
+    trainers: list[Trainer] = []
+    for i, silo_pos in enumerate(silos):
+        name = f"trainer{i:02d}"
+        child = rngs.child(name)
+        silo = silo_source[silo_pos]
+        if global_tournament is not None:
+            train_silo = silo
+            tournament_batch = global_tournament
+        else:
+            local_ids = silo[::stride]
+            mask = np.ones(silo.size, dtype=bool)
+            mask[::stride] = False
+            train_silo = silo[mask]
+            tournament_batch = {
+                k: v[local_ids] for k, v in dataset.fields.items()
+            }
+        if train_silo.size == 0:
+            raise ValueError(
+                f"silo {i} too small ({silo.size} samples) for the "
+                f"tournament holdout"
+            )
+        cfg = _jittered_config(
+            spec.surrogate, spec.hyperparam_jitter, child.generator("hyper")
+        )
+        surrogate = ICFSurrogate(child, cfg, autoencoder)
+        reader = dataset.reader(train_silo, child.generator("reader"))
+        trainers.append(
+            Trainer(name, surrogate, reader, tournament_batch, spec.trainer)
+        )
+    return trainers

@@ -1,0 +1,220 @@
+"""LTFB: the "Let a Thousand Flowers Bloom" tournament algorithm.
+
+From the paper (Section III-C): trainers construct models over partitioned
+data silos and train them independently; "periodically, e.g. at predefined
+mini-batch intervals, trainers are randomly paired up and made to exchange
+models.  Each trainer will evaluate its two models on a local tournament
+data set, keeps the one that achieves a better evaluation metric, and then
+resumes training."  For GANs, only *generators* are exchanged and
+discriminators stay local (Fig. 6).
+
+Both trainers of a pair judge independently on their own tournament sets,
+so a pair can end a round agreeing (one generator propagates — the usual
+case once a model pulls ahead) or disagreeing (each keeps its own).
+Surviving models "are likely to have been exposed to many trainers at
+different times", which is how a winner becomes an encoded representation
+of data silos it never read directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.trainer import Trainer
+from repro.utils.serialization import nbytes_of
+
+__all__ = ["LtfbConfig", "TournamentRecord", "LtfbHistory", "LtfbDriver"]
+
+
+@dataclass(frozen=True)
+class LtfbConfig:
+    """Tournament schedule and exchange policy.
+
+    ``steps_per_round`` is the paper's "predefined mini-batch interval"
+    between tournaments; ``rounds`` is how many (train, tournament) cycles
+    to run.  ``exchange`` selects what crosses the wire:
+
+    - ``"generator"`` — the paper's GAN extension: only generators are
+      exchanged, discriminators stay local ("educating a student with
+      multiple teachers", and less communication);
+    - ``"full"`` — classic LTFB (Jacobs et al., MLHPC'17): the whole model
+      including the discriminator moves with the winner.
+    """
+
+    steps_per_round: int = 50
+    rounds: int = 10
+    exchange: str = "generator"
+
+    def __post_init__(self) -> None:
+        if self.steps_per_round <= 0 or self.rounds <= 0:
+            raise ValueError("steps_per_round and rounds must be positive")
+        if self.exchange not in ("generator", "full"):
+            raise ValueError(
+                f"exchange must be 'generator' or 'full', got {self.exchange!r}"
+            )
+
+    @property
+    def total_steps(self) -> int:
+        return self.steps_per_round * self.rounds
+
+
+@dataclass
+class TournamentRecord:
+    """Outcome of one pairwise tournament at one trainer."""
+
+    round_index: int
+    trainer: str
+    partner: str
+    own_score: float
+    partner_score: float
+    adopted_partner: bool
+
+
+@dataclass
+class LtfbHistory:
+    """Everything a tournament run produced, for analysis and plots."""
+
+    rounds_completed: int = 0
+    train_losses: list[dict[str, dict[str, float]]] = field(default_factory=list)
+    tournaments: list[TournamentRecord] = field(default_factory=list)
+    eval_series: list[dict[str, dict[str, float]]] = field(default_factory=list)
+    exchange_bytes: int = 0
+    pairings: list[list[tuple[str, str]]] = field(default_factory=list)
+
+    def adoption_rate(self) -> float:
+        """Fraction of tournament decisions that adopted the partner."""
+        if not self.tournaments:
+            return 0.0
+        adopted = sum(1 for t in self.tournaments if t.adopted_partner)
+        return adopted / len(self.tournaments)
+
+    def best_val_series(self, metric: str = "val_loss") -> list[float]:
+        """Per-round best (min) value of ``metric`` across trainers, from
+        the evaluation snapshots recorded by the driver."""
+        return [
+            min(per_trainer[metric] for per_trainer in snap.values())
+            for snap in self.eval_series
+        ]
+
+
+class LtfbDriver:
+    """Runs LTFB over a population of trainers.
+
+    Parameters
+    ----------
+    trainers:
+        The population.  A single trainer degenerates to plain training
+        (no tournaments), which is the paper's baseline configuration.
+    rng:
+        Drives the random pairing each round.
+    config:
+        Tournament schedule.
+    eval_batch:
+        Optional *global* validation batch; when given, every trainer is
+        evaluated on it after every round and the series is recorded
+        (Figs. 12-13 read this).
+    """
+
+    def __init__(
+        self,
+        trainers: Sequence[Trainer],
+        rng: np.random.Generator,
+        config: LtfbConfig,
+        eval_batch: Mapping[str, np.ndarray] | None = None,
+    ) -> None:
+        if not trainers:
+            raise ValueError("need at least one trainer")
+        names = [t.name for t in trainers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"trainer names must be unique, got {names}")
+        self.trainers = list(trainers)
+        self._rng = rng
+        self.config = config
+        self.eval_batch = dict(eval_batch) if eval_batch is not None else None
+        self.history = LtfbHistory()
+
+    # -- pairing -------------------------------------------------------------
+
+    def _draw_pairs(self) -> list[tuple[int, int]]:
+        """Random disjoint pairs; with an odd population one trainer sits
+        the round out."""
+        k = len(self.trainers)
+        perm = self._rng.permutation(k)
+        return [
+            (int(perm[i]), int(perm[i + 1])) for i in range(0, k - 1, 2)
+        ]
+
+    # -- one round ---------------------------------------------------------------
+
+    def run_round(self, round_index: int) -> None:
+        """Train all trainers for one interval, then hold the tournament."""
+        losses: dict[str, dict[str, float]] = {}
+        for t in self.trainers:
+            losses[t.name] = t.train_steps(self.config.steps_per_round)
+        self.history.train_losses.append(losses)
+
+        pairs = self._draw_pairs()
+        self.history.pairings.append(
+            [(self.trainers[a].name, self.trainers[b].name) for a, b in pairs]
+        )
+        scope = self.config.exchange
+        for a_idx, b_idx in pairs:
+            a, b = self.trainers[a_idx], self.trainers[b_idx]
+            # Exchange models (the only inter-trainer communication).
+            pkg_a = a.exchange_package(scope)
+            pkg_b = b.exchange_package(scope)
+            self.history.exchange_bytes += nbytes_of(pkg_a["weights"]) + nbytes_of(
+                pkg_b["weights"]
+            )
+            for me, theirs, partner in ((a, pkg_b, b), (b, pkg_a, a)):
+                own_score = me.tournament_score()
+                partner_score = me.score_candidate(theirs["weights"], scope)
+                adopt = partner_score < own_score
+                if adopt:
+                    me.adopt_package(theirs)
+                    me.tournaments_lost += 1
+                    partner.tournaments_won += 1
+                self.history.tournaments.append(
+                    TournamentRecord(
+                        round_index=round_index,
+                        trainer=me.name,
+                        partner=partner.name,
+                        own_score=own_score,
+                        partner_score=partner_score,
+                        adopted_partner=adopt,
+                    )
+                )
+
+        if self.eval_batch is not None:
+            snap = {
+                t.name: t.evaluate(self.eval_batch) for t in self.trainers
+            }
+            self.history.eval_series.append(snap)
+        self.history.rounds_completed += 1
+
+    # -- full run -------------------------------------------------------------------
+
+    def run(
+        self, on_round: Callable[[int, "LtfbDriver"], None] | None = None
+    ) -> LtfbHistory:
+        """Run the configured number of rounds; returns the history."""
+        for r in range(self.config.rounds):
+            self.run_round(r)
+            if on_round is not None:
+                on_round(r, self)
+        return self.history
+
+    # -- results ---------------------------------------------------------------------
+
+    def best_trainer(self, metric: str = "val_loss") -> tuple[Trainer, float]:
+        """The population's best model by a metric on the global eval batch
+        (paper: the final surviving model is selected on validation loss)."""
+        if self.eval_batch is None:
+            raise ValueError("no global eval batch configured")
+        scored = [
+            (t, t.evaluate(self.eval_batch)[metric]) for t in self.trainers
+        ]
+        return min(scored, key=lambda pair: pair[1])

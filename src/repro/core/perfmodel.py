@@ -1,0 +1,459 @@
+"""Analytic performance models for paper-scale training (Figs. 9-11).
+
+These models price what the functional code *does* (the algorithms run
+for real at laptop scale elsewhere in this repo) at Lassen scale, from
+three calibrated cost components:
+
+- compute: :class:`repro.cluster.compute.ComputeModel` over the symbolic
+  :class:`repro.models.cyclegan.SurrogateArchitecture`;
+- communication: :class:`repro.comm.costmodel.CollectiveCostModel`
+  (gradient allreduces, data-store shuffle, LTFB generator exchange);
+- file system: :class:`repro.cluster.filesystem.PfsCostModel`
+  (naive per-sample ingestion, bulk preload with contention).
+
+Memory model (documented in DESIGN.md):
+
+- *preloading* preallocates per process within its resource-set share of
+  node memory (``memory_share`` of the usable node memory, default
+  ``1/gpus_per_node``); exceeding it raises
+  :class:`~repro.datastore.store.InsufficientMemoryError` — the paper's
+  missing preload bars at 1-2 GPUs (Fig. 10) and the reason the Fig. 11
+  single-trainer baseline runs 1 rank per node across 16 nodes with full
+  node memory.
+- *dynamic* caching grows at runtime out of the trainer's pooled usable
+  node memory; when the partition exceeds the pool, the store caches what
+  fits and the remainder is re-read from the PFS every epoch (partial
+  caching).
+- a data store occupying a large fraction of node memory slows the
+  host-side step path (``PerfCalibration.cache_pressure_penalty``) — the
+  paper's "cache effects" behind the super-linear Fig. 11 speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.cluster.compute import ComputeModel
+from repro.cluster.filesystem import PfsCostModel
+from repro.cluster.machine import MachineSpec
+from repro.comm.costmodel import CollectiveCostModel
+from repro.comm.topology import RankPlacement, contiguous_placement
+from repro.datastore.store import InsufficientMemoryError
+from repro.models.cyclegan import SurrogateArchitecture
+
+__all__ = [
+    "IngestionMode",
+    "PerfDataset",
+    "TrainerResources",
+    "StepBreakdown",
+    "TrainerPerfModel",
+    "LtfbScalePoint",
+    "LtfbPerfModel",
+]
+
+
+class IngestionMode(str, Enum):
+    """How a trainer gets its samples (the three Fig. 10 configurations)."""
+
+    NAIVE = "naive"  # "Dynamic Loading" in the paper's figures: no store
+    STORE_DYNAMIC = "store_dynamic"
+    STORE_PRELOAD = "store_preload"
+
+
+@dataclass(frozen=True)
+class PerfDataset:
+    """Dataset geometry as the performance model sees it."""
+
+    n_samples: int
+    sample_nbytes: int
+    samples_per_bundle: int = 1000
+
+    def __post_init__(self) -> None:
+        if min(self.n_samples, self.sample_nbytes, self.samples_per_bundle) <= 0:
+            raise ValueError("PerfDataset fields must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_samples * self.sample_nbytes
+
+    @property
+    def n_bundles(self) -> int:
+        return -(-self.n_samples // self.samples_per_bundle)
+
+    def subset(self, n_samples: int) -> "PerfDataset":
+        if not 0 < n_samples <= self.n_samples:
+            raise ValueError(
+                f"subset size {n_samples} out of range (1..{self.n_samples})"
+            )
+        return replace(self, n_samples=n_samples)
+
+
+@dataclass(frozen=True)
+class TrainerResources:
+    """Compute allocation of one trainer.
+
+    ``memory_share`` is the per-rank preload budget as a fraction of
+    usable node memory; ``None`` means the default resource-set share
+    ``1/gpus_per_node``.  The Fig.-11 baseline overrides it to 1.0
+    (1 rank per node owning the whole node).
+    """
+
+    num_ranks: int = 16
+    ranks_per_node: int = 4
+    memory_share: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_ranks <= 0 or self.ranks_per_node <= 0:
+            raise ValueError("ranks must be positive")
+        if self.memory_share is not None and not 0 < self.memory_share <= 1:
+            raise ValueError("memory_share must be in (0, 1]")
+
+    @property
+    def num_nodes(self) -> int:
+        return -(-self.num_ranks // self.ranks_per_node)
+
+    def placement(self) -> RankPlacement:
+        return contiguous_placement(self.num_ranks, self.ranks_per_node)
+
+    def preload_bytes_per_rank(self, machine: MachineSpec) -> int:
+        node = machine.node
+        usable = node.memory_bytes * node.usable_memory_fraction
+        share = (
+            self.memory_share
+            if self.memory_share is not None
+            else 1.0 / node.gpus_per_node
+        )
+        return int(usable * share)
+
+    def pooled_bytes(self, machine: MachineSpec) -> int:
+        node = machine.node
+        return int(
+            self.num_nodes * node.memory_bytes * node.usable_memory_fraction
+        )
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Where one training step's time goes (seconds)."""
+
+    compute: float
+    overhead: float
+    pressure_penalty: float
+    allreduce: float
+    shuffle_exposed: float
+    store_residual: float
+    io: float
+
+    @property
+    def total(self) -> float:
+        return (
+            (self.compute + self.overhead) * self.pressure_penalty
+            + self.allreduce
+            + self.shuffle_exposed
+            + self.store_residual
+            + self.io
+        )
+
+
+class TrainerPerfModel:
+    """Epoch/step/preload times for one trainer at paper scale."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        arch: SurrogateArchitecture,
+        resources: TrainerResources,
+        train: PerfDataset,
+        mode: IngestionMode,
+        val: PerfDataset | None = None,
+        global_batch: int = 128,
+        external_concurrent_readers: int = 0,
+    ) -> None:
+        if global_batch <= 0:
+            raise ValueError("global_batch must be positive")
+        if global_batch % resources.num_ranks != 0:
+            raise ValueError(
+                f"global_batch {global_batch} must divide evenly over "
+                f"{resources.num_ranks} ranks"
+            )
+        self.machine = machine
+        self.arch = arch
+        self.resources = resources
+        self.train = train
+        self.val = val
+        self.mode = IngestionMode(mode)
+        self.global_batch = global_batch
+        self.external_readers = int(external_concurrent_readers)
+        self.placement = resources.placement()
+        self._compute = ComputeModel(machine)
+        self._comm = CollectiveCostModel(
+            machine.node.intra_node, machine.node.inter_node
+        )
+        self._pfs = PfsCostModel(machine.filesystem)
+        self._check_memory()
+
+    # -- memory ------------------------------------------------------------
+
+    def _store_footprint(self) -> int:
+        """Bytes the store must hold: training partition, plus validation
+        when preloading (the paper preloads "training, evaluation, and
+        potentially test data")."""
+        total = self.train.total_bytes
+        if self.mode is IngestionMode.STORE_PRELOAD and self.val is not None:
+            total += self.val.total_bytes
+        return total
+
+    def _check_memory(self) -> None:
+        if self.mode is IngestionMode.STORE_PRELOAD:
+            capacity = self.resources.num_ranks * self.resources.preload_bytes_per_rank(
+                self.machine
+            )
+            needed = self._store_footprint()
+            if needed > capacity:
+                raise InsufficientMemoryError(
+                    f"preload needs {needed} bytes but "
+                    f"{self.resources.num_ranks} ranks x "
+                    f"{self.resources.preload_bytes_per_rank(self.machine)} "
+                    f"bytes = {capacity} available"
+                )
+
+    def dynamic_hit_fraction(self) -> float:
+        """Fraction of the partition the dynamic store can keep resident."""
+        if self.mode is not IngestionMode.STORE_DYNAMIC:
+            return 1.0
+        pool = self.resources.pooled_bytes(self.machine)
+        return min(1.0, pool / self.train.total_bytes)
+
+    def occupancy(self) -> float:
+        """Data-store occupancy of the trainer's pooled node memory."""
+        if self.mode is IngestionMode.NAIVE:
+            return 0.0
+        pool = self.resources.pooled_bytes(self.machine)
+        if self.mode is IngestionMode.STORE_DYNAMIC:
+            resident = self.dynamic_hit_fraction() * self.train.total_bytes
+        else:
+            resident = self._store_footprint()
+        return resident / pool
+
+    # -- per-step pieces --------------------------------------------------------
+
+    @property
+    def per_gpu_batch(self) -> int:
+        return self.global_batch // self.resources.num_ranks
+
+    def steps_per_epoch(self) -> int:
+        return self.train.n_samples // self.global_batch
+
+    def compute_time(self) -> float:
+        return self._compute.step_compute_time(
+            self.arch.train_flops_per_sample, self.per_gpu_batch
+        )
+
+    def allreduce_time(self) -> float:
+        """The two gradient allreduces of one GAN step (D phase, FG phase)."""
+        return self._comm.allreduce_time(
+            self.arch.disc_grad_nbytes, self.placement
+        ) + self._comm.allreduce_time(self.arch.gen_grad_nbytes, self.placement)
+
+    def shuffle_time(self) -> float:
+        recv = self.per_gpu_batch * self.train.sample_nbytes
+        return self._comm.shuffle_time(recv, self.placement)
+
+    def naive_io_time_per_step(self) -> float:
+        """Per-rank time to pull its mini-batch share straight from the
+        PFS: one (contended) open per distinct bundle touched plus random
+        sample-sized reads."""
+        b = self.per_gpu_batch
+        n_bundles = self.train.n_bundles
+        # Expected distinct bundles among b uniform draws.
+        distinct = n_bundles * (1.0 - (1.0 - 1.0 / n_bundles) ** b)
+        clients = self.resources.num_ranks + self.external_readers
+        t_open = distinct * self._pfs.open_time(clients, access="random")
+        t_read = b * self._pfs.random_sample_read_time(
+            self.train.sample_nbytes, clients
+        )
+        return t_open + t_read
+
+    # -- step / epoch assembly ------------------------------------------------------
+
+    def step_breakdown(self, steady: bool) -> StepBreakdown:
+        calib = self.machine.calibration
+        compute = self.compute_time()
+        pressure = calib.cache_pressure_penalty(self.occupancy())
+        allreduce = self.allreduce_time()
+        shuffle_exposed = 0.0
+        residual = 0.0
+        io = 0.0
+        mode = self.mode
+        # Background I/O prefetch threads hide up to io_overlap of the
+        # compute+overhead window; only the excess is exposed.
+        io_budget = calib.io_overlap * (compute + calib.step_overhead)
+        if mode is IngestionMode.NAIVE:
+            io = max(0.0, self.naive_io_time_per_step() - io_budget)
+        elif mode is IngestionMode.STORE_DYNAMIC and not steady:
+            # Epoch 0: naive ingestion plus cache-insert bookkeeping.
+            io = max(0.0, self.naive_io_time_per_step() - io_budget)
+            residual = calib.dynamic_store_residual
+        else:
+            # Store-served batches: the shuffle overlaps with compute.
+            shuffle = self.shuffle_time()
+            shuffle_exposed = max(
+                0.0, shuffle - calib.shuffle_overlap * compute
+            )
+            if mode is IngestionMode.STORE_DYNAMIC:
+                residual = calib.dynamic_store_residual
+                miss = 1.0 - self.dynamic_hit_fraction()
+                io = max(
+                    0.0, miss * self.naive_io_time_per_step() - io_budget
+                )
+        return StepBreakdown(
+            compute=compute,
+            overhead=calib.step_overhead,
+            pressure_penalty=pressure,
+            allreduce=allreduce,
+            shuffle_exposed=shuffle_exposed,
+            store_residual=residual,
+            io=io,
+        )
+
+    def preload_time(self) -> float:
+        """Wall time of the preload phase (zero for other modes)."""
+        if self.mode is not IngestionMode.STORE_PRELOAD:
+            return 0.0
+        footprint = self._store_footprint()
+        ranks = self.resources.num_ranks
+        bytes_per_rank = footprint / ranks
+        n_bundles = self.train.n_bundles
+        if self.val is not None:
+            n_bundles += self.val.n_bundles
+        files_per_rank = n_bundles / ranks
+        readers = ranks + self.external_readers
+        return self._pfs.bulk_preload_time(bytes_per_rank, files_per_rank, readers)
+
+    def epoch_time(self, steady: bool = True) -> float:
+        """Wall time of one epoch.
+
+        ``steady=False`` is the *initial* epoch: for preload mode it
+        includes the preload phase; for dynamic mode it is the caching
+        epoch (file reads + inserts); naive mode is identical every epoch.
+        """
+        t = self.steps_per_epoch() * self.step_breakdown(steady).total
+        if not steady:
+            t += self.preload_time()
+        return t
+
+
+@dataclass(frozen=True)
+class LtfbScalePoint:
+    """One x-axis point of the Fig.-11 sweep."""
+
+    num_trainers: int
+    total_gpus: int
+    epoch_time: float
+    preload_time: float
+    tournament_time_per_epoch: float
+    speedup: float
+    parallel_efficiency: float
+
+
+class LtfbPerfModel:
+    """Multi-trainer LTFB scaling (Fig. 11) over the single-trainer model.
+
+    The baseline (``num_trainers == 1``) uses ``baseline_resources``
+    (paper: 16 nodes x 1 rank with full node memory — the only allocation
+    whose data store holds the full 10M-sample set); every multi-trainer
+    point uses ``trainer_resources`` per trainer (paper: 4 nodes x 16
+    GPUs) on a 1/k partition.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        arch: SurrogateArchitecture,
+        train: PerfDataset,
+        val: PerfDataset | None = None,
+        global_batch: int = 128,
+        trainer_resources: TrainerResources = TrainerResources(16, 4),
+        baseline_resources: TrainerResources = TrainerResources(
+            16, 1, memory_share=1.0
+        ),
+        tournament_interval_steps: int = 250,
+        tournament_set_samples: int = 2048,
+        mode: IngestionMode = IngestionMode.STORE_PRELOAD,
+    ) -> None:
+        if tournament_interval_steps <= 0 or tournament_set_samples <= 0:
+            raise ValueError("invalid tournament schedule")
+        self.machine = machine
+        self.arch = arch
+        self.train = train
+        self.val = val
+        self.global_batch = global_batch
+        self.trainer_resources = trainer_resources
+        self.baseline_resources = baseline_resources
+        self.tournament_interval = tournament_interval_steps
+        self.tournament_samples = tournament_set_samples
+        self.mode = IngestionMode(mode)
+        self._comm = CollectiveCostModel(
+            machine.node.intra_node, machine.node.inter_node
+        )
+        self._compute = ComputeModel(machine)
+        self._baseline_epoch: float | None = None
+
+    def _trainer_model(self, num_trainers: int) -> TrainerPerfModel:
+        resources = (
+            self.baseline_resources if num_trainers == 1 else self.trainer_resources
+        )
+        partition = self.train.subset(self.train.n_samples // num_trainers)
+        external = (num_trainers - 1) * resources.num_ranks
+        return TrainerPerfModel(
+            self.machine,
+            self.arch,
+            resources,
+            partition,
+            self.mode,
+            val=self.val if num_trainers == 1 else None,
+            global_batch=self.global_batch,
+            external_concurrent_readers=external,
+        )
+
+    def tournament_time_per_round(self, resources: TrainerResources) -> float:
+        """One LTFB round at one trainer: swap generators with the partner
+        (full-duplex inter-node transfer) and evaluate both candidates on
+        the local tournament set, data-parallel over the trainer's GPUs."""
+        exchange = self._comm.model_exchange_time(self.arch.generator_state_nbytes)
+        per_rank = max(1, self.tournament_samples // resources.num_ranks)
+        eval_time = 2 * self._compute.inference_time(
+            self.arch.eval_flops_per_sample, per_rank
+        )
+        return exchange + eval_time
+
+    def scale_point(self, num_trainers: int) -> LtfbScalePoint:
+        """Epoch time, preload time, and speedup at ``num_trainers``."""
+        if num_trainers < 1:
+            raise ValueError("num_trainers must be >= 1")
+        model = self._trainer_model(num_trainers)
+        epoch = model.epoch_time(steady=True)
+        tournament = 0.0
+        if num_trainers > 1:
+            rounds_per_epoch = model.steps_per_epoch() / self.tournament_interval
+            tournament = rounds_per_epoch * self.tournament_time_per_round(
+                model.resources
+            )
+        epoch += tournament
+        if self._baseline_epoch is None:
+            base_model = self._trainer_model(1)
+            self._baseline_epoch = base_model.epoch_time(steady=True)
+        speedup = self._baseline_epoch / epoch
+        return LtfbScalePoint(
+            num_trainers=num_trainers,
+            total_gpus=num_trainers * model.resources.num_ranks,
+            epoch_time=epoch,
+            preload_time=model.preload_time(),
+            tournament_time_per_epoch=tournament,
+            speedup=speedup,
+            parallel_efficiency=speedup / num_trainers,
+        )
+
+    def sweep(self, trainer_counts: list[int]) -> list[LtfbScalePoint]:
+        return [self.scale_point(k) for k in trainer_counts]

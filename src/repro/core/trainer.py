@@ -1,0 +1,231 @@
+"""The trainer abstraction (paper Section III-A).
+
+"A trainer is a collection of compute resources that operate together as a
+unit ... responsible for training models, usually with a variant of
+stochastic gradient descent."  Here a trainer owns one CycleGAN surrogate,
+a reader over its data silo, a local *tournament* holdout (drawn from the
+silo, used to judge LTFB candidates), and the two optimizers of the GAN.
+
+Data parallelism inside the trainer is a performance concern: the
+mathematical result of a data-parallel step equals a single-process step
+on the global mini-batch (gradient averaging), so the functional trainer
+computes exactly that, and :mod:`repro.core.perfmodel` prices how long the
+real 16-GPU version would take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.datastore.reader import Reader
+from repro.models.cyclegan import ICFSurrogate, SurrogateConfig
+from repro.tensorlib.optimizers import Adam, Optimizer
+
+__all__ = ["TrainerConfig", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Per-trainer knobs; defaults follow the paper (batch 128, Adam 1e-3)."""
+
+    batch_size: int = 128
+    tournament_metric: str = "val_loss"  # or "discriminator"
+    # What happens to the generator optimizer when a foreign generator is
+    # adopted:
+    # - "exchange": the winner's optimizer slots travel with its weights
+    #   (PBT-style; default — with frequent tournaments, stale Adam
+    #   moments otherwise poison every post-adoption step);
+    # - "keep": keep the local slots (weights-only exchange);
+    # - "reset": drop the slots.
+    adopt_optimizer: str = "exchange"
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.tournament_metric not in ("val_loss", "discriminator"):
+            raise ValueError(
+                f"tournament_metric must be 'val_loss' or 'discriminator', "
+                f"got {self.tournament_metric!r}"
+            )
+        if self.adopt_optimizer not in ("exchange", "keep", "reset"):
+            raise ValueError(
+                "adopt_optimizer must be 'exchange', 'keep' or 'reset'"
+            )
+
+
+class Trainer:
+    """One LTFB trainer: surrogate + silo reader + tournament data.
+
+    Parameters
+    ----------
+    name:
+        Trainer id, e.g. ``"trainer03"``.
+    surrogate:
+        The CycleGAN this trainer trains (with its *local* discriminator).
+    reader:
+        Mini-batch source over this trainer's data silo.
+    tournament_batch:
+        Held-out local samples (field dict) used to score tournament
+        candidates.
+    config:
+        Behavioural knobs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        surrogate: ICFSurrogate,
+        reader: Reader,
+        tournament_batch: Mapping[str, np.ndarray],
+        config: TrainerConfig = TrainerConfig(),
+    ) -> None:
+        self.name = name
+        self.surrogate = surrogate
+        self.reader = reader
+        self.tournament_batch = dict(tournament_batch)
+        self.config = config
+        scfg: SurrogateConfig = surrogate.config
+        self.disc_optimizer: Optimizer = Adam(scfg.disc_learning_rate)
+        self.gen_optimizer: Optimizer = Adam(scfg.learning_rate)
+        self.steps_done = 0
+        self.tournaments_won = 0
+        self.tournaments_lost = 0
+        self._batch_iter = None
+
+    # -- training ----------------------------------------------------------
+
+    def _next_batch(self):
+        if self._batch_iter is None:
+            self._batch_iter = self.reader.epoch(self.config.batch_size)
+        try:
+            return next(self._batch_iter)
+        except StopIteration:
+            self._batch_iter = self.reader.epoch(self.config.batch_size)
+            return next(self._batch_iter)
+
+    def train_steps(self, n_steps: int) -> dict[str, float]:
+        """Run ``n_steps`` GAN steps; returns mean loss terms."""
+        if n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+        sums: dict[str, float] = {}
+        for _ in range(n_steps):
+            mb = self._next_batch()
+            terms = self.surrogate.train_step(
+                mb.feeds, self.disc_optimizer, self.gen_optimizer
+            )
+            for k, v in terms.items():
+                sums[k] = sums.get(k, 0.0) + v
+        self.steps_done += n_steps
+        return {k: v / n_steps for k, v in sums.items()}
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
+        """Full surrogate metrics on an arbitrary batch (e.g. global val)."""
+        return self.surrogate.evaluate(batch)
+
+    def tournament_score(self) -> float:
+        """Score the *current* generator on the local tournament set with
+        the configured metric (lower is better for both metrics)."""
+        if self.config.tournament_metric == "val_loss":
+            return self.surrogate.evaluate(self.tournament_batch)["val_loss"]
+        return self.surrogate.discriminator_score(self.tournament_batch)
+
+    def score_candidate(
+        self,
+        weights: Mapping[str, np.ndarray],
+        scope: str = "generator",
+    ) -> float:
+        """Score foreign weights on the local tournament set, leaving this
+        trainer's own model untouched.
+
+        With ``scope="generator"`` only the candidate's generator is
+        swapped in (the paper's GAN tournament); with ``"full"`` the whole
+        model is (classic LTFB).
+        """
+        getter, setter = self._scope_accessors(scope)
+        own = getter()
+        try:
+            setter(weights)
+            return self.tournament_score()
+        finally:
+            setter(own)
+
+    # -- LTFB plumbing ----------------------------------------------------------
+
+    def _scope_accessors(self, scope: str):
+        if scope == "generator":
+            return (
+                self.surrogate.get_generator_state,
+                self.surrogate.set_generator_state,
+            )
+        if scope == "full":
+            return self.surrogate.get_full_state, self.surrogate.set_full_state
+        raise ValueError(f"scope must be 'generator' or 'full', got {scope!r}")
+
+    def generator_state(self) -> dict[str, np.ndarray]:
+        return self.surrogate.get_generator_state()
+
+    def exchange_package(self, scope: str = "generator") -> dict:
+        """The tournament exchange payload: weights in the given scope
+        plus, under ``adopt_optimizer="exchange"``, the matching optimizer
+        state (generator optimizer always; discriminator optimizer too
+        when the full model travels)."""
+        getter, _ = self._scope_accessors(scope)
+        package: dict = {"scope": scope, "weights": getter()}
+        if self.config.adopt_optimizer == "exchange":
+            package["gen_optimizer"] = self.gen_optimizer.get_state()
+            if scope == "full":
+                package["disc_optimizer"] = self.disc_optimizer.get_state()
+        return package
+
+    def generator_package(self) -> dict:
+        """Backwards-compatible alias for the GAN exchange payload."""
+        return self.exchange_package("generator")
+
+    def adopt_generator(
+        self,
+        generator_state: Mapping[str, np.ndarray],
+        optimizer_state: Mapping | None = None,
+    ) -> None:
+        """Replace the local generator with a tournament winner's.
+
+        The local discriminator and its optimizer state stay (the
+        "multiple teachers" property of LTFB-GAN); the generator optimizer
+        follows :class:`TrainerConfig`: adopt the winner's slots
+        ("exchange", when provided), keep the local ones ("keep"), or
+        start fresh ("reset").
+        """
+        self.adopt_package(
+            {
+                "scope": "generator",
+                "weights": generator_state,
+                "gen_optimizer": optimizer_state,
+            }
+        )
+
+    def adopt_package(self, package: Mapping) -> None:
+        """Adopt an :meth:`exchange_package` payload."""
+        scope = package.get("scope", "generator")
+        _, setter = self._scope_accessors(scope)
+        setter(package["weights"])
+        mode = self.config.adopt_optimizer
+        if mode == "reset":
+            self.gen_optimizer.reset()
+            if scope == "full":
+                self.disc_optimizer.reset()
+            return
+        if mode == "exchange":
+            if package.get("gen_optimizer") is not None:
+                self.gen_optimizer.set_state(package["gen_optimizer"])
+            if scope == "full" and package.get("disc_optimizer") is not None:
+                self.disc_optimizer.set_state(package["disc_optimizer"])
+
+    def __repr__(self) -> str:
+        return (
+            f"Trainer({self.name!r}, steps={self.steps_done}, "
+            f"silo={self.reader.num_samples})"
+        )

@@ -1,0 +1,45 @@
+"""Distributed in-memory data store and data ingestion (Section III-B).
+
+The paper's data store caches training samples in host memory, sharded
+across the ranks of a trainer, and assembles every mini-batch by shuffling
+locally cached samples to the ranks that need them — after the first epoch
+(dynamic mode) or a preload phase, *no data is read from the file system*.
+
+- :mod:`repro.datastore.conduit` — type-agnostic hierarchical sample nodes
+  (Conduit analog).
+- :mod:`repro.datastore.bundle` — multi-sample bundle files (HDF5 analog)
+  on the simulated PFS.
+- :mod:`repro.datastore.store` — the distributed store: ownership,
+  capacity accounting, mini-batch exchange, dynamic/preload population.
+- :mod:`repro.datastore.reader` — training-side readers: a naive
+  file-per-sample reader and a store-backed reader.
+- :mod:`repro.datastore.partition` — dataset partitioning across LTFB
+  trainers (contiguous bundle ranges by default, matching the paper's
+  exploration-ordered files).
+"""
+
+from repro.datastore.conduit import ConduitNode
+from repro.datastore.bundle import Bundle, bundle_paths_for, write_bundles
+from repro.datastore.store import (
+    DataStoreStats,
+    DistributedDataStore,
+    InsufficientMemoryError,
+)
+from repro.datastore.reader import MiniBatch, NaiveReader, Reader, StoreReader
+from repro.datastore.partition import partition_indices, partition_items
+
+__all__ = [
+    "ConduitNode",
+    "Bundle",
+    "write_bundles",
+    "bundle_paths_for",
+    "DistributedDataStore",
+    "DataStoreStats",
+    "InsufficientMemoryError",
+    "Reader",
+    "NaiveReader",
+    "StoreReader",
+    "MiniBatch",
+    "partition_indices",
+    "partition_items",
+]

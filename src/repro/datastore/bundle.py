@@ -1,0 +1,114 @@
+"""Multi-sample bundle files (HDF5 analog).
+
+The JAG campaign packed its 10M training samples into 10,000 HDF5 files of
+1,000 samples each, *in the order the 5-D input space was explored* — a
+detail with two consequences the experiments depend on:
+
+- random mini-batch sampling touches ~1 file per sample (the naive-reader
+  pathology of Fig. 10), and
+- partitioning by contiguous file ranges gives each LTFB trainer a biased
+  region of parameter space (the non-IID silos of Fig. 13).
+
+A :class:`Bundle` stores its samples column-wise (one stacked array per
+field) for cache-friendly access, mirroring HDF5 dataset layout.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.filesystem import SimulatedFilesystem
+
+__all__ = ["Bundle", "write_bundles", "bundle_paths_for"]
+
+
+class Bundle:
+    """Samples stored column-wise: ``fields[name][i]`` is sample i's value.
+
+    ``sample_ids`` are the *global* dataset indices of the rows, so readers
+    can map a global sample id to (bundle, row).
+    """
+
+    def __init__(self, sample_ids: np.ndarray, fields: Mapping[str, np.ndarray]) -> None:
+        self.sample_ids = np.asarray(sample_ids, dtype=np.int64)
+        if self.sample_ids.ndim != 1 or self.sample_ids.size == 0:
+            raise ValueError("sample_ids must be a non-empty 1-D array")
+        self.fields: dict[str, np.ndarray] = {}
+        n = self.sample_ids.size
+        for name, arr in fields.items():
+            arr = np.asarray(arr)
+            if arr.shape[0] != n:
+                raise ValueError(
+                    f"field {name!r} has {arr.shape[0]} rows, expected {n}"
+                )
+            self.fields[name] = arr
+        if not self.fields:
+            raise ValueError("bundle must have at least one field")
+
+    def __len__(self) -> int:
+        return int(self.sample_ids.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.sample_ids.nbytes + sum(a.nbytes for a in self.fields.values())
+        )
+
+    def sample(self, row: int) -> dict[str, np.ndarray]:
+        """Copy out one sample as ``{field: value}`` (row-local index)."""
+        if not 0 <= row < len(self):
+            raise IndexError(f"row {row} out of range for bundle of {len(self)}")
+        return {name: arr[row].copy() for name, arr in self.fields.items()}
+
+    def rows_for(self, sample_ids: np.ndarray) -> np.ndarray:
+        """Map global sample ids (all present in this bundle) to rows."""
+        order = np.argsort(self.sample_ids)
+        pos = np.searchsorted(self.sample_ids, sample_ids, sorter=order)
+        rows = order[pos]
+        if not np.array_equal(self.sample_ids[rows], sample_ids):
+            raise KeyError("some sample ids are not in this bundle")
+        return rows
+
+
+def bundle_paths_for(prefix: str, num_bundles: int) -> list[str]:
+    """Deterministic bundle file names, zero-padded for stable sorting."""
+    if num_bundles <= 0:
+        raise ValueError("num_bundles must be positive")
+    width = max(5, len(str(num_bundles - 1)))
+    return [f"{prefix}/bundle_{i:0{width}d}.npz" for i in range(num_bundles)]
+
+
+def write_bundles(
+    fs: SimulatedFilesystem,
+    fields: Mapping[str, np.ndarray],
+    samples_per_bundle: int,
+    prefix: str = "dataset",
+) -> list[str]:
+    """Pack a column-wise dataset into bundle files on the simulated PFS.
+
+    ``fields`` maps field name to an array whose leading axis indexes
+    samples *in generation order* — the order is preserved, reproducing
+    the exploration-ordered HDF5 files of the paper.  The final bundle may
+    be short.  Returns the bundle paths in order.
+    """
+    if samples_per_bundle <= 0:
+        raise ValueError("samples_per_bundle must be positive")
+    sizes = {name: np.asarray(a).shape[0] for name, a in fields.items()}
+    if len(set(sizes.values())) != 1:
+        raise ValueError(f"fields disagree on sample count: {sizes}")
+    n = next(iter(sizes.values()))
+    if n == 0:
+        raise ValueError("cannot write an empty dataset")
+    num_bundles = -(-n // samples_per_bundle)
+    paths = bundle_paths_for(prefix, num_bundles)
+    for b, path in enumerate(paths):
+        lo = b * samples_per_bundle
+        hi = min(n, lo + samples_per_bundle)
+        ids = np.arange(lo, hi, dtype=np.int64)
+        bundle = Bundle(
+            ids, {name: np.asarray(a)[lo:hi] for name, a in fields.items()}
+        )
+        fs.write(path, bundle, bundle.nbytes)
+    return paths

@@ -1,0 +1,112 @@
+"""Type-agnostic hierarchical data nodes (Conduit analog).
+
+The paper's data store uses LLNL Conduit to hold samples of arbitrary
+schema ("a data-type-agnostic in-memory framework for managing data
+samples").  :class:`ConduitNode` reproduces the part the store relies on:
+a tree addressed by ``/``-separated paths whose leaves are NumPy arrays or
+scalars, with byte accounting and flat-dict conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["ConduitNode"]
+
+
+class ConduitNode:
+    """A tree of named leaves addressed by ``/``-separated paths.
+
+    >>> n = ConduitNode()
+    >>> n["outputs/scalars"] = np.zeros(15)
+    >>> n["outputs/images"] = np.zeros((12, 16, 16))
+    >>> sorted(n.leaf_paths())
+    ['outputs/images', 'outputs/scalars']
+    >>> n["outputs/scalars"].shape
+    (15,)
+    """
+
+    __slots__ = ("_children", "_leaves")
+
+    def __init__(self, data: Mapping[str, Any] | None = None) -> None:
+        self._children: dict[str, ConduitNode] = {}
+        self._leaves: dict[str, np.ndarray] = {}
+        if data:
+            for path, value in data.items():
+                self[path] = value
+
+    # -- path access ---------------------------------------------------------
+
+    def __setitem__(self, path: str, value: Any) -> None:
+        head, _, rest = self._split(path)
+        if rest:
+            if head in self._leaves:
+                raise KeyError(f"{head!r} is a leaf, cannot descend into it")
+            child = self._children.setdefault(head, ConduitNode())
+            child[rest] = value
+        else:
+            if head in self._children:
+                raise KeyError(f"{head!r} is an interior node, cannot store a leaf")
+            self._leaves[head] = np.asarray(value)
+
+    def __getitem__(self, path: str) -> Any:
+        head, _, rest = self._split(path)
+        if rest:
+            if head not in self._children:
+                raise KeyError(path)
+            return self._children[head][rest]
+        if head in self._leaves:
+            return self._leaves[head]
+        if head in self._children:
+            return self._children[head]
+        raise KeyError(path)
+
+    def __contains__(self, path: str) -> bool:
+        try:
+            self[path]
+            return True
+        except KeyError:
+            return False
+
+    @staticmethod
+    def _split(path: str) -> tuple[str, str, str]:
+        if not path or path.startswith("/") or path.endswith("/"):
+            raise KeyError(f"invalid conduit path {path!r}")
+        head, sep, rest = path.partition("/")
+        return head, sep, rest
+
+    # -- introspection -----------------------------------------------------------
+
+    def leaf_paths(self) -> Iterator[str]:
+        """Yield every leaf path in this subtree."""
+        for name in self._leaves:
+            yield name
+        for name, child in self._children.items():
+            for sub in child.leaf_paths():
+                yield f"{name}/{sub}"
+
+    @property
+    def nbytes(self) -> int:
+        total = sum(v.nbytes for v in self._leaves.values())
+        return total + sum(c.nbytes for c in self._children.values())
+
+    def to_flat(self) -> dict[str, np.ndarray]:
+        """Flatten to ``{path: array}``."""
+        return {p: self[p] for p in self.leaf_paths()}
+
+    @classmethod
+    def from_flat(cls, flat: Mapping[str, Any]) -> "ConduitNode":
+        return cls(flat)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConduitNode):
+            return NotImplemented
+        a, b = self.to_flat(), other.to_flat()
+        if set(a) != set(b):
+            return False
+        return all(np.array_equal(a[k], b[k]) for k in a)
+
+    def __repr__(self) -> str:
+        return f"ConduitNode(leaves={sorted(self.leaf_paths())})"

@@ -1,0 +1,223 @@
+"""Data readers: how a trainer gets its mini-batches.
+
+Three readers with one interface:
+
+- :class:`ArrayReader` — in-memory column arrays (no file system); used
+  when ingestion is not the subject under study.
+- :class:`NaiveReader` — the baseline the paper criticizes: every
+  mini-batch opens the bundle files containing its randomly drawn samples,
+  so each process opens many files and each file is hit by many batches.
+- :class:`StoreReader` — backed by the distributed data store, in
+  ``dynamic`` mode (cache on first touch during epoch 0) or ``preload``
+  mode (populate before training); after population it never touches the
+  file system — the invariant the paper's Figure 5 illustrates and our
+  tests assert.
+
+Readers shuffle with their own :class:`numpy.random.Generator` so epoch
+order is reproducible and independent across trainers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.filesystem import SimulatedFilesystem
+from repro.datastore.bundle import Bundle
+from repro.datastore.store import DistributedDataStore, consumer_ranks_for_batch
+
+__all__ = ["MiniBatch", "Reader", "ArrayReader", "NaiveReader", "StoreReader"]
+
+
+@dataclass
+class MiniBatch:
+    """One training step's data: stacked field arrays plus provenance."""
+
+    feeds: dict[str, np.ndarray]
+    sample_ids: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.sample_ids.size)
+
+
+class Reader(ABC):
+    """Iterable source of mini-batches over a fixed sample population."""
+
+    def __init__(self, sample_ids: Sequence[int], rng: np.random.Generator) -> None:
+        self.sample_ids = np.asarray(sample_ids, dtype=np.int64)
+        if self.sample_ids.ndim != 1 or self.sample_ids.size == 0:
+            raise ValueError("sample_ids must be a non-empty 1-D sequence")
+        self._rng = rng
+        self.epochs_completed = 0
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.sample_ids.size)
+
+    def steps_per_epoch(self, batch_size: int, drop_last: bool = True) -> int:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        n = self.num_samples
+        return n // batch_size if drop_last else -(-n // batch_size)
+
+    def epoch(
+        self, batch_size: int, drop_last: bool = True
+    ) -> Iterator[MiniBatch]:
+        """Yield one epoch of mini-batches over a fresh random permutation."""
+        steps = self.steps_per_epoch(batch_size, drop_last)
+        if steps == 0:
+            raise ValueError(
+                f"batch_size {batch_size} exceeds population {self.num_samples}"
+            )
+        perm = self._rng.permutation(self.num_samples)
+        for s in range(steps):
+            ids = self.sample_ids[perm[s * batch_size : (s + 1) * batch_size]]
+            yield MiniBatch(self._fetch(ids), ids)
+        self.epochs_completed += 1
+
+    @abstractmethod
+    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+        """Materialize the batch for the given global sample ids."""
+
+
+class ArrayReader(Reader):
+    """Reads directly from in-memory column arrays indexed by sample id."""
+
+    def __init__(
+        self,
+        fields: Mapping[str, np.ndarray],
+        sample_ids: Sequence[int],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(sample_ids, rng)
+        self._fields = {k: np.asarray(v) for k, v in fields.items()}
+        n = {k: v.shape[0] for k, v in self._fields.items()}
+        if len(set(n.values())) != 1:
+            raise ValueError(f"fields disagree on sample count: {n}")
+        if self.sample_ids.max() >= next(iter(n.values())):
+            raise ValueError("sample ids exceed field length")
+
+    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+        return {k: v[ids] for k, v in self._fields.items()}
+
+
+class _BundleIndexed(Reader):
+    """Shared logic for readers that locate samples in bundle files."""
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        bundle_paths: Sequence[str],
+        samples_per_bundle: int,
+        sample_ids: Sequence[int],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(sample_ids, rng)
+        if samples_per_bundle <= 0:
+            raise ValueError("samples_per_bundle must be positive")
+        self._fs = fs
+        self._paths = list(bundle_paths)
+        self._spb = int(samples_per_bundle)
+        self._local_bundle_base = {}  # path -> first global id, filled lazily
+
+    def _bundle_of(self, sample_id: int) -> tuple[str, int]:
+        """Locate a global sample id: (bundle path, row)."""
+        b, row = divmod(int(sample_id), self._spb)
+        if not 0 <= b < len(self._paths):
+            raise KeyError(f"sample {sample_id} is outside the bundle set")
+        return self._paths[b], row
+
+    def _read_batch_from_files(
+        self, ids: np.ndarray
+    ) -> list[tuple[int, dict[str, np.ndarray]]]:
+        """Open each touched bundle once and pull the needed rows.
+
+        Returns ``(position, sample)`` pairs in batch order.
+        """
+        by_bundle: dict[str, list[tuple[int, int]]] = {}
+        for pos, sid in enumerate(ids):
+            path, row = self._bundle_of(int(sid))
+            by_bundle.setdefault(path, []).append((pos, row))
+        out: list[tuple[int, dict[str, np.ndarray]]] = []
+        for path, entries in by_bundle.items():
+            bundle: Bundle = self._fs.read_file(path)
+            for pos, row in entries:
+                out.append((pos, bundle.sample(row)))
+        out.sort(key=lambda t: t[0])
+        return out
+
+
+class NaiveReader(_BundleIndexed):
+    """File-per-batch ingestion with no caching (the Fig. 10 baseline)."""
+
+    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+        samples = self._read_batch_from_files(ids)
+        names = sorted(samples[0][1])
+        return {
+            name: np.stack([s[name] for _pos, s in samples], axis=0)
+            for name in names
+        }
+
+
+class StoreReader(_BundleIndexed):
+    """Reader backed by the distributed in-memory data store.
+
+    ``mode="preload"`` populates the store from the bundle files on
+    construction; ``mode="dynamic"`` populates lazily during the first
+    epoch (caching each sample on the rank that consumes it).  Either way,
+    after population every batch is served purely from the store.
+    """
+
+    def __init__(
+        self,
+        fs: SimulatedFilesystem,
+        bundle_paths: Sequence[str],
+        samples_per_bundle: int,
+        sample_ids: Sequence[int],
+        rng: np.random.Generator,
+        store: DistributedDataStore,
+        mode: str = "preload",
+    ) -> None:
+        super().__init__(fs, bundle_paths, samples_per_bundle, sample_ids, rng)
+        if mode not in ("preload", "dynamic"):
+            raise ValueError(f"mode must be 'preload' or 'dynamic', got {mode!r}")
+        self.store = store
+        self.mode = mode
+        self.preload_report: dict[int, tuple[int, int]] | None = None
+        if mode == "preload":
+            # Only the bundles containing this reader's population.
+            needed = sorted({self._bundle_of(int(s))[0] for s in self.sample_ids})
+            self.preload_report = store.preload(fs, needed)
+
+    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+        file_samples: dict[int, dict[str, np.ndarray]] = {}
+        if self.mode == "dynamic":
+            missing = [int(s) for s in ids if s not in self.store]
+            if missing:
+                consumers = consumer_ranks_for_batch(ids.size, self.store.num_ranks)
+                pos_of = {int(s): p for p, s in enumerate(ids)}
+                for pos, sample in self._read_batch_from_files(
+                    np.asarray(missing, dtype=np.int64)
+                ):
+                    sid = missing[pos]
+                    file_samples[sid] = sample
+                    self.store.cache_sample(
+                        int(consumers[pos_of[sid]]), sid, sample
+                    )
+            # With an evicting (over-capacity) store, caching this batch's
+            # misses may itself evict this batch's hits; re-read the
+            # casualties from their files (uncached) so the batch always
+            # assembles.
+            still_missing = [
+                int(s) for s in ids if s not in self.store and int(s) not in file_samples
+            ]
+            if still_missing:
+                for pos, sample in self._read_batch_from_files(
+                    np.asarray(still_missing, dtype=np.int64)
+                ):
+                    file_samples[still_missing[pos]] = sample
+        return self.store.fetch_batch(ids, fallback=file_samples or None)

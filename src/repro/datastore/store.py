@@ -1,0 +1,318 @@
+"""The distributed in-memory data store (paper Section III-B).
+
+Functional, in-process model of the store across the ranks of one trainer:
+
+- every rank owns a disjoint *shard* of cached samples, capacity-limited
+  by its host-memory budget (resource-set share of node memory);
+- **preloading** assigns disjoint bundle files round-robin to ranks, each
+  rank reading all samples of its files — "this minimizes the number of
+  files each process opens concurrently, and ensures that each file is
+  only opened by one process per trainer";
+- **dynamic** population caches samples on the consuming rank as they are
+  first touched during epoch 0;
+- every mini-batch is assembled by an exchange from owner ranks to
+  consumer ranks; the store records how many fetches crossed node
+  boundaries (the shuffle the cost model prices and the store overlaps
+  with compute).
+
+The same shard/exchange logic can be driven by the SPMD communicator
+(:func:`spmd_exchange_minibatch`) to demonstrate the store working over
+real point-to-point messages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.filesystem import SimulatedFilesystem
+from repro.comm.spmd import SpmdComm
+from repro.comm.topology import RankPlacement
+
+__all__ = [
+    "InsufficientMemoryError",
+    "DataStoreStats",
+    "DistributedDataStore",
+    "consumer_ranks_for_batch",
+    "spmd_exchange_minibatch",
+]
+
+
+class InsufficientMemoryError(RuntimeError):
+    """A rank's shard would exceed its host-memory budget.
+
+    This is the error behind two paper observations: preloading was
+    impossible with 1-2 GPUs on the 1M-sample set (Fig. 10), and a 4-node
+    trainer could not hold the 10M-sample set (Fig. 11 baseline ran on 16
+    nodes with 1 rank per node instead).
+    """
+
+
+@dataclass
+class DataStoreStats:
+    """Counters over the lifetime of the store."""
+
+    cached_samples: int = 0
+    cached_bytes: int = 0
+    local_fetches: int = 0
+    remote_fetches: int = 0
+    local_bytes: int = 0
+    remote_bytes: int = 0
+    evictions: int = 0
+    per_rank_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def total_fetches(self) -> int:
+        return self.local_fetches + self.remote_fetches
+
+    @property
+    def remote_fraction(self) -> float:
+        total = self.total_fetches
+        return self.remote_fetches / total if total else 0.0
+
+
+def consumer_ranks_for_batch(batch_size: int, num_ranks: int) -> np.ndarray:
+    """Map each position of a mini-batch to the data-parallel rank that
+    consumes it (contiguous blocks, matching LBANN's sample-to-rank
+    distribution within a mini-batch)."""
+    if batch_size <= 0 or num_ranks <= 0:
+        raise ValueError("batch_size and num_ranks must be positive")
+    return (np.arange(batch_size) * num_ranks) // batch_size
+
+
+class DistributedDataStore:
+    """Owner-sharded sample cache for one trainer.
+
+    Parameters
+    ----------
+    num_ranks:
+        Ranks (processes) of the trainer.
+    bytes_per_rank:
+        Host-memory budget of each rank's shard.
+    placement:
+        Optional rank-to-node placement; when given, fetch statistics
+        distinguish intra-node from inter-node transfers (a fetch from the
+        *same rank* is free and counts as local).
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        bytes_per_rank: int,
+        placement: RankPlacement | None = None,
+        evicting: bool = False,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError(f"num_ranks must be positive, got {num_ranks}")
+        if bytes_per_rank <= 0:
+            raise ValueError(f"bytes_per_rank must be positive, got {bytes_per_rank}")
+        if placement is not None and placement.num_ranks != num_ranks:
+            raise ValueError(
+                f"placement has {placement.num_ranks} ranks, store has {num_ranks}"
+            )
+        self.num_ranks = num_ranks
+        self.bytes_per_rank = int(bytes_per_rank)
+        self.placement = placement
+        # evicting=True turns each shard into an LRU cache: when a
+        # partition exceeds the memory budget, the oldest-touched samples
+        # are dropped and re-read from the file system on their next use
+        # — the partial-caching regime of over-capacity dynamic stores
+        # (see TrainerPerfModel.dynamic_hit_fraction).  Preloading with
+        # eviction is a configuration error: a preloaded store must hold
+        # everything.
+        self.evicting = bool(evicting)
+        # OrderedDict per shard: insertion/access order is the LRU order.
+        self._shards: list[OrderedDict[int, dict[str, np.ndarray]]] = [
+            OrderedDict() for _ in range(num_ranks)
+        ]
+        self._shard_bytes = [0] * num_ranks
+        self._owner: dict[int, int] = {}
+        self.stats = DataStoreStats()
+
+    # -- population ---------------------------------------------------------
+
+    def cache_sample(
+        self, rank: int, sample_id: int, sample: Mapping[str, np.ndarray]
+    ) -> None:
+        """Cache one sample on ``rank`` (dynamic-mode population).
+
+        Over-budget inserts raise :class:`InsufficientMemoryError`, or —
+        with ``evicting=True`` — drop the rank's least-recently-used
+        samples to make room.
+        """
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"invalid rank {rank}")
+        if sample_id in self._owner:
+            return  # already cached (idempotent)
+        nbytes = sum(np.asarray(v).nbytes for v in sample.values())
+        if self._shard_bytes[rank] + nbytes > self.bytes_per_rank:
+            if not self.evicting or nbytes > self.bytes_per_rank:
+                raise InsufficientMemoryError(
+                    f"rank {rank} shard would hold "
+                    f"{self._shard_bytes[rank] + nbytes} bytes, budget is "
+                    f"{self.bytes_per_rank}"
+                )
+            shard = self._shards[rank]
+            while shard and self._shard_bytes[rank] + nbytes > self.bytes_per_rank:
+                victim_id, victim = shard.popitem(last=False)  # LRU end
+                victim_bytes = sum(v.nbytes for v in victim.values())
+                self._shard_bytes[rank] -= victim_bytes
+                del self._owner[victim_id]
+                self.stats.evictions += 1
+                self.stats.cached_samples -= 1
+                self.stats.cached_bytes -= victim_bytes
+        self._shards[rank][sample_id] = {
+            k: np.asarray(v) for k, v in sample.items()
+        }
+        self._shard_bytes[rank] += nbytes
+        self._owner[sample_id] = rank
+        self.stats.cached_samples += 1
+        self.stats.cached_bytes += nbytes
+
+    def preload(
+        self,
+        fs: SimulatedFilesystem,
+        bundle_paths: Sequence[str],
+        samples_per_bundle: int | None = None,
+    ) -> dict[int, tuple[int, int]]:
+        """Preload by assigning files round-robin to ranks.
+
+        Each rank opens each of its files exactly once and caches every
+        sample in it.  Returns per-rank ``(files_read, bytes_read)`` for
+        cost accounting.  ``samples_per_bundle`` is unused functionally
+        (bundles know their contents) and accepted for API symmetry.
+        """
+        if self.evicting:
+            raise ValueError(
+                "preloading an evicting store is a configuration error: "
+                "a preloaded store must hold its whole partition"
+            )
+        per_rank: dict[int, tuple[int, int]] = {r: (0, 0) for r in range(self.num_ranks)}
+        for i, path in enumerate(bundle_paths):
+            rank = i % self.num_ranks
+            bundle = fs.read_file(path)
+            for row in range(len(bundle)):
+                sid = int(bundle.sample_ids[row])
+                self.cache_sample(rank, sid, bundle.sample(row))
+            files, nbytes = per_rank[rank]
+            per_rank[rank] = (files + 1, nbytes + bundle.nbytes)
+        return per_rank
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, sample_id: int) -> bool:
+        return sample_id in self._owner
+
+    def owner_of(self, sample_id: int) -> int:
+        return self._owner[sample_id]
+
+    @property
+    def num_cached(self) -> int:
+        return len(self._owner)
+
+    def shard_bytes(self, rank: int) -> int:
+        return self._shard_bytes[rank]
+
+    def occupancy_fraction(self) -> float:
+        """Max shard occupancy relative to its budget (drives the
+        cache-pressure penalty of the performance model)."""
+        return max(self._shard_bytes) / self.bytes_per_rank
+
+    # -- mini-batch exchange ----------------------------------------------------
+
+    def fetch_batch(
+        self,
+        sample_ids: Sequence[int],
+        field_names: Sequence[str] | None = None,
+        fallback: Mapping[int, Mapping[str, np.ndarray]] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Assemble a mini-batch from the shards.
+
+        Each batch position is consumed by the rank
+        ``consumer_ranks_for_batch`` assigns; a fetch whose owner differs
+        from its consumer is a shuffle transfer (remote if the two ranks
+        are on different nodes under the placement, or if no placement was
+        given).  Returns stacked field arrays in batch order.
+
+        ``fallback`` supplies samples not resident in the store (an
+        evicting store may have dropped them); fallback samples count as
+        neither local nor remote fetches — their cost is the file read the
+        caller already performed.
+        """
+        ids = np.asarray(sample_ids, dtype=np.int64)
+        if ids.ndim != 1 or ids.size == 0:
+            raise ValueError("sample_ids must be a non-empty 1-D sequence")
+        consumers = consumer_ranks_for_batch(ids.size, self.num_ranks)
+        samples = []
+        for pos, sid_np in enumerate(ids):
+            sid = int(sid_np)
+            if sid not in self._owner:
+                if fallback is not None and sid in fallback:
+                    samples.append(
+                        {k: np.asarray(v) for k, v in fallback[sid].items()}
+                    )
+                    continue
+                raise KeyError(f"sample {sid} is not cached in the data store")
+            owner = self._owner[sid]
+            shard = self._shards[owner]
+            sample = shard[sid]
+            if self.evicting:
+                shard.move_to_end(sid)  # refresh LRU recency
+            nbytes = sum(v.nbytes for v in sample.values())
+            consumer = int(consumers[pos])
+            if owner == consumer:
+                self.stats.local_fetches += 1
+                self.stats.local_bytes += nbytes
+            else:
+                same_node = (
+                    self.placement.same_node(owner, consumer)
+                    if self.placement is not None
+                    else False
+                )
+                if same_node:
+                    self.stats.local_fetches += 1
+                    self.stats.local_bytes += nbytes
+                else:
+                    self.stats.remote_fetches += 1
+                    self.stats.remote_bytes += nbytes
+            samples.append(sample)
+        names = list(field_names) if field_names else sorted(samples[0])
+        batch = {}
+        for name in names:
+            batch[name] = np.stack([s[name] for s in samples], axis=0)
+        return batch
+
+
+def spmd_exchange_minibatch(
+    comm: SpmdComm,
+    shard: Mapping[int, Mapping[str, np.ndarray]],
+    owner_of: Mapping[int, int],
+    batch_ids: Sequence[int],
+) -> list[dict[str, np.ndarray]]:
+    """Run the store's mini-batch exchange over real SPMD messages.
+
+    Every rank holds ``shard`` (its own cached samples) and the global
+    ownership map; ``batch_ids`` lists the global mini-batch.  Each rank
+    sends the samples it owns to the consumers that need them via a
+    personalized all-to-all and returns the samples *it* consumes, in
+    batch order.  This mirrors the non-blocking per-step shuffle of the
+    paper's store (modulo the background-thread overlap, which is a
+    performance concern handled by the cost model).
+    """
+    ids = np.asarray(batch_ids, dtype=np.int64)
+    consumers = consumer_ranks_for_batch(ids.size, comm.size)
+    # Build per-destination payloads from locally owned samples.
+    outgoing: list[list[tuple[int, int, dict]]] = [[] for _ in range(comm.size)]
+    for pos, sid_np in enumerate(ids):
+        sid = int(sid_np)
+        if owner_of[sid] == comm.rank:
+            dest = int(consumers[pos])
+            outgoing[dest].append((pos, sid, dict(shard[sid])))
+    received = comm.alltoall(outgoing)
+    mine = sorted(
+        (pos, sample) for batch in received for pos, _sid, sample in batch
+    )
+    return [sample for _pos, sample in mine]

@@ -1,0 +1,33 @@
+"""Experiment harnesses — one module per paper figure.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentReport` (rows + headline
+comparisons against the paper's reported numbers) and is driven by the
+corresponding benchmark under ``benchmarks/``.
+
+- :mod:`repro.experiments.fig07_scalars` — predicted vs ground-truth 15-D
+  scalars on validation samples (quality).
+- :mod:`repro.experiments.fig08_images` — predicted vs ground-truth
+  capsule images per view/channel (quality).
+- :mod:`repro.experiments.fig09_data_parallel` — single-trainer
+  data-parallel strong scaling, 1-16 GPUs (performance model).
+- :mod:`repro.experiments.fig10_datastore` — ingestion modes x GPU count,
+  initial vs steady epochs (performance model).
+- :mod:`repro.experiments.fig11_ltfb_scaling` — LTFB strong scaling to
+  1024 GPUs with preload times (performance model).
+- :mod:`repro.experiments.fig12_quality` — validation-loss improvement
+  over the single-trainer baseline vs per-trainer iterations (real
+  training).
+- :mod:`repro.experiments.fig13_ltfb_vs_kindependent` — LTFB vs
+  partitioned K-independent training (real training).
+- :mod:`repro.experiments.ablations` — mechanism ablations (tournament
+  scope, adoption policy, exchange scope, interconnect, dataset order).
+
+Run the performance figures from the command line::
+
+    python -m repro.experiments fig09 fig10 fig11
+"""
+
+from repro.experiments.common import ExperimentReport, Row
+
+__all__ = ["ExperimentReport", "Row"]

@@ -1,0 +1,115 @@
+"""Command-line runner for the experiment harnesses.
+
+Usage::
+
+    python -m repro.experiments fig09 fig10 fig11        # performance figures
+    python -m repro.experiments --all-perf               # all three
+    python -m repro.experiments fig07 fig12 --quick      # quality figures
+
+Performance figures run in seconds (analytic models).  Quality figures
+train real networks: the default scale takes minutes per figure; pass
+``--quick`` for a structural smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig07_scalars,
+    fig08_images,
+    fig09_data_parallel,
+    fig10_datastore,
+    fig11_ltfb_scaling,
+    fig12_quality,
+    fig13_ltfb_vs_kindependent,
+)
+
+PERF_FIGURES = {
+    "fig09": lambda args: fig09_data_parallel.run(),
+    "fig10": lambda args: fig10_datastore.run(),
+    "fig11": lambda args: fig11_ltfb_scaling.run(),
+}
+
+
+def _quality_bench(args):
+    from repro.experiments.common import QualityWorkbench
+
+    if getattr(args, "_bench", None) is None:
+        n = 1024 if args.quick else 12_288
+        args._bench = QualityWorkbench(seed=args.seed, n_samples=n)
+    return args._bench
+
+
+def _quality_schedule(args) -> dict:
+    if args.quick:
+        return dict(rounds=3, steps_per_round=5)
+    return dict(rounds=30, steps_per_round=10)
+
+
+QUALITY_FIGURES = {
+    "fig07": lambda args: fig07_scalars.run(
+        _quality_bench(args), k=4, **_quality_schedule(args)
+    ),
+    "fig08": lambda args: fig08_images.run(
+        _quality_bench(args), k=4, **_quality_schedule(args)
+    ),
+    "fig12": lambda args: fig12_quality.run(
+        _quality_bench(args),
+        trainer_counts=(1, 2, 4) if args.quick else (1, 2, 4, 8),
+        **_quality_schedule(args),
+    ),
+    "fig13": lambda args: fig13_ltfb_vs_kindependent.run(
+        _quality_bench(args),
+        trainer_counts=(2,) if args.quick else (2, 4, 8),
+        **_quality_schedule(args),
+    ),
+}
+
+ALL_FIGURES = {**PERF_FIGURES, **QUALITY_FIGURES}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[*ALL_FIGURES, []],
+        help=f"figures to run: {', '.join(ALL_FIGURES)}",
+    )
+    parser.add_argument(
+        "--all-perf", action="store_true", help="run fig09, fig10 and fig11"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="miniature quality runs (structure only, minutes -> seconds)",
+    )
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args(argv)
+    args._bench = None
+
+    names = list(args.figures)
+    if args.all_perf:
+        names.extend(n for n in PERF_FIGURES if n not in names)
+    if not names:
+        parser.error("no figures requested (try: fig09 fig10 fig11 or --all-perf)")
+
+    failed = []
+    for name in names:
+        report = ALL_FIGURES[name](args)
+        print(report.render())
+        print()
+        if not report.all_checks_pass:
+            failed.append(name)
+    if failed:
+        print(f"figures with diverging shape checks: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Shared experiment infrastructure: reports, shape checks, fixtures.
+
+An :class:`ExperimentReport` is the uniform product of every experiment:
+ordered rows (the figure's series), headline *shape checks* comparing our
+measured values against what the paper reports, and a plain-text renderer
+the benchmarks print and archive.  Shape checks carry a tolerance because
+the goal of the reproduction is the behaviour — who wins, by roughly what
+factor, where crossovers fall — not the authors' absolute testbed numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.ensemble import EnsembleSpec, build_population, pretrain_autoencoder
+from repro.jag.dataset import JagDataset, JagDatasetConfig, generate_dataset
+from repro.models.autoencoder import MultimodalAutoencoder
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "Row",
+    "ShapeCheck",
+    "ExperimentReport",
+    "QualityWorkbench",
+]
+
+Row = Mapping[str, object]
+
+
+@dataclass
+class ShapeCheck:
+    """One headline comparison against the paper."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    rel_tolerance: float
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        if math.isnan(self.measured_value):
+            return False
+        if self.paper_value == 0:
+            return abs(self.measured_value) <= self.rel_tolerance
+        rel = abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+        return rel <= self.rel_tolerance
+
+    def render(self) -> str:
+        status = "ok " if self.passed else "DIVERGES"
+        return (
+            f"  [{status}] {self.name}: paper={self.paper_value:g} "
+            f"measured={self.measured_value:.4g} "
+            f"(tol {self.rel_tolerance:.0%}){'  # ' + self.note if self.note else ''}"
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """Rows + shape checks + provenance for one figure."""
+
+    experiment: str
+    description: str
+    columns: Sequence[str]
+    rows: list[Row] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ValueError(f"row missing columns {sorted(missing)}")
+        self.rows.append(values)
+
+    def add_check(
+        self,
+        name: str,
+        paper: float,
+        measured: float,
+        tol: float,
+        note: str = "",
+    ) -> None:
+        self.checks.append(ShapeCheck(name, paper, measured, tol, note))
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def column(self, name: str) -> list:
+        return [r[name] for r in self.rows]
+
+    def render(self) -> str:
+        """Plain-text report: header, table, shape checks, notes."""
+        out = [f"== {self.experiment}: {self.description} =="]
+        widths = {
+            c: max(len(c), *(len(_fmt(r[c])) for r in self.rows)) if self.rows else len(c)
+            for c in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        out.append(header)
+        out.append("-" * len(header))
+        for r in self.rows:
+            out.append("  ".join(_fmt(r[c]).ljust(widths[c]) for c in self.columns))
+        if self.checks:
+            out.append("shape checks vs paper:")
+            out.extend(c.render() for c in self.checks)
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+class QualityWorkbench:
+    """Shared setup for the real-training experiments (Figs. 7, 8, 12, 13):
+    one dataset, one train/val split, one pre-trained autoencoder.
+
+    Building this is the expensive part of the quality experiments, so the
+    benchmarks construct it once per session and pass it into several
+    ``run(...)`` calls.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2019,
+        n_samples: int = 4096,
+        val_fraction: float = 0.12,
+        spec: EnsembleSpec | None = None,
+        dataset_order: str = "design",
+        max_val_samples: int = 2048,
+    ) -> None:
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        self.base_spec = spec or EnsembleSpec()
+        # The campaign enumeration order: "design" (low-discrepancy, the
+        # spectral design's natural order => near-IID silos) by default;
+        # "sweep" gives the drive-band-ordered, strongly non-IID silos
+        # used by the ordering ablation.
+        self.dataset: JagDataset = generate_dataset(
+            JagDatasetConfig(
+                n_samples=n_samples,
+                seed=seed,
+                schema=self.base_spec.surrogate.schema,
+                order=dataset_order,
+            )
+        )
+        self.train_ids, self.val_ids = self.dataset.train_val_split(
+            val_fraction, mode="strided"
+        )
+        # Evaluation happens every round for every trainer; cap the batch
+        # so big-population experiments are not eval-bound.  Subsample by
+        # STRIDE, never by prefix: under sweep ordering a prefix of the
+        # (ascending) validation ids is a biased low-drive slice, which
+        # would systematically favour low-band silo specialists.
+        if self.val_ids.size > max_val_samples:
+            stride = -(-self.val_ids.size // max_val_samples)
+            self.val_ids = self.val_ids[::stride]
+        self.val_batch = {
+            k: v[self.val_ids] for k, v in self.dataset.fields.items()
+        }
+        self.autoencoder: MultimodalAutoencoder = pretrain_autoencoder(
+            self.dataset, self.train_ids, self.rngs, self.base_spec
+        )
+
+    def population(self, k: int, tag: str, **spec_overrides):
+        """Build a fresh k-trainer population under a distinct RNG scope."""
+        import dataclasses
+
+        spec = dataclasses.replace(self.base_spec, k=k, **spec_overrides)
+        return build_population(
+            self.dataset,
+            self.train_ids,
+            self.rngs.child(f"{tag}/k{k}"),
+            spec,
+            self.autoencoder,
+        )
+
+    def pairing_rng(self, tag: str) -> np.random.Generator:
+        return self.rngs.generator(f"{tag}/pairing")
+
+    def train_ltfb(
+        self,
+        tag: str,
+        k: int = 4,
+        rounds: int = 10,
+        steps_per_round: int = 40,
+        hyperparam_jitter: float = 0.2,
+    ):
+        """Run (and memoize) one LTFB training under ``tag``.
+
+        Figures that analyse the *same* trained surrogate (7 and 8) share
+        a run by passing the same tag/schedule.  Returns the finished
+        :class:`~repro.core.ltfb.LtfbDriver`.
+        """
+        from repro.core.ltfb import LtfbConfig, LtfbDriver
+
+        key = (tag, k, rounds, steps_per_round, hyperparam_jitter)
+        cache = getattr(self, "_ltfb_cache", None)
+        if cache is None:
+            cache = self._ltfb_cache = {}
+        if key not in cache:
+            trainers = self.population(
+                k, tag=tag, hyperparam_jitter=hyperparam_jitter
+            )
+            driver = LtfbDriver(
+                trainers,
+                self.pairing_rng(tag),
+                LtfbConfig(steps_per_round=steps_per_round, rounds=rounds),
+                eval_batch=self.val_batch,
+            )
+            driver.run()
+            cache[key] = driver
+        return cache[key]

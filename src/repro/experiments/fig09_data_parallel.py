@@ -1,0 +1,105 @@
+"""Figure 9: data-parallel strong scaling of a single trainer.
+
+The paper trains the CycleGAN on a 1M-sample subset with naive ("dynamic
+loading") ingestion, scaling one trainer from 1 GPU to 4 nodes x 16 GPUs
+at a fixed global mini-batch of 128, and reports steady-state epoch time:
+"there is a 9.36x improvement in steady state epoch time ... benefits of
+data parallel scaling are starting to diminish around 4 nodes and 16
+GPUs, with a decrease in parallel efficiency down to 58%."
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import MachineSpec, lassen
+from repro.core.perfmodel import (
+    IngestionMode,
+    PerfDataset,
+    TrainerPerfModel,
+    TrainerResources,
+)
+from repro.experiments.common import ExperimentReport
+from repro.jag.dataset import paper_schema
+from repro.models.cyclegan import SurrogateArchitecture, paper_architecture
+
+__all__ = ["run", "PAPER_SPEEDUP_16", "PAPER_EFFICIENCY_16"]
+
+PAPER_SPEEDUP_16 = 9.36
+PAPER_EFFICIENCY_16 = 0.58
+
+
+def run(
+    machine: MachineSpec | None = None,
+    arch: SurrogateArchitecture | None = None,
+    n_samples: int = 1_000_000,
+    global_batch: int = 128,
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> ExperimentReport:
+    """Sweep GPU counts for one naive-ingestion trainer; returns the
+    Fig.-9 series (steady-state epoch time, speedup, efficiency)."""
+    machine = machine or lassen()
+    arch = arch or paper_architecture()
+    dataset = PerfDataset(n_samples, paper_schema().sample_nbytes)
+    report = ExperimentReport(
+        experiment="Figure 9",
+        description=(
+            "single-trainer data-parallel strong scaling, naive ingestion, "
+            f"{n_samples:,} samples, global batch {global_batch}"
+        ),
+        columns=[
+            "gpus",
+            "nodes",
+            "epoch_s",
+            "speedup",
+            "efficiency_pct",
+            "step_compute_ms",
+            "step_allreduce_ms",
+            "step_io_ms",
+        ],
+    )
+    baseline = None
+    for gpus in gpu_counts:
+        resources = TrainerResources(
+            num_ranks=gpus, ranks_per_node=min(gpus, machine.node.gpus_per_node)
+        )
+        model = TrainerPerfModel(
+            machine,
+            arch,
+            resources,
+            dataset,
+            IngestionMode.NAIVE,
+            global_batch=global_batch,
+        )
+        epoch = model.epoch_time(steady=True)
+        if baseline is None:
+            baseline = epoch
+        breakdown = model.step_breakdown(steady=True)
+        speedup = baseline / epoch
+        report.add_row(
+            gpus=gpus,
+            nodes=resources.num_nodes,
+            epoch_s=epoch,
+            speedup=speedup,
+            efficiency_pct=100.0 * speedup / gpus,
+            step_compute_ms=breakdown.compute * 1e3,
+            step_allreduce_ms=breakdown.allreduce * 1e3,
+            step_io_ms=breakdown.io * 1e3,
+        )
+    if 16 in gpu_counts and 1 in gpu_counts:
+        s16 = report.rows[-1]["speedup"] if gpu_counts[-1] == 16 else None
+        for r in report.rows:
+            if r["gpus"] == 16:
+                s16 = r["speedup"]
+        report.add_check(
+            "speedup at 16 GPUs over 1 GPU", PAPER_SPEEDUP_16, float(s16), 0.15
+        )
+        report.add_check(
+            "parallel efficiency at 16 GPUs",
+            PAPER_EFFICIENCY_16,
+            float(s16) / 16.0,
+            0.15,
+        )
+    report.notes.append(
+        "epoch times come from the calibrated Lassen performance model "
+        "(see repro.cluster.machine defaults)"
+    )
+    return report

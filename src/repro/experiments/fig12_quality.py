@@ -1,0 +1,93 @@
+"""Figure 12: model quality vs per-trainer iterations, per trainer count.
+
+The paper plots "improvement in quality (validation loss) over
+single-trainer baseline at different iterations (steps) per-trainer
+count" and concludes that "LTFB at bigger trainer sizes shows improved
+learning quality and time to solution if measured by per-trainer number
+of iterations" — i.e. at equal per-trainer step counts, larger
+populations reach equal or better validation loss, so wall-clock time to
+a given quality *improves* with trainer count.
+
+We run real LTFB training at several population sizes on the same
+partitioned dataset and report, per round, the population-best global
+validation loss and its improvement ratio over the k=1 baseline at the
+same per-trainer iteration count.
+"""
+
+from __future__ import annotations
+
+from repro.core.ltfb import LtfbConfig, LtfbDriver
+from repro.experiments.common import ExperimentReport, QualityWorkbench
+
+__all__ = ["run"]
+
+
+def run(
+    bench: QualityWorkbench,
+    trainer_counts: tuple[int, ...] = (1, 2, 4, 8),
+    rounds: int = 40,
+    steps_per_round: int = 10,
+    hyperparam_jitter: float = 0.3,
+) -> ExperimentReport:
+    """Sweep population size at a fixed per-trainer iteration schedule."""
+    if 1 not in trainer_counts:
+        raise ValueError("trainer_counts must include the k=1 baseline")
+    config = LtfbConfig(steps_per_round=steps_per_round, rounds=rounds)
+    series: dict[int, list[float]] = {}
+    adoption: dict[int, float] = {}
+    for k in trainer_counts:
+        jitter = 0.0 if k == 1 else hyperparam_jitter
+        trainers = bench.population(k, tag="fig12", hyperparam_jitter=jitter)
+        driver = LtfbDriver(
+            trainers,
+            bench.pairing_rng(f"fig12/k{k}"),
+            config,
+            eval_batch=bench.val_batch,
+        )
+        history = driver.run()
+        series[k] = history.best_val_series()
+        adoption[k] = history.adoption_rate()
+
+    report = ExperimentReport(
+        experiment="Figure 12",
+        description=(
+            "population-best validation loss vs per-trainer iterations "
+            f"({steps_per_round} steps/round, {rounds} rounds; improvement "
+            "= baseline loss / k-trainer loss at equal iterations)"
+        ),
+        columns=["per_trainer_steps"]
+        + [f"k{k}_val_loss" for k in trainer_counts]
+        + [f"k{k}_improvement" for k in trainer_counts if k != 1],
+    )
+    baseline = series[1]
+    for r in range(rounds):
+        row: dict[str, object] = {
+            "per_trainer_steps": (r + 1) * steps_per_round
+        }
+        for k in trainer_counts:
+            row[f"k{k}_val_loss"] = series[k][r]
+            if k != 1:
+                row[f"k{k}_improvement"] = baseline[r] / series[k][r]
+        report.add_row(**row)
+
+    k_max = max(trainer_counts)
+    final_improvement = baseline[-1] / series[k_max][-1]
+    report.add_check(
+        f"final improvement of k={k_max} over single trainer (>= 1)",
+        1.15,
+        final_improvement,
+        0.3,
+        note="paper plots improvement ratios above 1 that grow with k",
+    )
+    mid = rounds // 2
+    report.add_check(
+        f"mid-training improvement of k={k_max} (>= 1)",
+        1.1,
+        baseline[mid] / series[k_max][mid],
+        0.35,
+    )
+    report.notes.append(
+        "tournament adoption rates: "
+        + ", ".join(f"k={k}: {adoption[k]:.2f}" for k in trainer_counts if k > 1)
+    )
+    return report

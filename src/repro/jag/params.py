@@ -1,0 +1,57 @@
+"""The 5-D JAG input parameter space.
+
+The paper's campaign varied "the strength of the laser drive and the 3D
+shape of the imploding shell".  Our synthetic space keeps that structure:
+one drive parameter, three shape-mode parameters (Legendre P2/P4
+amplitudes and an azimuthal phase), and a shell-thickness parameter.
+All parameters live in normalized coordinates ``[0, 1]``; the simulator
+maps them to physical-ish ranges internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PARAMETER_NAMES", "NUM_PARAMS", "ParameterSpace"]
+
+PARAMETER_NAMES: tuple[str, ...] = (
+    "laser_drive",  # scales implosion velocity / delivered energy
+    "shell_p2",  # P2 (prolate/oblate) shape-mode amplitude, signed
+    "shell_p4",  # P4 shape-mode amplitude, signed
+    "mode_phase",  # azimuthal orientation of the asymmetry
+    "shell_thickness",  # initial shell thickness (fuel mass / confinement)
+)
+
+NUM_PARAMS = len(PARAMETER_NAMES)
+
+
+class ParameterSpace:
+    """Validation and named access for normalized 5-vectors."""
+
+    names = PARAMETER_NAMES
+    dim = NUM_PARAMS
+
+    @staticmethod
+    def validate(x: np.ndarray) -> np.ndarray:
+        """Check an ``(n, 5)`` batch of normalized inputs; returns float32."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != NUM_PARAMS:
+            raise ValueError(
+                f"expected inputs of shape (n, {NUM_PARAMS}), got {x.shape}"
+            )
+        if np.any(x < -1e-6) or np.any(x > 1 + 1e-6):
+            raise ValueError("inputs must lie in the unit hypercube [0, 1]^5")
+        return np.clip(x, 0.0, 1.0)
+
+    @staticmethod
+    def column(x: np.ndarray, name: str) -> np.ndarray:
+        """Select a named parameter column from an ``(n, 5)`` batch."""
+        try:
+            idx = PARAMETER_NAMES.index(name)
+        except ValueError:
+            raise KeyError(
+                f"unknown parameter {name!r}; names: {PARAMETER_NAMES}"
+            ) from None
+        return x[:, idx]

@@ -1,0 +1,96 @@
+"""Derivation of the 15 scalar observables from an implosion state.
+
+The paper post-processed the JAG output into "15 scalar-valued observable
+signatures" per sample.  Ours are the natural diagnostics of the synthetic
+implosion model: burn scalars (yield, temperature, areal density, timing),
+hydrodynamic scalars (pressure, velocity, convergence), per-view X-ray
+brightness, and apparent shape-mode amplitudes.
+
+Scalars are returned in physical-ish units; normalization for training is
+the dataset module's concern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jag.simulator import ImplosionState
+
+__all__ = ["SCALAR_NAMES", "NUM_SCALARS", "derive_scalars"]
+
+SCALAR_NAMES: tuple[str, ...] = (
+    "log_yield",
+    "burn_temperature",
+    "areal_density",
+    "bang_time",
+    "burn_width",
+    "hot_spot_radius",
+    "stagnation_pressure",
+    "implosion_velocity",
+    "convergence_ratio",
+    "xray_brightness_v0",
+    "xray_brightness_v1",
+    "xray_brightness_v2",
+    "apparent_p2",
+    "apparent_p4",
+    "downscatter_ratio",
+)
+
+NUM_SCALARS = len(SCALAR_NAMES)
+
+
+def derive_scalars(state: ImplosionState, images: np.ndarray) -> np.ndarray:
+    """Compute the ``(n, 15)`` scalar block from state and rendered images.
+
+    ``images`` must be the ``(n, views, channels, S, S)`` tensor from
+    :meth:`repro.jag.simulator.JagSimulator.render_images`; brightness
+    scalars are measured from it (channel-averaged mean intensity per
+    view), so scalars and images are consistent by construction — the
+    internal-consistency property the surrogate is asked to learn.
+    Datasets with fewer than 3 views repeat the last view's brightness.
+    """
+    n = state.n
+    if images.ndim != 5 or images.shape[0] != n:
+        raise ValueError(
+            f"images must be (n, views, channels, S, S) with n={n}, "
+            f"got {images.shape}"
+        )
+    brightness = images.mean(axis=(2, 3, 4))  # (n, views)
+    views = brightness.shape[1]
+    bright3 = np.stack(
+        [brightness[:, min(v, views - 1)] for v in range(3)], axis=1
+    )
+
+    # Apparent (projected) shape modes as a diagnostic would report them:
+    # attenuated by compression (more converged implosions smooth modes).
+    smoothing = 1.0 / (1.0 + 0.05 * state.convergence)
+    apparent_p2 = state.p2 * smoothing * np.cos(state.phase)
+    apparent_p4 = state.p4 * smoothing
+
+    areal_density = state.density * state.hot_spot_radius
+    downscatter = 0.02 + 0.08 * state.thickness * np.sqrt(
+        np.maximum(state.convergence, 1.0) / 18.0
+    )
+
+    cols = [
+        np.log10(np.maximum(state.fusion_yield, 1e-12)),
+        state.temperature,
+        areal_density,
+        state.bang_time,
+        state.burn_width,
+        state.hot_spot_radius,
+        state.stagnation_pressure
+        if hasattr(state, "stagnation_pressure")
+        else state.pressure,
+        state.velocity,
+        state.convergence,
+        bright3[:, 0],
+        bright3[:, 1],
+        bright3[:, 2],
+        apparent_p2,
+        apparent_p4,
+        downscatter,
+    ]
+    out = np.stack([np.asarray(c, dtype=np.float32) for c in cols], axis=1)
+    assert out.shape == (n, NUM_SCALARS)
+    return out

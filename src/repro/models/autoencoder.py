@@ -1,0 +1,184 @@
+"""The multimodal autoencoder behind the surrogate's latent space.
+
+"The forward model ... maps from the 5-D experiment parameter space to a
+20-D latent space.  This is trained a priori using a multimodal
+autoencoder of all outputs."  The encoder ingests both output modalities
+(scalars and flattened images) jointly; the decoder reconstructs both from
+the 20-D code.  Joint encoding is what gives the surrogate its internal
+consistency: one latent point determines *all* modalities at once.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.jag.dataset import JagSchema
+from repro.tensorlib import losses
+from repro.tensorlib.graph import LayerGraph
+from repro.tensorlib.layers import (
+    Activation,
+    Concatenation,
+    FullyConnected,
+    Identity,
+    Input,
+    Slice,
+)
+from repro.tensorlib.model import Model
+from repro.tensorlib.optimizers import Optimizer
+from repro.utils.rng import RngFactory
+
+__all__ = ["MultimodalAutoencoder"]
+
+
+def _build_encoder(
+    name: str,
+    rngs: RngFactory,
+    schema: JagSchema,
+    hidden: Sequence[int],
+    latent_dim: int,
+) -> Model:
+    g = LayerGraph()
+    g.add(Input("scalars", shape=(schema.n_scalars,)))
+    g.add(Input("images", shape=(schema.image_flat_dim,)))
+    g.add(Concatenation("concat"), parents=["scalars", "images"])
+    prev = "concat"
+    for i, width in enumerate(hidden):
+        g.add(FullyConnected(f"fc{i}", units=int(width)), parents=[prev])
+        g.add(Activation(f"act{i}", "leaky_relu"), parents=[f"fc{i}"])
+        prev = f"act{i}"
+    g.add(FullyConnected("latent_fc", units=latent_dim), parents=[prev])
+    g.add(Identity("latent"), parents=["latent_fc"])
+    return Model(name, g, rngs)
+
+
+def _build_decoder(
+    name: str,
+    rngs: RngFactory,
+    schema: JagSchema,
+    hidden: Sequence[int],
+    latent_dim: int,
+) -> Model:
+    g = LayerGraph()
+    g.add(Input("latent", shape=(latent_dim,)))
+    prev = "latent"
+    for i, width in enumerate(reversed(list(hidden))):
+        g.add(FullyConnected(f"fc{i}", units=int(width)), parents=[prev])
+        g.add(Activation(f"act{i}", "leaky_relu"), parents=[f"fc{i}"])
+        prev = f"act{i}"
+    total_out = schema.n_scalars + schema.image_flat_dim
+    g.add(FullyConnected("head", units=total_out), parents=[prev])
+    g.add(Slice("scalars_out", 0, schema.n_scalars), parents=["head"])
+    g.add(Slice("images_logits", schema.n_scalars, total_out), parents=["head"])
+    # Images live in [0, 1); squash them.  Scalars are z-scored: linear head.
+    g.add(Activation("images_out", "sigmoid"), parents=["images_logits"])
+    return Model(name, g, rngs)
+
+
+class MultimodalAutoencoder:
+    """Encoder/decoder pair over (scalars, images) with a 20-D bottleneck.
+
+    Parameters
+    ----------
+    rngs:
+        RNG factory scoping this component's weight init.
+    schema:
+        Sample shapes (scalar and flattened-image widths).
+    hidden:
+        Encoder hidden widths; the decoder mirrors them.
+    latent_dim:
+        Bottleneck width (20 in the paper).
+    image_loss_weight:
+        Relative weight of the image reconstruction term; scalars and
+        images have very different widths, so the per-element mean losses
+        are combined with an explicit weight instead of letting the image
+        term dominate by count.
+    """
+
+    def __init__(
+        self,
+        rngs: RngFactory,
+        schema: JagSchema,
+        hidden: Sequence[int] = (128, 64),
+        latent_dim: int = 20,
+        image_loss_weight: float = 1.0,
+    ) -> None:
+        if latent_dim <= 0:
+            raise ValueError("latent_dim must be positive")
+        self.schema = schema
+        self.latent_dim = int(latent_dim)
+        self.image_loss_weight = float(image_loss_weight)
+        self.encoder = _build_encoder("encoder", rngs, schema, hidden, latent_dim)
+        self.decoder = _build_decoder("decoder", rngs, schema, hidden, latent_dim)
+
+    # -- inference ---------------------------------------------------------
+
+    def encode(self, scalars: np.ndarray, images: np.ndarray) -> np.ndarray:
+        return self.encoder.predict(
+            {"scalars": scalars, "images": images}, "latent"
+        )
+
+    def decode(self, latent: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        out = self.decoder.forward(
+            {"latent": latent}, outputs=["scalars_out", "images_out"]
+        )
+        return out["scalars_out"], out["images_out"]
+
+    # -- training -------------------------------------------------------------
+
+    def train_step(
+        self, batch: Mapping[str, np.ndarray], optimizer: Optimizer
+    ) -> dict[str, float]:
+        """One reconstruction step on a mini-batch with keys
+        ``scalars`` and ``images``.  Returns the loss terms."""
+        scalars, images = batch["scalars"], batch["images"]
+        self.encoder.zero_grad()
+        self.decoder.zero_grad()
+
+        latent = self.encoder.forward(
+            {"scalars": scalars, "images": images}, outputs=["latent"], training=True
+        )["latent"]
+        dec = self.decoder.forward(
+            {"latent": latent},
+            outputs=["scalars_out", "images_out"],
+            training=True,
+        )
+        s_loss, s_grad = losses.mean_absolute_error(dec["scalars_out"], scalars)
+        i_loss, i_grad = losses.mean_absolute_error(dec["images_out"], images)
+        latent_grad = self.decoder.backward(
+            {
+                "scalars_out": s_grad,
+                "images_out": self.image_loss_weight * i_grad,
+            }
+        )["latent"]
+        self.encoder.backward({"latent": latent_grad})
+        optimizer.step(self.encoder.trainable_weights + self.decoder.trainable_weights)
+        return {
+            "scalar_mae": s_loss,
+            "image_mae": i_loss,
+            "loss": s_loss + self.image_loss_weight * i_loss,
+        }
+
+    def reconstruction_error(self, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
+        """Evaluation-mode reconstruction MAE per modality."""
+        latent = self.encode(batch["scalars"], batch["images"])
+        s_hat, i_hat = self.decode(latent)
+        s_loss, _ = losses.mean_absolute_error(s_hat, batch["scalars"])
+        i_loss, _ = losses.mean_absolute_error(i_hat, batch["images"])
+        return {"scalar_mae": s_loss, "image_mae": i_loss}
+
+    # -- state ------------------------------------------------------------------
+
+    def get_state(self) -> dict[str, np.ndarray]:
+        # Weight names are model-qualified ("encoder/...", "decoder/...")
+        # so the two dicts are disjoint by construction.
+        state = self.encoder.get_state()
+        state.update(self.decoder.get_state())
+        return state
+
+    def set_state(self, state: Mapping[str, np.ndarray]) -> None:
+        enc = {k: v for k, v in state.items() if k.startswith("encoder/")}
+        dec = {k: v for k, v in state.items() if k.startswith("decoder/")}
+        self.encoder.set_state(enc)
+        self.decoder.set_state(dec)

@@ -1,0 +1,211 @@
+"""The model DAG: layers wired by name, executed in topological order.
+
+Uses :mod:`networkx` for cycle detection and topological sorting, matching
+LBANN's representation of a model as a DAG of tensor operations.  Parent
+*order* is semantically meaningful (e.g. ``Slice`` vs ``Concatenation``
+operands), so ordered parent lists are kept alongside the graph edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.tensorlib.layers import Input, Layer
+from repro.utils.rng import RngFactory
+
+__all__ = ["LayerGraph", "GraphError"]
+
+
+class GraphError(RuntimeError):
+    """Raised for structural problems: duplicate names, cycles, bad wiring."""
+
+
+class LayerGraph:
+    """A directed acyclic graph of layers.
+
+    Layers are added with :meth:`add` together with their (ordered)
+    parents, then the whole graph is shape-inferred and weight-initialized
+    in one :meth:`build` call.
+
+    Example
+    -------
+    >>> from repro.tensorlib import layers as L
+    >>> from repro.utils.rng import RngFactory
+    >>> g = LayerGraph()
+    >>> _ = g.add(L.Input("x", shape=(5,)))
+    >>> _ = g.add(L.FullyConnected("fc", units=3), parents=["x"])
+    >>> g.build(RngFactory(0))
+    >>> import numpy as np
+    >>> out = g.forward({"x": np.zeros((2, 5))}, outputs=["fc"])
+    >>> out["fc"].shape
+    (2, 3)
+    """
+
+    def __init__(self) -> None:
+        self._nx = nx.DiGraph()
+        self._layers: dict[str, Layer] = {}
+        self._parents: dict[str, list[str]] = {}
+        self._order: list[str] | None = None
+        self._activations: dict[str, np.ndarray] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, layer: Layer, parents: Sequence[str] = ()) -> Layer:
+        """Register a layer below the named parents; returns the layer."""
+        if layer.name in self._layers:
+            raise GraphError(f"duplicate layer name {layer.name!r}")
+        if self._order is not None:
+            raise GraphError("cannot add layers after build()")
+        for p in parents:
+            if p not in self._layers:
+                raise GraphError(
+                    f"layer {layer.name!r} references unknown parent {p!r}"
+                )
+        if isinstance(layer, Input) and parents:
+            raise GraphError(f"Input layer {layer.name!r} cannot have parents")
+        self._layers[layer.name] = layer
+        self._parents[layer.name] = list(parents)
+        self._nx.add_node(layer.name)
+        for p in parents:
+            self._nx.add_edge(p, layer.name)
+        return layer
+
+    def build(self, rngs: RngFactory) -> None:
+        """Infer shapes and initialize weights in topological order."""
+        if self._order is not None:
+            raise GraphError("graph already built")
+        if not nx.is_directed_acyclic_graph(self._nx):
+            cycle = nx.find_cycle(self._nx)
+            raise GraphError(f"layer graph contains a cycle: {cycle}")
+        # Deterministic topological order: lexicographic tie-breaking keeps
+        # builds (and hence weight init draws) independent of dict order.
+        self._order = list(nx.lexicographical_topological_sort(self._nx))
+        for name in self._order:
+            layer = self._layers[name]
+            parent_shapes = [self._layers[p].output_shape for p in self._parents[name]]
+            layer.build(parent_shapes, rngs.generator(name))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def layers(self) -> dict[str, Layer]:
+        return dict(self._layers)
+
+    @property
+    def input_names(self) -> list[str]:
+        return [n for n, l in self._layers.items() if isinstance(l, Input)]
+
+    def parents_of(self, name: str) -> list[str]:
+        return list(self._parents[name])
+
+    def topological_order(self) -> list[str]:
+        if self._order is None:
+            raise GraphError("graph not built")
+        return list(self._order)
+
+    def all_weights(self) -> list:
+        """All weights, in deterministic topological-layer order."""
+        out = []
+        for name in self.topological_order():
+            out.extend(self._layers[name].weights)
+        return out
+
+    def flops_per_sample(self) -> int:
+        """Total forward FLOPs per sample across all layers."""
+        return sum(l.flops_per_sample() for l in self._layers.values() if l.built)
+
+    # -- execution ---------------------------------------------------------------
+
+    def forward(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Iterable[str] | None = None,
+        training: bool = False,
+    ) -> dict[str, np.ndarray]:
+        """Run a forward pass.
+
+        Parameters
+        ----------
+        feeds:
+            Batch arrays keyed by ``Input`` layer name.  All inputs must be
+            fed and all batches must agree on the leading dimension.
+        outputs:
+            Names of layers whose activations to return (default: all sink
+            layers).
+        training:
+            Enables dropout masks and batch-statistics updates.
+        """
+        order = self.topological_order()
+        missing = set(self.input_names) - set(feeds)
+        if missing:
+            raise GraphError(f"missing feeds for inputs: {sorted(missing)}")
+        unknown = set(feeds) - set(self.input_names)
+        if unknown:
+            raise GraphError(f"feeds for non-input layers: {sorted(unknown)}")
+        batch_sizes = {np.asarray(v).shape[0] for v in feeds.values()}
+        if len(batch_sizes) > 1:
+            raise GraphError(f"inconsistent batch sizes in feeds: {batch_sizes}")
+
+        acts: dict[str, np.ndarray] = {}
+        for name in order:
+            layer = self._layers[name]
+            if isinstance(layer, Input):
+                acts[name] = layer.feed(feeds[name])
+            else:
+                parent_acts = [acts[p] for p in self._parents[name]]
+                acts[name] = layer.forward(parent_acts, training)
+        self._activations = acts
+
+        if outputs is None:
+            sinks = [n for n in order if self._nx.out_degree(n) == 0]
+            outputs = sinks
+        result = {}
+        for n in outputs:
+            if n not in acts:
+                raise GraphError(f"unknown output layer {n!r}")
+            result[n] = acts[n]
+        return result
+
+    def backward(
+        self, output_grads: Mapping[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Back-propagate from the given output gradients.
+
+        Accumulates weight gradients in every traversed layer and returns
+        the gradients that reach each ``Input`` layer (useful when chaining
+        models, e.g. pushing the adversarial gradient from a discriminator
+        into a generator).
+        """
+        if not self._activations:
+            raise GraphError("backward() without a preceding forward()")
+        order = self.topological_order()
+        grads: dict[str, np.ndarray] = {}
+        for name, g in output_grads.items():
+            if name not in self._activations:
+                raise GraphError(f"gradient for layer {name!r} not in last forward")
+            expected = self._activations[name].shape
+            g = np.asarray(g, dtype=np.float32)
+            if g.shape != expected:
+                raise GraphError(
+                    f"gradient shape {g.shape} != activation shape {expected} "
+                    f"for layer {name!r}"
+                )
+            grads[name] = g.copy()
+
+        for name in reversed(order):
+            layer = self._layers[name]
+            if isinstance(layer, Input) or name not in grads:
+                continue
+            parent_grads = layer.backward(grads.pop(name))
+            for p, pg in zip(self._parents[name], parent_grads):
+                if p in grads:
+                    grads[p] = grads[p] + pg
+                else:
+                    grads[p] = pg
+
+        input_grads = {n: grads[n] for n in self.input_names if n in grads}
+        self._activations = {}
+        return input_grads

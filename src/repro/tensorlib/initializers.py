@@ -1,0 +1,129 @@
+"""Weight initialization schemes.
+
+Each initializer is a callable ``(shape, rng) -> ndarray`` returning a
+float32 array.  Fan-in/fan-out conventions follow Glorot & Bengio (2010)
+and He et al. (2015) for 2-D weight matrices of shape ``(fan_in, fan_out)``;
+for 1-D shapes (biases) both fans equal the length.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "Constant",
+    "Zeros",
+    "NormalInit",
+    "UniformInit",
+    "GlorotUniform",
+    "GlorotNormal",
+    "HeNormal",
+    "HeUniform",
+]
+
+DTYPE = np.float32
+
+
+def _fans(shape: Sequence[int]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight shape."""
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return int(shape[0]), int(shape[0])
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return int(shape[0]) * receptive, int(shape[1]) * receptive
+
+
+class Initializer(ABC):
+    """Base class for weight initializers."""
+
+    @abstractmethod
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Return a freshly initialized float32 array of the given shape."""
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in vars(self).items())
+        return f"{type(self).__name__}({attrs})"
+
+
+class Constant(Initializer):
+    """Fill with a constant value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, self.value, dtype=DTYPE)
+
+
+class Zeros(Constant):
+    """Fill with zeros (the conventional bias initializer)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+
+
+class NormalInit(Initializer):
+    """Gaussian with the given mean and standard deviation."""
+
+    def __init__(self, mean: float = 0.0, stddev: float = 0.05) -> None:
+        if stddev < 0:
+            raise ValueError(f"stddev must be non-negative, got {stddev}")
+        self.mean = float(mean)
+        self.stddev = float(stddev)
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(self.mean, self.stddev, size=shape).astype(DTYPE)
+
+
+class UniformInit(Initializer):
+    """Uniform on [low, high)."""
+
+    def __init__(self, low: float = -0.05, high: float = 0.05) -> None:
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+        self.low = float(low)
+        self.high = float(high)
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=shape).astype(DTYPE)
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform: U(±sqrt(6 / (fan_in + fan_out)))."""
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = _fans(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+class GlorotNormal(Initializer):
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = _fans(shape)
+        stddev = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, stddev, size=shape).astype(DTYPE)
+
+
+class HeNormal(Initializer):
+    """He normal: N(0, 2 / fan_in); preferred for ReLU-family stacks."""
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = _fans(shape)
+        stddev = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, stddev, size=shape).astype(DTYPE)
+
+
+class HeUniform(Initializer):
+    """He uniform: U(±sqrt(6 / fan_in))."""
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = _fans(shape)
+        limit = np.sqrt(6.0 / fan_in)
+        return rng.uniform(-limit, limit, size=shape).astype(DTYPE)

@@ -1,0 +1,28 @@
+"""Layer classes: the nodes of a model DAG."""
+
+from repro.tensorlib.layers.base import Layer, LayerBuildError
+from repro.tensorlib.layers.core import (
+    Activation,
+    BatchNorm,
+    Concatenation,
+    Dropout,
+    FullyConnected,
+    Identity,
+    Input,
+    Slice,
+    Sum,
+)
+
+__all__ = [
+    "Layer",
+    "LayerBuildError",
+    "Input",
+    "Identity",
+    "FullyConnected",
+    "Activation",
+    "Dropout",
+    "BatchNorm",
+    "Concatenation",
+    "Slice",
+    "Sum",
+]

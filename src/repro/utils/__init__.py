@@ -1,0 +1,38 @@
+"""Shared utilities: deterministic RNG spawning, logging, units, serialization.
+
+Everything in :mod:`repro` that needs randomness receives a
+:class:`numpy.random.Generator` (or a :class:`~repro.utils.rng.RngFactory`)
+explicitly — there is no hidden global RNG state anywhere in the library,
+which is what makes the discrete-event experiments bit-reproducible.
+"""
+
+from repro.utils.rng import RngFactory, spawn_rngs
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    TB,
+    format_bytes,
+    format_time,
+)
+from repro.utils.serialization import pack_arrays, unpack_arrays, nbytes_of
+
+__all__ = [
+    "RngFactory",
+    "spawn_rngs",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_time",
+    "pack_arrays",
+    "unpack_arrays",
+    "nbytes_of",
+]

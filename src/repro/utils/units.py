@@ -1,0 +1,70 @@
+"""Byte/time unit constants and human-readable formatting helpers.
+
+Decimal units (KB/MB/GB/TB) are used for link bandwidths and file sizes, to
+match how interconnect and storage vendors (and the paper) quote them;
+binary units (KiB/MiB/GiB) are used for memory capacities.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_time",
+]
+
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+_DECIMAL_STEPS = [(TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with an appropriate decimal unit.
+
+    >>> format_bytes(2_500_000)
+    '2.50 MB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    n = float(n)
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for step, unit in _DECIMAL_STEPS:
+        if n >= step:
+            return f"{n / step:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration compactly: us/ms/s/min/h as appropriate.
+
+    >>> format_time(0.00042)
+    '420.0 us'
+    >>> format_time(7265)
+    '2.02 h'
+    """
+    s = float(seconds)
+    if s < 0:
+        raise ValueError(f"duration must be non-negative, got {s}")
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    if s < 2 * 3600.0:
+        return f"{s / 60.0:.1f} min"
+    return f"{s / 3600.0:.2f} h"

@@ -1,0 +1,31 @@
+"""Ensemble workflow engine (Merlin analog).
+
+The paper's dataset came from ~10M JAG runs driven by an extension of the
+Merlin workflow system; because each JAG run takes only ~a minute, "a
+workflow system's runtime can be dominated by the overhead of scheduling,
+placing, and executing jobs".  This package reproduces that layer:
+
+- :mod:`repro.workflow.engine` — a discrete-event simulator of a worker
+  pool executing an ensemble of tasks, with per-task scheduling/placement
+  overheads, so the throughput effect the paper motivates is measurable;
+- :mod:`repro.workflow.campaign` — the end-to-end JAG campaign: sample the
+  design, run the simulator (for real) under the workflow engine, bundle
+  outputs onto the simulated PFS.
+"""
+
+from repro.workflow.engine import (
+    EnsembleWorkflow,
+    TaskResult,
+    WorkerPoolSpec,
+    WorkflowStats,
+)
+from repro.workflow.campaign import CampaignReport, run_campaign
+
+__all__ = [
+    "WorkerPoolSpec",
+    "TaskResult",
+    "WorkflowStats",
+    "EnsembleWorkflow",
+    "run_campaign",
+    "CampaignReport",
+]

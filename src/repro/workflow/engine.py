@@ -1,0 +1,140 @@
+"""Discrete-event ensemble workflow engine.
+
+Executes an ensemble of short tasks on a simulated worker pool.  Each
+task costs (simulated) scheduling overhead + placement overhead +
+execution time; workers pull tasks greedily, batched ``tasks_per_job``
+at a time — the Merlin-style optimization that amortizes scheduler
+overhead over many fast simulations.  The engine optionally *actually
+executes* a Python callable per task (the JAG campaign does), but its
+clock is the simulated one.
+
+The observable the paper motivates: with one-task-per-job scheduling,
+overhead dominates runtime for ~minute-long JAG tasks; batching restores
+throughput.  ``WorkflowStats.overhead_fraction`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["WorkerPoolSpec", "TaskResult", "WorkflowStats", "EnsembleWorkflow"]
+
+
+@dataclass(frozen=True)
+class WorkerPoolSpec:
+    """The execution fabric and its overheads (seconds, simulated)."""
+
+    num_workers: int = 16
+    schedule_overhead: float = 3.0  # batch-queue decision per job
+    placement_overhead: float = 1.5  # job launch/placement per job
+    tasks_per_job: int = 100  # Merlin-style batching factor
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0 or self.tasks_per_job <= 0:
+            raise ValueError("num_workers and tasks_per_job must be positive")
+        if self.schedule_overhead < 0 or self.placement_overhead < 0:
+            raise ValueError("overheads must be non-negative")
+
+
+@dataclass
+class TaskResult:
+    """One task's execution record (simulated timestamps)."""
+
+    task_id: int
+    worker: int
+    start_time: float
+    end_time: float
+    output: object = None
+
+
+@dataclass
+class WorkflowStats:
+    """Aggregate accounting of one workflow run."""
+
+    makespan: float = 0.0
+    total_task_time: float = 0.0
+    total_overhead_time: float = 0.0
+    jobs_launched: int = 0
+    tasks_completed: int = 0
+
+    @property
+    def overhead_fraction(self) -> float:
+        busy = self.total_task_time + self.total_overhead_time
+        return self.total_overhead_time / busy if busy > 0 else 0.0
+
+    @property
+    def worker_efficiency(self) -> float:
+        """Useful task time / total worker-seconds consumed."""
+        busy = self.total_task_time + self.total_overhead_time
+        return self.total_task_time / busy if busy > 0 else 0.0
+
+
+class EnsembleWorkflow:
+    """Runs an ensemble of tasks over a simulated worker pool.
+
+    Parameters
+    ----------
+    spec:
+        Worker pool geometry and overheads.
+    task_fn:
+        Optional real work: called as ``task_fn(task_id)`` for every task;
+        its return value lands in the :class:`TaskResult`.  The *simulated*
+        duration comes from ``task_times``, not the wall clock.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerPoolSpec,
+        task_fn: Callable[[int], object] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.task_fn = task_fn
+
+    def run(self, task_times: Sequence[float]) -> tuple[list[TaskResult], WorkflowStats]:
+        """Execute tasks ``0..n-1`` with the given simulated durations.
+
+        Tasks are grouped into jobs of ``tasks_per_job``; each job pays the
+        scheduling + placement overhead once, then runs its tasks
+        back-to-back on one worker.  Workers are assigned jobs
+        earliest-available-first (a min-heap of worker clocks).
+        """
+        n = len(task_times)
+        if n == 0:
+            raise ValueError("ensemble must contain at least one task")
+        if any(t < 0 for t in task_times):
+            raise ValueError("task times must be non-negative")
+        spec = self.spec
+        # (available_time, worker_id) heap; worker_id breaks ties stably.
+        workers = [(0.0, w) for w in range(spec.num_workers)]
+        heapq.heapify(workers)
+        results: list[TaskResult] = []
+        stats = WorkflowStats()
+        per_job_overhead = spec.schedule_overhead + spec.placement_overhead
+
+        for job_start in range(0, n, spec.tasks_per_job):
+            job_tasks = range(job_start, min(n, job_start + spec.tasks_per_job))
+            available, worker = heapq.heappop(workers)
+            clock = available + per_job_overhead
+            stats.total_overhead_time += per_job_overhead
+            stats.jobs_launched += 1
+            for task_id in job_tasks:
+                start = clock
+                clock += float(task_times[task_id])
+                output = self.task_fn(task_id) if self.task_fn else None
+                results.append(
+                    TaskResult(
+                        task_id=task_id,
+                        worker=worker,
+                        start_time=start,
+                        end_time=clock,
+                        output=output,
+                    )
+                )
+                stats.total_task_time += float(task_times[task_id])
+                stats.tasks_completed += 1
+            heapq.heappush(workers, (clock, worker))
+
+        stats.makespan = max(r.end_time for r in results)
+        return results, stats

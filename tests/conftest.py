@@ -1,0 +1,69 @@
+"""Shared fixtures: small datasets and pre-trained components.
+
+Expensive artifacts (the JAG dataset, the pre-trained autoencoder) are
+session-scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleSpec, pretrain_autoencoder
+from repro.core.trainer import TrainerConfig
+from repro.jag.dataset import JagDatasetConfig, JagSchema, generate_dataset
+from repro.models.cyclegan import SurrogateConfig
+from repro.utils.rng import RngFactory
+
+# A deliberately tiny schema so model math stays fast in unit tests.
+TINY_SCHEMA = JagSchema(image_size=8, views=2, channels=2)
+
+
+@pytest.fixture(scope="session")
+def rngs() -> RngFactory:
+    return RngFactory(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> JagSchema:
+    return TINY_SCHEMA
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """512-sample dataset with 8x8 images; enough structure for training
+    smoke tests without slowing the suite."""
+    return generate_dataset(
+        JagDatasetConfig(n_samples=512, schema=TINY_SCHEMA, seed=99, chunk=256)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_surrogate_config(tiny_dataset) -> SurrogateConfig:
+    return SurrogateConfig(
+        schema=tiny_dataset.schema,
+        ae_hidden=(48, 32),
+        forward_hidden=(24, 24),
+        inverse_hidden=(24, 24),
+        disc_hidden=(16, 8),
+        batch_size=32,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_spec(tiny_surrogate_config) -> EnsembleSpec:
+    return EnsembleSpec(
+        k=2,
+        surrogate=tiny_surrogate_config,
+        trainer=TrainerConfig(batch_size=32),
+        ae_epochs=3,
+        ae_max_samples=256,
+        tournament_fraction=0.125,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_autoencoder(tiny_dataset, tiny_spec):
+    rngs = RngFactory(555)
+    train_ids = np.arange(tiny_dataset.n_samples)
+    return pretrain_autoencoder(tiny_dataset, train_ids, rngs, tiny_spec)

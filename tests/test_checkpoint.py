@@ -1,0 +1,129 @@
+"""Tests for trainer/population checkpointing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    population_checkpoint,
+    restore_population,
+    restore_trainer,
+    trainer_checkpoint,
+)
+from repro.core.ensemble import build_population
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture()
+def two_trainers(tiny_dataset, tiny_spec, tiny_autoencoder):
+    spec = dataclasses.replace(tiny_spec, k=2)
+    train_ids = np.arange(tiny_dataset.n_samples - 64)
+    return build_population(
+        tiny_dataset, train_ids, RngFactory(31), spec, tiny_autoencoder
+    )
+
+
+def states_equal(a, b) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestTrainerCheckpoint:
+    def test_roundtrip_restores_exact_state(self, two_trainers):
+        t = two_trainers[0]
+        t.train_steps(3)
+        payload = trainer_checkpoint(t)
+        before = t.surrogate.get_full_state()
+        opt_before = t.gen_optimizer.get_state()
+
+        t.train_steps(2)  # diverge
+        assert not states_equal(before, t.surrogate.get_full_state())
+
+        restore_trainer(t, payload)
+        assert states_equal(before, t.surrogate.get_full_state())
+        assert t.steps_done == 3
+        restored_opt = t.gen_optimizer.get_state()
+        assert restored_opt["step_count"] == opt_before["step_count"]
+        for wname, slots in opt_before["slots"].items():
+            for k, v in slots.items():
+                np.testing.assert_array_equal(restored_opt["slots"][wname][k], v)
+
+    def test_resume_training_is_bit_deterministic(self, two_trainers):
+        """Checkpoint -> 2 more steps must equal uninterrupted 5 steps
+        (readers excluded: we re-drive the same batches explicitly)."""
+        t = two_trainers[0]
+        batches = [t._next_batch() for _ in range(5)]
+
+        # Uninterrupted path.
+        for mb in batches:
+            t.surrogate.train_step(mb.feeds, t.disc_optimizer, t.gen_optimizer)
+        final_direct = t.surrogate.get_full_state()
+
+        # Rewind to the start via a pre-captured checkpoint is impossible
+        # now, so replay: restore from a checkpoint taken after batch 2.
+        t2 = two_trainers[1]
+        for mb in batches[:3]:
+            t2.surrogate.train_step(mb.feeds, t2.disc_optimizer, t2.gen_optimizer)
+        ckpt = trainer_checkpoint(t2)
+        for mb in batches[3:]:
+            t2.surrogate.train_step(mb.feeds, t2.disc_optimizer, t2.gen_optimizer)
+        direct = t2.surrogate.get_full_state()
+        restore_trainer(t2, ckpt)
+        for mb in batches[3:]:
+            t2.surrogate.train_step(mb.feeds, t2.disc_optimizer, t2.gen_optimizer)
+        resumed = t2.surrogate.get_full_state()
+        assert states_equal(direct, resumed)
+        assert not states_equal(direct, final_direct)  # sanity: t != t2
+
+    def test_counters_roundtrip(self, two_trainers):
+        t = two_trainers[0]
+        t.tournaments_won = 5
+        t.tournaments_lost = 2
+        payload = trainer_checkpoint(t)
+        t.tournaments_won = 0
+        restore_trainer(t, payload)
+        assert t.tournaments_won == 5 and t.tournaments_lost == 2
+
+    def test_corrupt_version_rejected(self, two_trainers):
+        import io
+        import json
+
+        t = two_trainers[0]
+        payload = trainer_checkpoint(t)
+        with np.load(io.BytesIO(payload)) as data:
+            arrays = {k: np.array(data[k]) for k in data.files}
+        header = json.loads(bytes(arrays["__checkpoint_header__"]).decode())
+        header["version"] = 99
+        arrays["__checkpoint_header__"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        with pytest.raises(ValueError):
+            restore_trainer(t, buf.getvalue())
+
+
+class TestPopulationCheckpoint:
+    def test_roundtrip(self, two_trainers):
+        for t in two_trainers:
+            t.train_steps(2)
+        ckpts = population_checkpoint(two_trainers)
+        states = [t.surrogate.get_full_state() for t in two_trainers]
+        for t in two_trainers:
+            t.train_steps(1)
+        restore_population(two_trainers, ckpts)
+        for t, s in zip(two_trainers, states):
+            assert states_equal(s, t.surrogate.get_full_state())
+
+    def test_missing_checkpoint_rejected(self, two_trainers):
+        ckpts = population_checkpoint(two_trainers)
+        del ckpts[two_trainers[0].name]
+        with pytest.raises(ValueError):
+            restore_population(two_trainers, ckpts)
+
+    def test_duplicate_names_rejected(self, two_trainers):
+        two_trainers[1].name = two_trainers[0].name
+        with pytest.raises(ValueError):
+            population_checkpoint(two_trainers)

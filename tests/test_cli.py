@@ -1,0 +1,30 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_all_perf_runs_and_passes(capsys):
+    assert main(["--all-perf"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9" in out and "Figure 10" in out and "Figure 11" in out
+    assert "DIVERGES" not in out
+
+
+def test_single_figure(capsys):
+    assert main(["fig09"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 9" in out and "Figure 10" not in out
+
+
+def test_no_figures_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

@@ -1,0 +1,219 @@
+"""Tests for the machine specs, compute model, and filesystem models."""
+
+from __future__ import annotations
+
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.compute import ComputeModel
+from repro.cluster.filesystem import PfsCostModel, SimulatedFilesystem
+from repro.cluster.machine import (
+    FilesystemSpec,
+    GpuSpec,
+    MachineSpec,
+    NodeSpec,
+    PerfCalibration,
+    lassen,
+)
+
+
+class TestMachineSpecs:
+    def test_lassen_defaults(self):
+        m = lassen()
+        assert m.node.gpus_per_node == 4
+        assert m.num_nodes == 795
+        assert m.total_gpus == 3180
+        # Dual-rail EDR and NVLink2-class numbers.
+        assert m.node.inter_node.bandwidth == pytest.approx(25e9)
+        assert m.node.intra_node.bandwidth == pytest.approx(75e9)
+
+    def test_with_override(self):
+        m = lassen().with_(num_nodes=10)
+        assert m.num_nodes == 10
+        assert lassen().num_nodes == 795  # original untouched
+
+    def test_datastore_bytes_per_rank_default_resource_set(self):
+        node = NodeSpec()
+        quarter = node.memory_bytes * node.usable_memory_fraction / 4
+        assert node.datastore_bytes_per_rank() == pytest.approx(quarter, rel=1e-6)
+
+    def test_datastore_bytes_per_rank_full_node(self):
+        node = NodeSpec()
+        full = node.memory_bytes * node.usable_memory_fraction
+        assert node.datastore_bytes_per_rank(ranks_per_node=1) == pytest.approx(
+            full, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec(peak_flops=0)
+        with pytest.raises(ValueError):
+            NodeSpec(gpus_per_node=0)
+        with pytest.raises(ValueError):
+            FilesystemSpec(aggregate_bandwidth=-1)
+        with pytest.raises(ValueError):
+            MachineSpec(num_nodes=0)
+
+    def test_cache_pressure_penalty_shape(self):
+        cal = PerfCalibration()
+        assert cal.cache_pressure_penalty(0.0) == 1.0
+        assert cal.cache_pressure_penalty(cal.cache_pressure_knee) == 1.0
+        p_mid = cal.cache_pressure_penalty(0.6)
+        p_high = cal.cache_pressure_penalty(0.9)
+        assert 1.0 < p_mid < p_high
+        with pytest.raises(ValueError):
+            cal.cache_pressure_penalty(-0.1)
+
+
+class TestComputeModel:
+    def setup_method(self):
+        self.model = ComputeModel(lassen())
+
+    def test_sustained_below_peak(self):
+        gpu = lassen().gpu
+        assert self.model.sustained_flops(128) < gpu.peak_flops * gpu.gemm_efficiency
+
+    def test_small_batch_rolloff(self):
+        assert self.model.sustained_flops(8) < self.model.sustained_flops(128)
+
+    def test_per_sample_time_grows_as_batch_shrinks(self):
+        flops = 1e9
+        t128 = self.model.step_compute_time(flops, 128) / 128
+        t8 = self.model.step_compute_time(flops, 8) / 8
+        assert t8 > t128
+
+    def test_linear_in_flops(self):
+        t1 = self.model.step_compute_time(1e9, 64)
+        t2 = self.model.step_compute_time(2e9, 64)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_inference_cheaper_than_training(self):
+        assert self.model.inference_time(1e9, 32) < self.model.step_compute_time(
+            3e9, 32
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.model.step_compute_time(1e9, 0)
+        with pytest.raises(ValueError):
+            self.model.step_compute_time(-1, 8)
+
+
+class TestSimulatedFilesystem:
+    def test_write_read_and_accounting(self):
+        fs = SimulatedFilesystem()
+        fs.write("a/b.npz", {"x": 1}, nbytes=1000)
+        assert fs.exists("a/b.npz")
+        assert fs.nbytes("a/b.npz") == 1000
+        assert fs.read_file("a/b.npz") == {"x": 1}
+        assert fs.stats.opens == 1
+        assert fs.stats.reads == 1
+        assert fs.stats.bytes_read == 1000
+
+    def test_opens_per_file_counted(self):
+        fs = SimulatedFilesystem()
+        fs.write("f", "payload", 10)
+        for _ in range(3):
+            fs.read_file("f")
+        assert fs.stats.opens_per_file["f"] == 3
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            SimulatedFilesystem().open("ghost")
+
+    def test_closed_handle_rejects_read(self):
+        fs = SimulatedFilesystem()
+        fs.write("f", 1, 1)
+        h = fs.open("f")
+        h.close()
+        with pytest.raises(ValueError):
+            h.read()
+
+    def test_total_bytes_and_paths_sorted(self):
+        fs = SimulatedFilesystem()
+        fs.write("b", 0, 5)
+        fs.write("a", 0, 7)
+        assert fs.total_bytes == 12
+        assert list(fs.paths()) == ["a", "b"]
+
+    def test_overwrite_replaces(self):
+        fs = SimulatedFilesystem()
+        fs.write("f", 1, 10)
+        fs.write("f", 2, 20)
+        assert fs.nbytes("f") == 20 and len(fs) == 1
+
+    def test_stats_snapshot_and_reset(self):
+        fs = SimulatedFilesystem()
+        fs.write("f", 1, 10)
+        fs.read_file("f")
+        snap = fs.stats.snapshot()
+        fs.stats.reset()
+        assert snap.opens == 1 and fs.stats.opens == 0
+
+    def test_validation(self):
+        fs = SimulatedFilesystem()
+        with pytest.raises(ValueError):
+            fs.write("", 1, 1)
+        with pytest.raises(ValueError):
+            fs.write("f", 1, -1)
+
+
+class TestPfsCostModel:
+    def setup_method(self):
+        self.pfs = PfsCostModel(FilesystemSpec())
+
+    def test_open_contention_random_vs_bulk(self):
+        """Shared-pool random opens degrade far earlier than disjoint
+        bulk opens — the preload-vs-naive asymmetry."""
+        t_rand = self.pfs.open_time(64, access="random")
+        t_bulk = self.pfs.open_time(64, access="bulk")
+        assert t_rand > 2 * t_bulk
+
+    def test_open_monotone_in_clients(self):
+        assert self.pfs.open_time(100) > self.pfs.open_time(1)
+
+    def test_open_invalid(self):
+        with pytest.raises(ValueError):
+            self.pfs.open_time(0)
+        with pytest.raises(ValueError):
+            self.pfs.open_time(1, access="weird")
+
+    def test_stream_bandwidth_caps(self):
+        spec = self.pfs.spec
+        assert self.pfs.stream_bandwidth(1) == spec.per_stream_bandwidth
+        many = self.pfs.stream_bandwidth(1000)
+        assert many < spec.per_stream_bandwidth
+        assert many <= spec.aggregate_bandwidth / 1000
+
+    def test_aggregate_degradation_kicks_in(self):
+        """Effective aggregate at 1024 clients is visibly below spec —
+        the Fig.-11 preload degradation mechanism."""
+        full = self.pfs.effective_aggregate_bandwidth(16)
+        storm = self.pfs.effective_aggregate_bandwidth(1024)
+        assert storm < 0.5 * full
+
+    def test_random_reads_much_slower_than_stream(self):
+        sample = 200_000
+        t_rand = self.pfs.random_sample_read_time(sample, 4)
+        t_seq = self.pfs.sequential_read_time(sample, 4)
+        assert t_rand > 10 * t_seq
+
+    def test_bulk_preload_combines_open_and_stream(self):
+        t = self.pfs.bulk_preload_time(1e9, 10, 16)
+        assert t > self.pfs.sequential_read_time(1e9, 16)
+
+    @given(st.integers(1, 2048))
+    @settings(max_examples=30, deadline=None)
+    def test_total_delivered_bandwidth_monotone_decreasing_per_client(self, n):
+        assert self.pfs.stream_bandwidth(n) >= self.pfs.stream_bandwidth(n + 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.pfs.sequential_read_time(-1, 4)
+        with pytest.raises(ValueError):
+            self.pfs.random_sample_read_time(-1, 4)
+        with pytest.raises(ValueError):
+            self.pfs.bulk_preload_time(-1, 1, 1)

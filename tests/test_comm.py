@@ -1,0 +1,232 @@
+"""Tests for the communication substrate: topology, cost models, SPMD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.costmodel import CollectiveCostModel, LinkParams
+from repro.comm.spmd import SpmdError, run_spmd
+from repro.comm.topology import RankPlacement, contiguous_placement
+
+INTRA = LinkParams(latency=1e-6, bandwidth=75e9)
+INTER = LinkParams(latency=2e-6, bandwidth=25e9)
+MODEL = CollectiveCostModel(INTRA, INTER)
+
+
+class TestPlacement:
+    def test_contiguous_packing(self):
+        p = contiguous_placement(16, 4)
+        assert p.num_ranks == 16 and p.num_nodes == 4
+        assert p.ranks_on_node(0) == [0, 1, 2, 3]
+        assert p.node_of[15] == 3
+
+    def test_one_rank_per_node(self):
+        p = contiguous_placement(8, 1)
+        assert p.num_nodes == 8
+        assert p.max_ranks_per_node == 1
+
+    def test_same_node(self):
+        p = contiguous_placement(8, 4)
+        assert p.same_node(0, 3)
+        assert not p.same_node(3, 4)
+
+    def test_remote_fraction(self):
+        p = contiguous_placement(16, 4)
+        assert p.remote_fraction(0) == pytest.approx(12 / 15)
+        single = contiguous_placement(1, 1)
+        assert single.remote_fraction(0) == 0.0
+        flat = contiguous_placement(4, 1)
+        assert flat.remote_fraction(2) == 1.0
+
+    def test_dense_node_ids_enforced(self):
+        with pytest.raises(ValueError):
+            RankPlacement((0, 2))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            contiguous_placement(0, 4)
+        with pytest.raises(ValueError):
+            contiguous_placement(4, 0)
+
+
+class TestLinkParams:
+    def test_transfer_time(self):
+        assert INTER.transfer_time(25e9) == pytest.approx(1.0 + 2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkParams(-1, 1)
+        with pytest.raises(ValueError):
+            LinkParams(0, 0)
+        with pytest.raises(ValueError):
+            INTER.transfer_time(-5)
+
+
+class TestAllreduceModel:
+    def test_single_rank_free(self):
+        assert MODEL.allreduce_time(1e9, contiguous_placement(1, 1)) == 0.0
+
+    def test_zero_bytes_free(self):
+        assert MODEL.allreduce_time(0, contiguous_placement(8, 4)) == 0.0
+
+    def test_single_node_ring(self):
+        p = contiguous_placement(4, 4)
+        b = 400e6
+        expected = 2 * 3 * INTRA.latency + 2 * (3 / 4) * b / INTRA.bandwidth
+        assert MODEL.allreduce_time(b, p) == pytest.approx(expected)
+
+    def test_flat_internode_ring(self):
+        p = contiguous_placement(16, 1)
+        b = 400e6
+        expected = 2 * 15 * INTER.latency + 2 * (15 / 16) * b / INTER.bandwidth
+        assert MODEL.allreduce_time(b, p) == pytest.approx(expected)
+
+    def test_hierarchical_combines_both_levels(self):
+        p = contiguous_placement(16, 4)
+        b = 400e6
+        intra = 2 * 3 * INTRA.latency + 2 * (3 / 4) * b / INTRA.bandwidth
+        inter = 2 * 3 * INTER.latency + 2 * (3 / 4) * b / INTER.bandwidth
+        assert MODEL.allreduce_time(b, p) == pytest.approx(intra + inter)
+
+    def test_nvlink_cheaper_than_ib_for_same_ranks(self):
+        b = 100e6
+        one_node = MODEL.allreduce_time(b, contiguous_placement(4, 4))
+        four_nodes = MODEL.allreduce_time(b, contiguous_placement(4, 1))
+        assert one_node < four_nodes
+
+    @given(st.integers(2, 64), st.floats(1e3, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_bytes(self, ranks, nbytes):
+        p = contiguous_placement(ranks, min(4, ranks))
+        assert MODEL.allreduce_time(nbytes * 2, p) >= MODEL.allreduce_time(nbytes, p)
+
+
+class TestOtherCollectives:
+    def test_bcast_log_scaling(self):
+        b = 1e6
+        t4 = MODEL.bcast_time(b, contiguous_placement(4, 1))
+        t16 = MODEL.bcast_time(b, contiguous_placement(16, 1))
+        # log2(16)/log2(4) = 2x stages
+        assert t16 == pytest.approx(2 * t4)
+
+    def test_shuffle_zero_cases(self):
+        assert MODEL.shuffle_time(0, contiguous_placement(8, 4)) == 0.0
+        assert MODEL.shuffle_time(1e6, contiguous_placement(1, 1)) == 0.0
+
+    def test_shuffle_nic_sharing(self):
+        """More ranks per node -> more bytes through the shared NIC."""
+        recv = 10e6
+        t_packed = MODEL.shuffle_time(recv, contiguous_placement(16, 4))
+        t_spread = MODEL.shuffle_time(recv, contiguous_placement(16, 1))
+        assert t_packed > t_spread
+
+    def test_model_exchange(self):
+        assert MODEL.model_exchange_time(0) == 0.0
+        assert MODEL.model_exchange_time(25e9) == pytest.approx(1.0 + 2e-6)
+        with pytest.raises(ValueError):
+            MODEL.model_exchange_time(-1)
+
+
+class TestSpmd:
+    def test_rank_and_size(self):
+        out = run_spmd(5, lambda c: (c.rank, c.size), timeout=10)
+        assert out == [(r, 5) for r in range(5)]
+
+    def test_send_recv(self):
+        def prog(c):
+            if c.rank == 0:
+                c.send({"payload": 42}, dest=1)
+                return None
+            if c.rank == 1:
+                return c.recv(source=0)
+
+        out = run_spmd(2, prog, timeout=10)
+        assert out[1] == {"payload": 42}
+
+    def test_sendrecv_swap(self):
+        out = run_spmd(2, lambda c: c.sendrecv(c.rank, peer=1 - c.rank), timeout=10)
+        assert out == [1, 0]
+
+    def test_bcast(self):
+        out = run_spmd(
+            4, lambda c: c.bcast("hello" if c.rank == 2 else None, root=2), timeout=10
+        )
+        assert out == ["hello"] * 4
+
+    def test_scatter_gather_roundtrip(self):
+        def prog(c):
+            part = c.scatter([i * i for i in range(c.size)] if c.rank == 0 else None)
+            return c.gather(part, root=0)
+
+        out = run_spmd(4, prog, timeout=10)
+        assert out[0] == [0, 1, 4, 9]
+        assert out[1] is None
+
+    def test_allgather(self):
+        out = run_spmd(3, lambda c: c.allgather(c.rank * 10), timeout=10)
+        assert out == [[0, 10, 20]] * 3
+
+    def test_allreduce_numpy(self):
+        def prog(c):
+            return c.allreduce(np.full(3, c.rank, dtype=np.float64))
+
+        out = run_spmd(4, prog, timeout=10)
+        for arr in out:
+            np.testing.assert_array_equal(arr, [6.0, 6.0, 6.0])
+
+    def test_allreduce_custom_op(self):
+        out = run_spmd(4, lambda c: c.allreduce(c.rank + 1, op=max), timeout=10)
+        assert out == [4, 4, 4, 4]
+
+    def test_alltoall_personalized(self):
+        def prog(c):
+            return c.alltoall([f"{c.rank}->{d}" for d in range(c.size)])
+
+        out = run_spmd(3, prog, timeout=10)
+        assert out[1] == ["0->1", "1->1", "2->1"]
+
+    def test_consecutive_collectives_do_not_interfere(self):
+        def prog(c):
+            a = c.allgather(c.rank)
+            b = c.allgather(-c.rank)
+            return a, b
+
+        out = run_spmd(3, prog, timeout=10)
+        assert out[0] == ([0, 1, 2], [0, -1, -2])
+
+    def test_barrier(self):
+        def prog(c):
+            c.barrier()
+            return True
+
+        assert run_spmd(4, prog, timeout=10) == [True] * 4
+
+    def test_exception_propagates(self):
+        def prog(c):
+            if c.rank == 1:
+                raise RuntimeError("boom")
+            c.barrier()
+
+        with pytest.raises((RuntimeError, SpmdError)):
+            run_spmd(3, prog, timeout=5)
+
+    def test_invalid_peer(self):
+        def prog(c):
+            c.send(1, dest=99)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog, timeout=5)
+
+    def test_scatter_wrong_length(self):
+        def prog(c):
+            c.scatter([1] if c.rank == 0 else None, root=0)
+
+        with pytest.raises(SpmdError):
+            run_spmd(2, prog, timeout=5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda c: None)

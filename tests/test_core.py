@@ -1,0 +1,308 @@
+"""Tests for the core training stack: Trainer, LTFB, K-independent,
+population construction.
+
+Uses the session-scoped tiny dataset/autoencoder from conftest so the
+suite pre-trains the expensive pieces once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleSpec, build_population
+from repro.core.kindependent import KIndependentDriver
+from repro.core.ltfb import LtfbConfig, LtfbDriver
+from repro.core.trainer import Trainer, TrainerConfig
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture()
+def population(tiny_dataset, tiny_spec, tiny_autoencoder):
+    def build(k=2, seed=7, **overrides):
+        spec = dataclasses.replace(tiny_spec, k=k, **overrides)
+        train_ids = np.arange(tiny_dataset.n_samples - 64)
+        return build_population(
+            tiny_dataset, train_ids, RngFactory(seed), spec, tiny_autoencoder
+        )
+
+    return build
+
+
+@pytest.fixture()
+def val_batch(tiny_dataset):
+    ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
+    return {k: v[ids] for k, v in tiny_dataset.fields.items()}
+
+
+class TestTrainerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(tournament_metric="accuracy")
+        with pytest.raises(ValueError):
+            TrainerConfig(adopt_optimizer="maybe")
+
+
+class TestTrainer:
+    def test_train_steps_returns_mean_losses(self, population):
+        t = population(k=1)[0]
+        losses = t.train_steps(3)
+        assert t.steps_done == 3
+        assert "gen_loss" in losses and "disc_loss" in losses
+
+    def test_batches_continue_across_epoch_boundaries(self, population):
+        t = population(k=2)[0]
+        # silo is small; request more steps than one epoch holds
+        steps = t.reader.steps_per_epoch(t.config.batch_size) + 2
+        t.train_steps(steps)
+        assert t.steps_done == steps
+
+    def test_tournament_score_finite(self, population):
+        t = population(k=2)[0]
+        assert np.isfinite(t.tournament_score())
+
+    def test_score_candidate_restores_own_state(self, population):
+        a, b = population(k=2)
+        own = a.surrogate.get_generator_state()
+        a.score_candidate(b.generator_state())
+        for k, v in a.surrogate.get_generator_state().items():
+            np.testing.assert_array_equal(v, own[k])
+
+    def test_adopt_generator_replaces_generator_keeps_discriminator(
+        self, population
+    ):
+        a, b = population(k=2)
+        disc_before = a.surrogate.discriminator.get_state()
+        a.adopt_generator(b.generator_state())
+        for k, v in a.surrogate.get_generator_state().items():
+            np.testing.assert_array_equal(v, b.generator_state()[k])
+        for k, v in a.surrogate.discriminator.get_state().items():
+            np.testing.assert_array_equal(v, disc_before[k])
+
+    def test_adopt_reset_clears_gen_optimizer(self, population):
+        trainers = population(k=2)
+        a = Trainer(
+            "reset",
+            trainers[0].surrogate,
+            trainers[0].reader,
+            trainers[0].tournament_batch,
+            TrainerConfig(batch_size=32, adopt_optimizer="reset"),
+        )
+        a.train_steps(2)
+        assert a.gen_optimizer.step_count > 0
+        a.adopt_generator(trainers[1].generator_state())
+        assert a.gen_optimizer.step_count == 0
+
+    def test_discriminator_tournament_metric(self, population, val_batch):
+        trainers = population(k=2)
+        t = Trainer(
+            "disc-metric",
+            trainers[0].surrogate,
+            trainers[0].reader,
+            trainers[0].tournament_batch,
+            TrainerConfig(batch_size=32, tournament_metric="discriminator"),
+        )
+        assert np.isfinite(t.tournament_score())
+
+
+class TestLtfbDriver:
+    def test_round_trains_everyone(self, population, val_batch):
+        trainers = population(k=4)
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(0),
+            LtfbConfig(steps_per_round=2, rounds=2),
+            eval_batch=val_batch,
+        )
+        driver.run()
+        assert all(t.steps_done == 4 for t in trainers)
+        assert driver.history.rounds_completed == 2
+        assert len(driver.history.eval_series) == 2
+
+    def test_pairings_disjoint(self, population):
+        trainers = population(k=4)
+        driver = LtfbDriver(
+            trainers, np.random.default_rng(1), LtfbConfig(steps_per_round=1, rounds=3)
+        )
+        driver.run()
+        for pairing in driver.history.pairings:
+            flat = [name for pair in pairing for name in pair]
+            assert len(flat) == len(set(flat)) == 4
+
+    def test_odd_population_one_sits_out(self, population):
+        trainers = population(k=3)
+        driver = LtfbDriver(
+            trainers, np.random.default_rng(2), LtfbConfig(steps_per_round=1, rounds=1)
+        )
+        driver.run()
+        assert len(driver.history.pairings[0]) == 1  # one pair, one idle
+
+    def test_single_trainer_no_tournaments(self, population):
+        driver = LtfbDriver(
+            population(k=1),
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=1, rounds=2),
+        )
+        driver.run()
+        assert driver.history.tournaments == []
+        assert driver.history.exchange_bytes == 0
+
+    def test_tournament_adoption_consistent_with_scores(self, population):
+        trainers = population(k=2)
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(4),
+            LtfbConfig(steps_per_round=2, rounds=2),
+        )
+        driver.run()
+        for rec in driver.history.tournaments:
+            assert rec.adopted_partner == (rec.partner_score < rec.own_score)
+
+    def test_winner_propagates_identical_generators(self, population, val_batch):
+        """After a round where both trainers agree on a winner (global
+        tournament set => same judgement), the pair holds one generator."""
+        trainers = population(k=2)
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(5),
+            LtfbConfig(steps_per_round=2, rounds=1),
+        )
+        driver.run()
+        recs = driver.history.tournaments
+        if any(r.adopted_partner for r in recs):
+            ga = trainers[0].generator_state()
+            gb = trainers[1].generator_state()
+            assert all(np.array_equal(ga[k], gb[k]) for k in ga)
+
+    def test_exchange_bytes_accounted(self, population):
+        trainers = population(k=2)
+        per_exchange = 2 * trainers[0].surrogate.generator_state_nbytes()
+        driver = LtfbDriver(
+            trainers, np.random.default_rng(6), LtfbConfig(steps_per_round=1, rounds=3)
+        )
+        driver.run()
+        assert driver.history.exchange_bytes == 3 * per_exchange
+
+    def test_best_trainer_needs_eval_batch(self, population):
+        driver = LtfbDriver(
+            population(k=2), np.random.default_rng(7), LtfbConfig(1, 1)
+        )
+        with pytest.raises(ValueError):
+            driver.best_trainer()
+
+    def test_duplicate_names_rejected(self, population):
+        trainers = population(k=2)
+        trainers[1].name = trainers[0].name
+        with pytest.raises(ValueError):
+            LtfbDriver(trainers, np.random.default_rng(0), LtfbConfig(1, 1))
+
+    def test_reproducible_given_seeds(self, tiny_dataset, tiny_spec, tiny_autoencoder, val_batch):
+        def run_once():
+            spec = dataclasses.replace(tiny_spec, k=2)
+            train_ids = np.arange(tiny_dataset.n_samples - 64)
+            trainers = build_population(
+                tiny_dataset, train_ids, RngFactory(42), spec, tiny_autoencoder
+            )
+            driver = LtfbDriver(
+                trainers,
+                np.random.default_rng(42),
+                LtfbConfig(steps_per_round=2, rounds=2),
+                eval_batch=val_batch,
+            )
+            driver.run()
+            return driver.history.eval_series[-1]
+
+        a, b = run_once(), run_once()
+        for name in a:
+            assert a[name]["val_loss"] == pytest.approx(b[name]["val_loss"], rel=1e-6)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LtfbConfig(steps_per_round=0, rounds=1)
+        with pytest.raises(ValueError):
+            LtfbDriver([], np.random.default_rng(0), LtfbConfig(1, 1))
+
+
+class TestKIndependent:
+    def test_no_communication_between_trainers(self, population, val_batch):
+        trainers = population(k=2)
+        states_before = [t.generator_state() for t in trainers]
+        driver = KIndependentDriver(
+            trainers, LtfbConfig(steps_per_round=2, rounds=1), eval_batch=val_batch
+        )
+        driver.run()
+        # Models moved (trained) but never became identical.
+        ga, gb = trainers[0].generator_state(), trainers[1].generator_state()
+        assert any(not np.array_equal(ga[k], gb[k]) for k in ga)
+        for t, before in zip(trainers, states_before):
+            after = t.generator_state()
+            assert any(not np.array_equal(after[k], before[k]) for k in after)
+
+    def test_best_trainer_selection(self, population, val_batch):
+        trainers = population(k=3)
+        driver = KIndependentDriver(
+            trainers, LtfbConfig(steps_per_round=2, rounds=2), eval_batch=val_batch
+        )
+        driver.run()
+        best, loss = driver.best_trainer()
+        all_losses = [t.evaluate(val_batch)["val_loss"] for t in trainers]
+        assert loss == pytest.approx(min(all_losses))
+        assert len(driver.best_val_series()) == 2
+
+
+class TestBuildPopulation:
+    def test_global_tournament_shared(self, population):
+        trainers = population(k=3)
+        t0 = trainers[0].tournament_batch["params"]
+        for t in trainers[1:]:
+            np.testing.assert_array_equal(t.tournament_batch["params"], t0)
+
+    def test_local_tournament_distinct(self, population):
+        trainers = population(k=2, tournament_scope="local")
+        a = trainers[0].tournament_batch["params"]
+        b = trainers[1].tournament_batch["params"]
+        assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_silos_disjoint_and_exclude_tournament(self, population):
+        trainers = population(k=3)
+        silos = [set(t.reader.sample_ids.tolist()) for t in trainers]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not (silos[i] & silos[j])
+
+    def test_contiguous_silos_are_drive_biased(self, tiny_dataset, population):
+        """The paper's exploration-ordered files make contiguous silos
+        non-IID: first silo low drive, last silo high drive."""
+        trainers = population(k=2)
+        d0 = tiny_dataset.params[trainers[0].reader.sample_ids, 0].mean()
+        d1 = tiny_dataset.params[trainers[1].reader.sample_ids, 0].mean()
+        assert d0 < 0.4 < 0.6 < d1
+
+    def test_trainers_have_distinct_inits(self, population):
+        trainers = population(k=2)
+        ga, gb = trainers[0].generator_state(), trainers[1].generator_state()
+        assert any(not np.array_equal(ga[k], gb[k]) for k in ga)
+
+    def test_hyperparam_jitter_varies_learning_rates(self, population):
+        trainers = population(k=4, hyperparam_jitter=0.5)
+        lrs = {t.surrogate.config.learning_rate for t in trainers}
+        assert len(lrs) == 4
+
+    def test_no_jitter_same_lr(self, population):
+        trainers = population(k=3, hyperparam_jitter=0.0)
+        lrs = {t.surrogate.config.learning_rate for t in trainers}
+        assert len(lrs) == 1
+
+    def test_spec_validation(self, tiny_surrogate_config):
+        with pytest.raises(ValueError):
+            EnsembleSpec(k=0)
+        with pytest.raises(ValueError):
+            EnsembleSpec(tournament_fraction=0.6)
+        with pytest.raises(ValueError):
+            EnsembleSpec(tournament_scope="galactic")
+        with pytest.raises(ValueError):
+            EnsembleSpec(hyperparam_jitter=-1)

@@ -1,0 +1,139 @@
+"""Tests for tournament exchange scopes and adoption policies."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import build_population
+from repro.core.ltfb import LtfbConfig, LtfbDriver
+from repro.core.trainer import TrainerConfig
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture()
+def make_pair(tiny_dataset, tiny_spec, tiny_autoencoder):
+    def build(adopt="exchange", seed=11):
+        spec = dataclasses.replace(
+            tiny_spec,
+            k=2,
+            trainer=TrainerConfig(batch_size=32, adopt_optimizer=adopt),
+        )
+        train_ids = np.arange(tiny_dataset.n_samples - 64)
+        return build_population(
+            tiny_dataset, train_ids, RngFactory(seed), spec, tiny_autoencoder
+        )
+
+    return build
+
+
+class TestExchangePackage:
+    def test_generator_package_contents(self, make_pair):
+        a, _ = make_pair(adopt="exchange")
+        a.train_steps(2)
+        pkg = a.exchange_package("generator")
+        assert pkg["scope"] == "generator"
+        assert all(k.startswith(("forward/", "inverse/")) for k in pkg["weights"])
+        assert pkg["gen_optimizer"]["step_count"] == a.gen_optimizer.step_count
+        assert "disc_optimizer" not in pkg
+
+    def test_full_package_contents(self, make_pair):
+        a, _ = make_pair(adopt="exchange")
+        a.train_steps(1)
+        pkg = a.exchange_package("full")
+        assert any(k.startswith("discriminator/") for k in pkg["weights"])
+        assert "disc_optimizer" in pkg
+
+    def test_keep_mode_ships_no_optimizer(self, make_pair):
+        a, _ = make_pair(adopt="keep")
+        assert "gen_optimizer" not in a.exchange_package("generator")
+
+    def test_invalid_scope(self, make_pair):
+        a, _ = make_pair()
+        with pytest.raises(ValueError):
+            a.exchange_package("half")
+
+
+class TestAdoption:
+    def test_exchange_mode_installs_winner_optimizer(self, make_pair):
+        a, b = make_pair(adopt="exchange")
+        b.train_steps(3)
+        pkg = b.exchange_package("generator")
+        a.adopt_package(pkg)
+        assert a.gen_optimizer.step_count == b.gen_optimizer.step_count
+        slots_a = a.gen_optimizer.get_state()["slots"]
+        slots_b = b.gen_optimizer.get_state()["slots"]
+        for wname in slots_b:
+            for sname, value in slots_b[wname].items():
+                np.testing.assert_array_equal(slots_a[wname][sname], value)
+
+    def test_keep_mode_preserves_local_optimizer(self, make_pair):
+        a, b = make_pair(adopt="keep")
+        a.train_steps(2)
+        before = a.gen_optimizer.get_state()
+        a.adopt_package(b.exchange_package("generator"))
+        after = a.gen_optimizer.get_state()
+        assert after["step_count"] == before["step_count"]
+
+    def test_reset_mode_clears_optimizer(self, make_pair):
+        a, b = make_pair(adopt="reset")
+        a.train_steps(2)
+        a.adopt_package(b.exchange_package("generator"))
+        assert a.gen_optimizer.step_count == 0
+
+    def test_full_adoption_moves_discriminator(self, make_pair):
+        a, b = make_pair(adopt="exchange")
+        a.adopt_package(b.exchange_package("full"))
+        da = a.surrogate.discriminator.get_state()
+        db = b.surrogate.discriminator.get_state()
+        for k in da:
+            np.testing.assert_array_equal(da[k], db[k])
+
+    def test_generator_adoption_keeps_discriminator(self, make_pair):
+        a, b = make_pair(adopt="exchange")
+        da_before = a.surrogate.discriminator.get_state()
+        a.adopt_package(b.exchange_package("generator"))
+        da_after = a.surrogate.discriminator.get_state()
+        for k in da_before:
+            np.testing.assert_array_equal(da_after[k], da_before[k])
+
+
+class TestFullExchangeDriver:
+    def test_full_exchange_round_runs(self, make_pair, tiny_dataset):
+        trainers = make_pair(adopt="exchange")
+        val_ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
+        val_batch = {k: v[val_ids] for k, v in tiny_dataset.fields.items()}
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(4),
+            LtfbConfig(steps_per_round=2, rounds=2, exchange="full"),
+            eval_batch=val_batch,
+        )
+        driver.run()
+        assert driver.history.rounds_completed == 2
+
+    def test_full_exchange_moves_more_bytes(self, make_pair):
+        def run(exchange):
+            trainers = make_pair(adopt="keep", seed=13)
+            driver = LtfbDriver(
+                trainers,
+                np.random.default_rng(5),
+                LtfbConfig(steps_per_round=1, rounds=2, exchange=exchange),
+            )
+            driver.run()
+            return driver.history.exchange_bytes
+
+        assert run("full") > run("generator")
+
+    def test_score_candidate_full_scope_restores(self, make_pair):
+        a, b = make_pair()
+        full_before = a.surrogate.get_full_state()
+        a.score_candidate(b.surrogate.get_full_state(), scope="full")
+        for k, v in a.surrogate.get_full_state().items():
+            np.testing.assert_array_equal(v, full_before[k])
+
+    def test_invalid_exchange_config(self):
+        with pytest.raises(ValueError):
+            LtfbConfig(steps_per_round=1, rounds=1, exchange="partial")

@@ -1,0 +1,154 @@
+"""Tests for the experiment harnesses and report machinery.
+
+The performance figures run at full paper scale (they are analytic and
+fast); the quality figures run on a miniature workbench so the suite stays
+quick — the benchmarks run them at full quality scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ensemble import EnsembleSpec
+from repro.core.trainer import TrainerConfig
+from repro.experiments import (
+    fig07_scalars,
+    fig08_images,
+    fig09_data_parallel,
+    fig10_datastore,
+    fig11_ltfb_scaling,
+    fig12_quality,
+    fig13_ltfb_vs_kindependent,
+)
+from repro.experiments.common import ExperimentReport, QualityWorkbench, ShapeCheck
+from repro.jag.dataset import JagSchema
+from repro.models.cyclegan import SurrogateConfig
+
+
+class TestReportMachinery:
+    def test_row_columns_enforced(self):
+        rep = ExperimentReport("X", "desc", columns=["a", "b"])
+        rep.add_row(a=1, b=2)
+        with pytest.raises(ValueError):
+            rep.add_row(a=1)
+
+    def test_shape_check_pass_fail(self):
+        ok = ShapeCheck("s", paper_value=10.0, measured_value=10.5, rel_tolerance=0.1)
+        bad = ShapeCheck("s", paper_value=10.0, measured_value=15.0, rel_tolerance=0.1)
+        assert ok.passed and not bad.passed
+
+    def test_shape_check_nan_fails(self):
+        assert not ShapeCheck("s", 1.0, float("nan"), 0.5).passed
+
+    def test_render_contains_everything(self):
+        rep = ExperimentReport("Figure X", "demo", columns=["col"])
+        rep.add_row(col=3.14159)
+        rep.add_check("headline", 1.0, 1.05, 0.1)
+        rep.notes.append("a note")
+        text = rep.render()
+        assert "Figure X" in text and "col" in text
+        assert "headline" in text and "a note" in text
+        assert "[ok ]" in text
+
+    def test_column_accessor(self):
+        rep = ExperimentReport("X", "d", columns=["v"])
+        rep.add_row(v=1)
+        rep.add_row(v=2)
+        assert rep.column("v") == [1, 2]
+
+
+class TestPerformanceFigures:
+    def test_fig09_passes_shape_checks(self):
+        report = fig09_data_parallel.run()
+        assert report.all_checks_pass, report.render()
+        speedups = report.column("speedup")
+        assert speedups == sorted(speedups)
+
+    def test_fig09_custom_gpu_counts(self):
+        report = fig09_data_parallel.run(gpu_counts=(1, 4))
+        assert [r["gpus"] for r in report.rows] == [1, 4]
+
+    def test_fig10_passes_shape_checks(self):
+        report = fig10_datastore.run()
+        assert report.all_checks_pass, report.render()
+        oom = [r["gpus"] for r in report.rows if r["preload_steady_s"] == "OOM"]
+        assert oom == [1, 2]
+
+    def test_fig11_passes_shape_checks(self):
+        report = fig11_ltfb_scaling.run()
+        assert report.all_checks_pass, report.render()
+        assert report.rows[-1]["trainers"] == 64
+        assert report.rows[-1]["speedup"] > 64
+
+    def test_fig11_smaller_sweep(self):
+        report = fig11_ltfb_scaling.run(trainer_counts=(1, 8))
+        assert len(report.rows) == 2
+
+
+@pytest.fixture(scope="module")
+def mini_bench():
+    """A miniature quality workbench: small data, tiny nets, fast rounds."""
+    schema = JagSchema(image_size=8, views=2, channels=2)
+    spec = EnsembleSpec(
+        surrogate=SurrogateConfig(
+            schema=schema,
+            ae_hidden=(48, 32),
+            forward_hidden=(24, 24),
+            inverse_hidden=(24, 24),
+            disc_hidden=(16, 8),
+            batch_size=32,
+        ),
+        trainer=TrainerConfig(batch_size=32),
+        ae_epochs=4,
+        ae_max_samples=512,
+    )
+    bench = QualityWorkbench(seed=5, n_samples=768, spec=spec)
+    # Patch the dataset schema into the workbench spec consistency.
+    assert bench.dataset.schema == schema
+    return bench
+
+
+class TestQualityFigures:
+    def test_fig07_structure(self, mini_bench):
+        report = fig07_scalars.run(mini_bench, k=2, rounds=2, steps_per_round=4)
+        assert len(report.rows) == 15
+        assert {"scalar", "r2", "mae", "truth_std"} <= set(report.rows[0])
+
+    def test_fig08_structure_and_shared_training(self, mini_bench):
+        report = fig08_images.run(mini_bench, k=2, rounds=2, steps_per_round=4)
+        schema = mini_bench.dataset.schema
+        assert len(report.rows) == schema.views * schema.channels
+        # Shares the fig07 cached driver: exactly one training happened.
+        assert len(mini_bench._ltfb_cache) == 1
+
+    def test_fig12_structure(self, mini_bench):
+        report = fig12_quality.run(
+            mini_bench, trainer_counts=(1, 2), rounds=3, steps_per_round=4
+        )
+        assert len(report.rows) == 3
+        assert "k2_improvement" in report.rows[0]
+        assert report.rows[-1]["per_trainer_steps"] == 12
+
+    def test_fig12_requires_baseline(self, mini_bench):
+        with pytest.raises(ValueError):
+            fig12_quality.run(mini_bench, trainer_counts=(2, 4))
+
+    def test_fig13_structure(self, mini_bench):
+        report = fig13_ltfb_vs_kindependent.run(
+            mini_bench, trainer_counts=(2,), rounds=3, steps_per_round=4
+        )
+        assert len(report.rows) == 3
+        assert {"k2_ltfb", "k2_kind"} <= set(report.rows[0])
+
+
+class TestWorkbench:
+    def test_strided_validation_unbiased(self, mini_bench):
+        drive = mini_bench.val_batch["params"][:, 0]
+        assert drive.min() < 0.15 and drive.max() > 0.85
+
+    def test_population_scoped_rngs(self, mini_bench):
+        a = mini_bench.population(2, tag="t1")
+        b = mini_bench.population(2, tag="t2")
+        ga = a[0].generator_state()
+        gb = b[0].generator_state()
+        assert any((ga[k] != gb[k]).any() for k in ga)

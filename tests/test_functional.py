@@ -1,0 +1,117 @@
+"""Tests for the activation kernels and their derivatives.
+
+Every registered activation is checked against a central-difference
+numerical derivative (property-based over random inputs), plus targeted
+checks of numerical stability at extreme inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensorlib import functional as F
+
+
+@pytest.mark.parametrize("name", sorted(F.ACTIVATIONS))
+def test_grad_matches_numerical(name):
+    fn, grad_fn = F.ACTIVATIONS[name]
+    rng = np.random.default_rng(42)
+    # Avoid the relu/leaky-relu kink at exactly 0.
+    x = rng.normal(scale=2.0, size=256).astype(np.float64)
+    x = np.where(np.abs(x) < 1e-3, 0.5, x)
+    y = fn(x)
+    analytic = grad_fn(x, y)
+    eps = 1e-5
+    numeric = (fn(x + eps) - fn(x - eps)) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-5)
+
+
+@pytest.mark.parametrize("name", sorted(F.ACTIVATIONS))
+def test_preserves_shape_and_does_not_mutate(name):
+    fn, _ = F.ACTIVATIONS[name]
+    x = np.random.default_rng(0).normal(size=(4, 5)).astype(np.float32)
+    x_copy = x.copy()
+    y = fn(x)
+    assert y.shape == x.shape
+    assert np.array_equal(x, x_copy)
+
+
+def test_sigmoid_stable_at_extremes():
+    x = np.array([-1e4, -100.0, 0.0, 100.0, 1e4], dtype=np.float32)
+    y = F.sigmoid(x)
+    assert np.all(np.isfinite(y))
+    assert y[0] == 0.0 and y[-1] == 1.0
+    assert y[2] == pytest.approx(0.5)
+
+
+def test_softplus_stable_and_positive():
+    x = np.array([-1e4, -50.0, 0.0, 50.0, 1e4], dtype=np.float64)
+    y = F.softplus(x)
+    assert np.all(np.isfinite(y))
+    assert np.all(y >= 0)
+    assert y[-1] == pytest.approx(1e4)
+    assert y[2] == pytest.approx(np.log(2.0))
+
+
+def test_log_sigmoid_matches_log_of_sigmoid():
+    x = np.linspace(-10, 10, 101)
+    np.testing.assert_allclose(F.log_sigmoid(x), np.log(F.sigmoid(x)), atol=1e-9)
+
+
+def test_log_sigmoid_no_overflow():
+    assert np.isfinite(F.log_sigmoid(np.array([-1e5]))).all()
+
+
+def test_relu_values():
+    x = np.array([-2.0, 0.0, 3.0])
+    assert np.array_equal(F.relu(x), [0.0, 0.0, 3.0])
+
+
+def test_leaky_relu_slope():
+    x = np.array([-10.0, 10.0])
+    y = F.leaky_relu(x, alpha=0.1)
+    np.testing.assert_allclose(y, [-1.0, 10.0])
+
+
+def test_elu_continuity_at_zero():
+    eps = 1e-6
+    below = F.elu(np.array([-eps]))[0]
+    above = F.elu(np.array([eps]))[0]
+    assert abs(above - below) < 1e-5
+
+
+def test_tanh_grad_identity():
+    x = np.linspace(-3, 3, 50)
+    y = F.tanh(x)
+    np.testing.assert_allclose(F.tanh_grad(x, y), 1 - y**2)
+
+
+@given(
+    hnp.arrays(
+        np.float32,
+        hnp.array_shapes(min_dims=1, max_dims=2, max_side=16),
+        elements=st.floats(-50, 50, width=32),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_sigmoid_range_property(x):
+    y = F.sigmoid(x)
+    assert np.all((y >= 0.0) & (y <= 1.0))
+
+
+@given(
+    hnp.arrays(
+        np.float64,
+        st.integers(1, 64),
+        elements=st.floats(-30, 30),
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_elu_monotone_property(x):
+    xs = np.sort(x)
+    ys = F.elu(xs)
+    assert np.all(np.diff(ys) >= -1e-12)

@@ -1,0 +1,93 @@
+"""Tests for weight initializers: distributions, fans, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensorlib.initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    NormalInit,
+    UniformInit,
+    Zeros,
+    _fans,
+)
+
+RNG = lambda: np.random.default_rng(0)  # noqa: E731
+
+ALL_INITS = [
+    Constant(0.5),
+    Zeros(),
+    NormalInit(0.0, 0.1),
+    UniformInit(-0.2, 0.2),
+    GlorotUniform(),
+    GlorotNormal(),
+    HeNormal(),
+    HeUniform(),
+]
+
+
+@pytest.mark.parametrize("init", ALL_INITS, ids=lambda i: type(i).__name__)
+def test_shape_and_dtype(init):
+    out = init((64, 32), RNG())
+    assert out.shape == (64, 32)
+    assert out.dtype == np.float32
+
+
+@pytest.mark.parametrize("init", ALL_INITS, ids=lambda i: type(i).__name__)
+def test_deterministic_given_rng(init):
+    a = init((16, 16), np.random.default_rng(7))
+    b = init((16, 16), np.random.default_rng(7))
+    assert np.array_equal(a, b)
+
+
+def test_fans():
+    assert _fans((10, 20)) == (10, 20)
+    assert _fans((5,)) == (5, 5)
+    assert _fans(()) == (1, 1)
+
+
+def test_constant_and_zeros():
+    assert np.all(Constant(3.5)((4,), RNG()) == 3.5)
+    assert np.all(Zeros()((4, 4), RNG()) == 0.0)
+
+
+def test_glorot_uniform_bounds_and_scale():
+    w = GlorotUniform()((400, 200), RNG())
+    limit = np.sqrt(6.0 / 600)
+    assert np.all(np.abs(w) <= limit)
+    # Uniform on [-L, L] has std L/sqrt(3).
+    assert w.std() == pytest.approx(limit / np.sqrt(3), rel=0.05)
+
+
+def test_glorot_normal_std():
+    w = GlorotNormal()((500, 300), RNG())
+    assert w.std() == pytest.approx(np.sqrt(2.0 / 800), rel=0.05)
+
+
+def test_he_normal_std_uses_fan_in():
+    w = HeNormal()((500, 100), RNG())
+    assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.05)
+
+
+def test_he_uniform_bounds():
+    w = HeUniform()((300, 50), RNG())
+    assert np.all(np.abs(w) <= np.sqrt(6.0 / 300))
+
+
+def test_normal_init_params():
+    w = NormalInit(mean=2.0, stddev=0.01)((1000,), RNG())
+    assert w.mean() == pytest.approx(2.0, abs=0.01)
+    with pytest.raises(ValueError):
+        NormalInit(stddev=-1)
+
+
+def test_uniform_init_bounds():
+    w = UniformInit(0.1, 0.3)((1000,), RNG())
+    assert np.all((w >= 0.1) & (w < 0.3))
+    with pytest.raises(ValueError):
+        UniformInit(1.0, 0.0)

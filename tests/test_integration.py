@@ -1,0 +1,168 @@
+"""Cross-module integration tests: the full pipeline at miniature scale.
+
+campaign -> bundles on the simulated PFS -> data-store ingestion ->
+autoencoder pre-training -> LTFB tournament training -> surrogate queries,
+with the paper's ingestion invariant asserted along the way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedFilesystem
+from repro.core import (
+    EnsembleSpec,
+    KIndependentDriver,
+    LtfbConfig,
+    LtfbDriver,
+    Trainer,
+    TrainerConfig,
+    build_population,
+    pretrain_autoencoder,
+)
+from repro.datastore import DistributedDataStore, StoreReader
+from repro.jag import JagDatasetConfig, small_schema
+from repro.models import ICFSurrogate, SurrogateConfig
+from repro.utils.rng import RngFactory
+from repro.workflow import WorkerPoolSpec, run_campaign
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Campaign + bundles + dataset, built once."""
+    fs = SimulatedFilesystem()
+    campaign = run_campaign(
+        JagDatasetConfig(
+            n_samples=640, schema=small_schema(8), seed=21, chunk=320
+        ),
+        fs,
+        pool=WorkerPoolSpec(num_workers=16, tasks_per_job=40),
+        samples_per_bundle=40,
+    )
+    return fs, campaign
+
+
+def test_full_pipeline_through_datastore(pipeline):
+    fs, campaign = pipeline
+    dataset = campaign.dataset
+    rngs = RngFactory(99)
+
+    cfg = SurrogateConfig(
+        schema=dataset.schema,
+        ae_hidden=(48, 32),
+        forward_hidden=(24, 24),
+        inverse_hidden=(24, 24),
+        disc_hidden=(16, 8),
+        batch_size=32,
+    )
+    spec = EnsembleSpec(
+        k=2,
+        surrogate=cfg,
+        trainer=TrainerConfig(batch_size=32),
+        ae_epochs=3,
+        ae_max_samples=256,
+    )
+    train_ids, val_ids = dataset.train_val_split(0.15, mode="strided")
+    autoencoder = pretrain_autoencoder(dataset, train_ids, rngs, spec)
+    val_batch = {k: v[val_ids] for k, v in dataset.fields.items()}
+
+    # Trainers feed from preloaded data stores over the bundle files.
+    trainers = []
+    silo_split = np.array_split(train_ids, 2)
+    tournament = {k: v[train_ids[::10]] for k, v in dataset.fields.items()}
+    for i, silo in enumerate(silo_split):
+        child = rngs.child(f"t{i}")
+        store = DistributedDataStore(4, bytes_per_rank=10**8)
+        reader = StoreReader(
+            fs,
+            campaign.bundle_paths,
+            40,
+            silo,
+            child.generator("reader"),
+            store,
+            mode="preload",
+        )
+        surrogate = ICFSurrogate(child, cfg, autoencoder)
+        trainers.append(
+            Trainer(f"t{i}", surrogate, reader, tournament, spec.trainer)
+        )
+
+    opens_after_preload = fs.stats.opens
+    driver = LtfbDriver(
+        trainers,
+        rngs.generator("pairing"),
+        LtfbConfig(steps_per_round=3, rounds=3),
+        eval_batch=val_batch,
+    )
+    history = driver.run()
+
+    # Ingestion invariant: training never touched the file system.
+    assert fs.stats.opens == opens_after_preload
+    assert history.rounds_completed == 3
+
+    # The surrogate answers forward and inverse queries with sane shapes.
+    best, loss = driver.best_trainer()
+    assert np.isfinite(loss)
+    scalars, images = best.surrogate.predict_outputs(val_batch["params"][:5])
+    assert scalars.shape == (5, 15)
+    assert images.shape == (5, dataset.schema.image_flat_dim)
+    x = best.surrogate.invert(val_batch["scalars"][:5], val_batch["images"][:5])
+    assert x.shape == (5, 5) and np.all((x >= 0) & (x <= 1))
+
+
+def test_ltfb_and_kindependent_same_schedule_comparable(
+    tiny_dataset, tiny_spec, tiny_autoencoder
+):
+    """The Fig.-13 experimental contract: identical silos, schedules, and
+    eval batches for the two algorithms."""
+    rngs = RngFactory(3)
+    train_ids = np.arange(tiny_dataset.n_samples - 64)
+    val_ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
+    val_batch = {k: v[val_ids] for k, v in tiny_dataset.fields.items()}
+    config = LtfbConfig(steps_per_round=2, rounds=2)
+    spec = dataclasses.replace(tiny_spec, k=2)
+
+    ltfb = LtfbDriver(
+        build_population(tiny_dataset, train_ids, rngs.child("l"), spec, tiny_autoencoder),
+        np.random.default_rng(0),
+        config,
+        eval_batch=val_batch,
+    )
+    ltfb.run()
+    kind = KIndependentDriver(
+        build_population(tiny_dataset, train_ids, rngs.child("k"), spec, tiny_autoencoder),
+        config,
+        eval_batch=val_batch,
+    )
+    kind.run()
+
+    assert len(ltfb.history.eval_series) == len(kind.eval_series) == 2
+    for t_l, t_k in zip(ltfb.trainers, kind.trainers):
+        assert t_l.steps_done == t_k.steps_done  # equal iteration budgets
+        assert t_l.reader.num_samples == t_k.reader.num_samples  # equal silos
+
+
+def test_deterministic_end_to_end(tiny_dataset, tiny_spec, tiny_autoencoder):
+    """Same seeds => bit-identical tournament history."""
+
+    def run_once():
+        rngs = RngFactory(1234)
+        train_ids = np.arange(256)
+        trainers = build_population(
+            tiny_dataset, train_ids, rngs, dataclasses.replace(tiny_spec, k=2), tiny_autoencoder
+        )
+        driver = LtfbDriver(
+            trainers,
+            rngs.generator("pairing"),
+            LtfbConfig(steps_per_round=2, rounds=2),
+        )
+        driver.run()
+        return [
+            (r.trainer, r.own_score, r.partner_score, r.adopted_partner)
+            for r in driver.history.tournaments
+        ]
+
+    assert run_once() == run_once()

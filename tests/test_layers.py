@@ -1,0 +1,321 @@
+"""Tests for layer classes: build protocol, forward math, gradient checks.
+
+Every layer's backward pass is validated against central-difference
+numerical gradients, for both weight gradients and input gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensorlib.initializers import NormalInit
+from repro.tensorlib.layers import (
+    Activation,
+    BatchNorm,
+    Concatenation,
+    Dropout,
+    FullyConnected,
+    Identity,
+    Input,
+    Layer,
+    LayerBuildError,
+    Slice,
+    Sum,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)  # noqa: E731
+
+
+def build(layer: Layer, *shapes, seed=0):
+    layer.build(list(shapes), RNG(seed))
+    return layer
+
+
+def numeric_input_grad(layer, inputs, grad_out, idx, training=False, eps=1e-3):
+    """Central-difference d(sum(out * grad_out))/d(inputs[idx])."""
+
+    def objective():
+        return float(np.sum(layer.forward(inputs, training) * grad_out))
+
+    x = inputs[idx]
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        orig = float(x[i])
+        x[i] = orig + eps
+        plus = objective()
+        x[i] = orig - eps
+        minus = objective()
+        x[i] = orig
+        grad[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestBuildProtocol:
+    def test_forward_before_build_fails(self):
+        with pytest.raises(LayerBuildError):
+            FullyConnected("fc", 4).forward([np.zeros((2, 3))], False)
+
+    def test_double_build_fails(self):
+        fc = build(FullyConnected("fc", 4), (3,))
+        with pytest.raises(LayerBuildError):
+            fc.build([(3,)], RNG())
+
+    def test_backward_without_forward_fails(self):
+        fc = build(FullyConnected("fc", 4), (3,))
+        with pytest.raises(RuntimeError):
+            fc.backward(np.zeros((2, 4)))
+
+    def test_wrong_input_count(self):
+        fc = build(FullyConnected("fc", 4), (3,))
+        with pytest.raises(ValueError):
+            fc.forward([np.zeros((2, 3)), np.zeros((2, 3))], False)
+
+    def test_wrong_sample_shape(self):
+        fc = build(FullyConnected("fc", 4), (3,))
+        with pytest.raises(ValueError):
+            fc.forward([np.zeros((2, 5))], False)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Identity("")
+
+
+class TestInput:
+    def test_feed_validates_shape(self):
+        inp = build(Input("x", shape=(5,)))
+        assert inp.feed(np.zeros((3, 5))).shape == (3, 5)
+        with pytest.raises(ValueError):
+            inp.feed(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            inp.feed(np.zeros(5))
+
+    def test_feed_casts_to_float32(self):
+        inp = build(Input("x", shape=(2,)))
+        assert inp.feed(np.zeros((1, 2), dtype=np.float64)).dtype == np.float32
+
+    def test_input_with_parents_rejected(self):
+        inp = Input("x", shape=(2,))
+        with pytest.raises(LayerBuildError):
+            inp.build([(2,)], RNG())
+
+
+class TestFullyConnected:
+    def test_forward_math(self):
+        fc = build(FullyConnected("fc", 2, kernel_init=NormalInit(0, 1)), (3,))
+        x = RNG(1).normal(size=(4, 3)).astype(np.float32)
+        expected = x @ fc.kernel.value + fc.bias.value
+        np.testing.assert_allclose(fc.forward([x], False), expected, rtol=1e-6)
+
+    def test_no_bias(self):
+        fc = build(FullyConnected("fc", 2, use_bias=False), (3,))
+        assert fc.bias is None
+        assert fc.param_count() == 6
+
+    def test_weight_gradients_numeric(self):
+        fc = build(FullyConnected("fc", 3), (4,))
+        x = RNG(2).normal(size=(5, 4)).astype(np.float64)
+        g = RNG(3).normal(size=(5, 3)).astype(np.float64)
+        fc.forward([x.astype(np.float32)], False)
+        fc.backward(g.astype(np.float32))
+        np.testing.assert_allclose(fc.kernel.grad, x.T @ g, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(fc.bias.grad, g.sum(axis=0), rtol=1e-4, atol=1e-5)
+
+    def test_input_gradient_numeric(self):
+        fc = build(FullyConnected("fc", 3), (4,))
+        x = RNG(2).normal(size=(5, 4)).astype(np.float32)
+        g = RNG(3).normal(size=(5, 3)).astype(np.float32)
+        fc.forward([x], False)
+        analytic = fc.backward(g)[0]
+        numeric = numeric_input_grad(fc, [x], g, 0)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-3)
+
+    def test_flattens_high_rank_input(self):
+        fc = build(FullyConnected("fc", 4), (2, 3))
+        x = RNG(0).normal(size=(5, 2, 3)).astype(np.float32)
+        out = fc.forward([x], False)
+        assert out.shape == (5, 4)
+        dx = fc.backward(np.ones((5, 4), dtype=np.float32))[0]
+        assert dx.shape == (5, 2, 3)
+
+    def test_flops(self):
+        fc = build(FullyConnected("fc", 8), (16,))
+        assert fc.flops_per_sample() == 2 * 16 * 8
+
+    def test_grad_accumulates(self):
+        fc = build(FullyConnected("fc", 2), (2,))
+        x = np.ones((1, 2), dtype=np.float32)
+        g = np.ones((1, 2), dtype=np.float32)
+        fc.forward([x], False)
+        fc.backward(g)
+        first = fc.kernel.grad.copy()
+        fc.forward([x], False)
+        fc.backward(g)
+        np.testing.assert_allclose(fc.kernel.grad, 2 * first)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            FullyConnected("fc", 0)
+
+
+@pytest.mark.parametrize("kind", ["relu", "leaky_relu", "elu", "sigmoid", "tanh"])
+class TestActivationLayer:
+    def test_input_gradient_numeric(self, kind):
+        act = build(Activation("a", kind), (6,))
+        x = RNG(4).normal(size=(3, 6)).astype(np.float32)
+        x = np.where(np.abs(x) < 1e-2, 0.5, x).astype(np.float32)
+        g = RNG(5).normal(size=(3, 6)).astype(np.float32)
+        act.forward([x], False)
+        analytic = act.backward(g)[0]
+        numeric = numeric_input_grad(act, [x], g, 0)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-3)
+
+
+class TestActivationErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Activation("a", "swishh")
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        d = build(Dropout("d", 0.5), (10,))
+        x = RNG(0).normal(size=(4, 10)).astype(np.float32)
+        np.testing.assert_array_equal(d.forward([x], training=False), x)
+
+    def test_training_mode_scales_kept_units(self):
+        d = build(Dropout("d", 0.5), (1000,))
+        x = np.ones((2, 1000), dtype=np.float32)
+        y = d.forward([x], training=True)
+        kept = y != 0
+        assert 0.3 < kept.mean() < 0.7
+        np.testing.assert_allclose(y[kept], 2.0)
+
+    def test_backward_uses_same_mask(self):
+        d = build(Dropout("d", 0.5), (50,))
+        x = np.ones((3, 50), dtype=np.float32)
+        y = d.forward([x], training=True)
+        dx = d.backward(np.ones_like(y))[0]
+        np.testing.assert_array_equal((dx != 0), (y != 0))
+
+    def test_rate_zero_passthrough_in_training(self):
+        d = build(Dropout("d", 0.0), (5,))
+        x = RNG(0).normal(size=(2, 5)).astype(np.float32)
+        np.testing.assert_array_equal(d.forward([x], training=True), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", 1.0)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        bn = build(BatchNorm("bn"), (8,))
+        x = (RNG(1).normal(size=(256, 8)) * 3 + 5).astype(np.float32)
+        y = bn.forward([x], training=True)
+        np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_update_and_eval_use(self):
+        bn = build(BatchNorm("bn", momentum=0.5), (4,))
+        x = (RNG(2).normal(size=(64, 4)) + 10).astype(np.float32)
+        for _ in range(20):
+            bn.forward([x], training=True)
+            bn.backward(np.zeros((64, 4), dtype=np.float32))
+        assert bn.running_mean.value.mean() == pytest.approx(10.0, abs=0.5)
+        y_eval = bn.forward([x], training=False)
+        bn.backward(np.zeros_like(y_eval))
+        np.testing.assert_allclose(y_eval.mean(axis=0), 0.0, atol=0.2)
+
+    def test_input_gradient_numeric_training(self):
+        bn = build(BatchNorm("bn"), (3,))
+        x = RNG(3).normal(size=(6, 3)).astype(np.float32)
+        g = RNG(4).normal(size=(6, 3)).astype(np.float32)
+        bn.forward([x], training=True)
+        analytic = bn.backward(g)[0]
+
+        def objective(xp):
+            out = bn.forward([xp], training=True)
+            val = float(np.sum(out * g))
+            bn.backward(np.zeros_like(g))
+            return val
+
+        eps = 1e-3
+        numeric = np.zeros_like(x, dtype=np.float64)
+        it = np.nditer(x, flags=["multi_index"])
+        for _ in it:
+            i = it.multi_index
+            orig = float(x[i])
+            x[i] = orig + eps
+            plus = objective(x)
+            x[i] = orig - eps
+            minus = objective(x)
+            x[i] = orig
+            numeric[i] = (plus - minus) / (2 * eps)
+        # Re-run forward so the batch statistics match the analytic pass.
+        np.testing.assert_allclose(analytic, numeric, rtol=5e-2, atol=5e-3)
+
+    def test_gamma_beta_grads(self):
+        bn = build(BatchNorm("bn"), (2,))
+        x = RNG(5).normal(size=(16, 2)).astype(np.float32)
+        g = np.ones((16, 2), dtype=np.float32)
+        bn.forward([x], training=True)
+        bn.backward(g)
+        np.testing.assert_allclose(bn.beta.grad, g.sum(axis=0))
+
+    def test_nontrainable_running_stats(self):
+        bn = build(BatchNorm("bn"), (2,))
+        trainable = {w.name for w in bn.weights if w.trainable}
+        assert trainable == {"bn/gamma", "bn/beta"}
+
+    def test_rejects_rank2_features(self):
+        with pytest.raises(LayerBuildError):
+            build(BatchNorm("bn"), (2, 3))
+
+
+class TestPlumbingLayers:
+    def test_concat_forward_backward(self):
+        c = build(Concatenation("c"), (2,), (3,))
+        a = np.ones((4, 2), dtype=np.float32)
+        b = 2 * np.ones((4, 3), dtype=np.float32)
+        out = c.forward([a, b], False)
+        assert out.shape == (4, 5)
+        ga, gb = c.backward(np.arange(20, dtype=np.float32).reshape(4, 5))
+        assert ga.shape == (4, 2) and gb.shape == (4, 3)
+        np.testing.assert_array_equal(ga[0], [0, 1])
+        np.testing.assert_array_equal(gb[0], [2, 3, 4])
+
+    def test_slice_forward_backward(self):
+        s = build(Slice("s", 1, 3), (5,))
+        x = np.arange(10, dtype=np.float32).reshape(2, 5)
+        out = s.forward([x], False)
+        np.testing.assert_array_equal(out, [[1, 2], [6, 7]])
+        dx = s.backward(np.ones((2, 2), dtype=np.float32))[0]
+        np.testing.assert_array_equal(dx, [[0, 1, 1, 0, 0]] * 2)
+
+    def test_slice_out_of_bounds(self):
+        with pytest.raises(LayerBuildError):
+            build(Slice("s", 0, 10), (5,))
+
+    def test_slice_invalid_range(self):
+        with pytest.raises(ValueError):
+            Slice("s", 3, 3)
+
+    def test_sum_forward_backward(self):
+        s = build(Sum("s"), (3,), (3,), (3,))
+        xs = [np.full((2, 3), i, dtype=np.float32) for i in range(3)]
+        np.testing.assert_array_equal(s.forward(xs, False), np.full((2, 3), 3.0))
+        grads = s.backward(np.ones((2, 3), dtype=np.float32))
+        assert len(grads) == 3
+
+    def test_sum_shape_mismatch(self):
+        with pytest.raises(LayerBuildError):
+            build(Sum("s"), (3,), (4,))
+
+    def test_identity_passthrough(self):
+        ident = build(Identity("i"), (7,))
+        x = RNG(0).normal(size=(2, 7)).astype(np.float32)
+        np.testing.assert_array_equal(ident.forward([x], False), x)
+        np.testing.assert_array_equal(ident.backward(x)[0], x)

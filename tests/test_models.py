@@ -1,0 +1,305 @@
+"""Tests for the multimodal autoencoder and the CycleGAN surrogate."""
+
+from __future__ import annotations
+
+
+import numpy as np
+import pytest
+
+from repro.jag.dataset import JagSchema
+from repro.models.autoencoder import MultimodalAutoencoder
+from repro.models.cyclegan import (
+    ICFSurrogate,
+    MLPSpec,
+    SurrogateArchitecture,
+    SurrogateConfig,
+    paper_architecture,
+    small_config,
+)
+from repro.tensorlib.optimizers import Adam
+from repro.utils.rng import RngFactory
+
+SCHEMA = JagSchema(image_size=8, views=2, channels=2)
+
+
+def make_batch(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "params": rng.random((n, 5)).astype(np.float32),
+        "scalars": rng.normal(size=(n, SCHEMA.n_scalars)).astype(np.float32),
+        "images": rng.random((n, SCHEMA.image_flat_dim)).astype(np.float32),
+    }
+
+
+def make_structured_batch(n=64, seed=0):
+    """Low-dimensional structured data: outputs are smooth functions of
+    the 5-D params, so they are actually learnable through a 20-D
+    bottleneck (unlike pure noise)."""
+    rng = np.random.default_rng(seed)
+    params = rng.random((n, 5)).astype(np.float32)
+    w_s = rng.normal(size=(5, SCHEMA.n_scalars)).astype(np.float32)
+    w_i = rng.normal(size=(5, SCHEMA.image_flat_dim)).astype(np.float32)
+    scalars = np.tanh(params @ w_s)
+    images = 0.5 + 0.4 * np.tanh(params @ w_i)
+    return {"params": params, "scalars": scalars, "images": images.astype(np.float32)}
+
+
+def make_ae(seed=0, hidden=(32, 16)):
+    return MultimodalAutoencoder(
+        RngFactory(seed).child("ae"), SCHEMA, hidden=hidden, latent_dim=20
+    )
+
+
+def make_surrogate(seed=0):
+    cfg = SurrogateConfig(
+        schema=SCHEMA,
+        ae_hidden=(32, 16),
+        forward_hidden=(16, 16),
+        inverse_hidden=(16, 16),
+        disc_hidden=(12, 8),
+        batch_size=16,
+    )
+    ae = make_ae(seed)
+    return ICFSurrogate(RngFactory(seed).child("sur"), cfg, ae), cfg
+
+
+class TestMLPSpec:
+    def test_param_count(self):
+        spec = MLPSpec((4, 8, 2))
+        assert spec.param_count == (4 * 8 + 8) + (8 * 2 + 2)
+        assert spec.param_nbytes == 4 * spec.param_count
+
+    def test_fwd_flops(self):
+        assert MLPSpec((4, 8, 2)).fwd_flops == 2 * (32 + 16)
+
+    def test_flops_modes(self):
+        spec = MLPSpec((4, 4))
+        assert spec.flops("train") == 3 * spec.flops("fwd")
+        assert spec.flops("through") == 2 * spec.flops("fwd")
+        with pytest.raises(ValueError):
+            spec.flops("sideways")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPSpec((4,))
+        with pytest.raises(ValueError):
+            MLPSpec((4, 0))
+
+
+class TestSurrogateArchitecture:
+    def test_from_widths_dims(self):
+        arch = SurrogateArchitecture.from_widths(
+            SCHEMA, 20, (32, 16), (8,), (8,), (6,)
+        )
+        bundle = SCHEMA.n_scalars + SCHEMA.image_flat_dim
+        assert arch.encoder.dims == (bundle, 32, 16, 20)
+        assert arch.decoder.dims == (20, 16, 32, bundle)
+        assert arch.forward.dims == (5, 8, 20)
+        assert arch.discriminator.dims == (20, 6, 1)
+
+    def test_gen_grad_excludes_frozen_parts(self):
+        arch = paper_architecture()
+        assert arch.gen_grad_nbytes == (
+            arch.forward.param_nbytes + arch.inverse.param_nbytes
+        )
+        assert arch.generator_state_nbytes == arch.gen_grad_nbytes
+
+    def test_train_flops_dominated_by_frozen_autoencoder(self):
+        arch = paper_architecture()
+        ae_part = arch.encoder.flops("fwd") + arch.decoder.flops("through")
+        assert ae_part > 0.5 * arch.train_flops_per_sample
+
+    def test_paper_scale_magnitudes(self):
+        arch = paper_architecture()
+        # ~70 MB generator exchange, single-GB/sample training FLOPs —
+        # the calibration DESIGN.md documents.
+        assert 40e6 < arch.generator_state_nbytes < 120e6
+        assert 1e9 < arch.train_flops_per_sample < 10e9
+
+    def test_config_architecture_consistent_with_runtime_model(self):
+        surrogate, cfg = make_surrogate()
+        arch = cfg.architecture()
+        assert arch.forward.param_count == surrogate.forward_model.param_count()
+        assert arch.inverse.param_count == surrogate.inverse_model.param_count()
+        assert (
+            arch.discriminator.param_count
+            == surrogate.discriminator.param_count()
+        )
+        assert arch.generator_state_nbytes == surrogate.generator_state_nbytes()
+
+
+class TestAutoencoder:
+    def test_encode_decode_shapes(self):
+        ae = make_ae()
+        batch = make_batch()
+        z = ae.encode(batch["scalars"], batch["images"])
+        assert z.shape == (32, 20)
+        s, i = ae.decode(z)
+        assert s.shape == batch["scalars"].shape
+        assert i.shape == batch["images"].shape
+
+    def test_images_decoded_into_unit_interval(self):
+        ae = make_ae()
+        batch = make_batch()
+        _, i = ae.decode(ae.encode(batch["scalars"], batch["images"]))
+        assert np.all((i >= 0) & (i <= 1))
+
+    def test_training_reduces_reconstruction_error(self):
+        ae = make_ae(seed=3)
+        batch = make_structured_batch(64, seed=3)
+        opt = Adam(2e-3)
+        before = ae.reconstruction_error(batch)
+        for _ in range(150):
+            ae.train_step(batch, opt)
+        after = ae.reconstruction_error(batch)
+        assert after["scalar_mae"] < 0.7 * before["scalar_mae"]
+        assert after["image_mae"] < 0.7 * before["image_mae"]
+
+    def test_state_roundtrip(self):
+        ae = make_ae()
+        state = ae.get_state()
+        batch = make_batch()
+        ae.train_step(batch, Adam(1e-2))
+        ae.set_state(state)
+        for k, v in ae.get_state().items():
+            np.testing.assert_array_equal(v, state[k])
+
+    def test_latent_dim_validation(self):
+        with pytest.raises(ValueError):
+            MultimodalAutoencoder(RngFactory(0), SCHEMA, latent_dim=0)
+
+
+class TestICFSurrogate:
+    def test_constructor_consistency_checks(self):
+        ae = make_ae()
+        bad_cfg = SurrogateConfig(schema=SCHEMA, latent_dim=7)
+        with pytest.raises(ValueError):
+            ICFSurrogate(RngFactory(0), bad_cfg, ae)
+        other_schema_cfg = SurrogateConfig(schema=JagSchema(image_size=4))
+        with pytest.raises(ValueError):
+            ICFSurrogate(RngFactory(0), other_schema_cfg, ae)
+
+    def test_predict_shapes(self):
+        surrogate, _ = make_surrogate()
+        batch = make_batch()
+        s, i = surrogate.predict_outputs(batch["params"])
+        assert s.shape == batch["scalars"].shape
+        assert i.shape == batch["images"].shape
+        x = surrogate.invert(batch["scalars"], batch["images"])
+        assert x.shape == batch["params"].shape
+        assert np.all((x >= 0) & (x <= 1))  # sigmoid head
+
+    def test_train_step_returns_all_terms(self):
+        surrogate, cfg = make_surrogate()
+        batch = make_batch(cfg.batch_size)
+        terms = surrogate.train_step(batch, Adam(1e-3), Adam(1e-3))
+        assert {
+            "disc_loss",
+            "fidelity_scalar",
+            "fidelity_image",
+            "adversarial",
+            "cycle",
+            "gen_loss",
+        } <= set(terms)
+        assert surrogate.steps_trained == 1
+
+    def test_training_improves_generator(self):
+        surrogate, cfg = make_surrogate(seed=5)
+        batch = make_structured_batch(64, seed=5)
+        before = surrogate.evaluate(batch)["val_loss"]
+        d_opt, g_opt = Adam(1e-3), Adam(2e-3)
+        for _ in range(120):
+            surrogate.train_step(batch, d_opt, g_opt)
+        after = surrogate.evaluate(batch)["val_loss"]
+        assert after < 0.8 * before
+
+    def test_train_step_freezes_autoencoder(self):
+        surrogate, cfg = make_surrogate()
+        batch = make_batch(cfg.batch_size)
+        ae_state = surrogate.autoencoder.get_state()
+        surrogate.train_step(batch, Adam(1e-2), Adam(1e-2))
+        for k, v in surrogate.autoencoder.get_state().items():
+            np.testing.assert_array_equal(v, ae_state[k])
+
+    def test_disc_phase_does_not_move_generator(self):
+        """The generator must only move in the generator phase; check by
+        comparing against a manual replay with a zero-lr generator opt."""
+        surrogate, cfg = make_surrogate(seed=7)
+        batch = make_batch(cfg.batch_size, seed=7)
+        gen_before = surrogate.get_generator_state()
+        # lr -> 0 for generator: any change would come from the D phase.
+        surrogate.train_step(batch, Adam(1e-3), Adam(1e-30))
+        for k, v in surrogate.get_generator_state().items():
+            np.testing.assert_allclose(v, gen_before[k], atol=1e-6)
+
+    def test_gen_phase_does_not_move_discriminator(self):
+        surrogate, cfg = make_surrogate(seed=8)
+        batch = make_batch(cfg.batch_size, seed=8)
+        disc_before = surrogate.discriminator.get_state()
+        surrogate.train_step(batch, Adam(1e-30), Adam(1e-3))
+        for k, v in surrogate.discriminator.get_state().items():
+            np.testing.assert_allclose(v, disc_before[k], atol=1e-6)
+
+    def test_generator_state_excludes_discriminator(self):
+        surrogate, _ = make_surrogate()
+        gen = surrogate.get_generator_state()
+        assert all(
+            k.startswith(("forward/", "inverse/")) for k in gen
+        )
+        full = surrogate.get_full_state()
+        assert any(k.startswith("discriminator/") for k in full)
+
+    def test_generator_exchange_between_surrogates(self):
+        a, _ = make_surrogate(seed=1)
+        b, _ = make_surrogate(seed=2)
+        batch = make_batch(8)
+        b.set_generator_state(a.get_generator_state())
+        np.testing.assert_allclose(
+            a.predict_latent(batch["params"]),
+            b.predict_latent(batch["params"]),
+            atol=1e-6,
+        )
+        # Discriminators remain different (local to each trainer).
+        da = a.discriminator.get_state()
+        db = b.discriminator.get_state()
+        assert any(not np.array_equal(da[k], db[k]) for k in da)
+
+    def test_full_state_roundtrip(self):
+        surrogate, cfg = make_surrogate()
+        state = surrogate.get_full_state()
+        surrogate.train_step(make_batch(cfg.batch_size), Adam(1e-2), Adam(1e-2))
+        surrogate.set_full_state(state)
+        for k, v in surrogate.get_full_state().items():
+            np.testing.assert_array_equal(v, state[k])
+
+    def test_evaluate_keys(self):
+        surrogate, _ = make_surrogate()
+        metrics = surrogate.evaluate(make_batch(16))
+        assert {
+            "forward_scalar_mae",
+            "forward_image_mae",
+            "cycle_mae",
+            "inverse_mae",
+            "val_loss",
+        } == set(metrics)
+
+    def test_discriminator_score_scalar(self):
+        surrogate, _ = make_surrogate()
+        score = surrogate.discriminator_score(make_batch(16))
+        assert np.isfinite(score) and score > 0
+
+    def test_identical_seeds_identical_surrogates(self):
+        a, _ = make_surrogate(seed=9)
+        b, _ = make_surrogate(seed=9)
+        sa, sb = a.get_full_state(), b.get_full_state()
+        assert all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateConfig(schema=SCHEMA, label_smoothing=0.6)
+        with pytest.raises(ValueError):
+            SurrogateConfig(schema=SCHEMA, learning_rate=0)
+
+    def test_small_config_overrides(self):
+        cfg = small_config(SCHEMA, batch_size=99)
+        assert cfg.batch_size == 99 and cfg.schema == SCHEMA

@@ -1,0 +1,131 @@
+"""Tests for the evicting (partial-caching) data store and non-blocking
+SPMD requests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.filesystem import SimulatedFilesystem
+from repro.comm.spmd import run_spmd
+from repro.datastore.bundle import write_bundles
+from repro.datastore.reader import StoreReader
+from repro.datastore.store import DistributedDataStore, InsufficientMemoryError
+
+
+def sample_of(value: int, nbytes: int = 400):
+    return {"x": np.full(nbytes // 4, value, dtype=np.float32)}
+
+
+class TestEvictingStore:
+    def test_lru_eviction_order(self):
+        store = DistributedDataStore(1, bytes_per_rank=1200, evicting=True)
+        for sid in range(3):  # fills the budget exactly
+            store.cache_sample(0, sid, sample_of(sid))
+        store.fetch_batch([0])  # touch 0: now 1 is the LRU victim
+        store.cache_sample(0, 3, sample_of(3))
+        assert 1 not in store
+        assert 0 in store and 2 in store and 3 in store
+        assert store.stats.evictions == 1
+
+    def test_non_evicting_still_raises(self):
+        store = DistributedDataStore(1, bytes_per_rank=800, evicting=False)
+        store.cache_sample(0, 0, sample_of(0))
+        store.cache_sample(0, 1, sample_of(1))
+        with pytest.raises(InsufficientMemoryError):
+            store.cache_sample(0, 2, sample_of(2))
+
+    def test_oversized_sample_rejected_even_when_evicting(self):
+        store = DistributedDataStore(1, bytes_per_rank=100, evicting=True)
+        with pytest.raises(InsufficientMemoryError):
+            store.cache_sample(0, 0, sample_of(0, nbytes=400))
+
+    def test_budget_respected_under_churn(self):
+        store = DistributedDataStore(2, bytes_per_rank=2000, evicting=True)
+        for sid in range(40):
+            store.cache_sample(sid % 2, sid, sample_of(sid))
+        assert store.shard_bytes(0) <= 2000
+        assert store.shard_bytes(1) <= 2000
+        assert store.num_cached < 40
+
+    def test_preload_with_eviction_is_config_error(self):
+        fs = SimulatedFilesystem()
+        paths = write_bundles(
+            fs, {"x": np.zeros((20, 4), dtype=np.float32)}, samples_per_bundle=10
+        )
+        store = DistributedDataStore(1, bytes_per_rank=10**6, evicting=True)
+        with pytest.raises(ValueError):
+            store.preload(fs, paths)
+
+    def test_dynamic_reader_partial_caching_rereads_misses(self):
+        """Over-capacity dynamic store keeps training: evicted samples are
+        re-read from the file system on later epochs (partial caching)."""
+        fs = SimulatedFilesystem()
+        n = 100
+        fields = {"x": np.arange(n, dtype=np.float32).reshape(n, 1)}
+        paths = write_bundles(fs, fields, samples_per_bundle=10)
+        # Budget holds ~40 of the 100 samples.
+        per_sample = 4  # one float32 each
+        store = DistributedDataStore(
+            2, bytes_per_rank=20 * per_sample, evicting=True
+        )
+        reader = StoreReader(
+            fs, paths, 10, np.arange(n), np.random.default_rng(0), store, "dynamic"
+        )
+        for _ in reader.epoch(10):
+            pass
+        opens_epoch0 = fs.stats.opens
+        for mb in reader.epoch(10):
+            np.testing.assert_array_equal(
+                mb.feeds["x"][:, 0], mb.sample_ids.astype(np.float32)
+            )
+        # Unlike the fully cached store, later epochs still read files.
+        assert fs.stats.opens > opens_epoch0
+        assert store.stats.evictions > 0
+
+
+class TestNonBlockingRequests:
+    def test_isend_irecv_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend({"v": 7}, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        out = run_spmd(2, prog, timeout=10)
+        assert out[1] == {"v": 7}
+
+    def test_irecv_test_polls(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()  # make rank 1 post irecv first
+                comm.send("late", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            done_early, _ = req.test()
+            comm.barrier()
+            value = req.wait()
+            done_late, value2 = req.test()
+            return done_early, value, done_late, value2
+
+        out = run_spmd(2, prog, timeout=10)
+        done_early, value, done_late, value2 = out[1]
+        assert done_early is False
+        assert value == "late" and done_late is True and value2 == "late"
+
+    def test_overlapped_exchange(self):
+        """The data-store idiom: post receives, compute, then wait."""
+
+        def prog(comm):
+            peer = 1 - comm.rank
+            req = comm.irecv(source=peer, tag=5)
+            comm.send(np.full(4, comm.rank), dest=peer, tag=5)
+            local = float(np.sum(np.arange(10)))  # "compute"
+            remote = req.wait()
+            return local + float(remote.sum())
+
+        out = run_spmd(2, prog, timeout=10)
+        assert out[0] == 45.0 + 4.0  # received rank 1's ones
+        assert out[1] == 45.0 + 0.0

@@ -1,0 +1,156 @@
+"""Tests for repro.utils: RNG determinism, units, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import RngFactory, spawn_rngs
+from repro.utils.serialization import nbytes_of, pack_arrays, unpack_arrays
+from repro.utils.units import GB, GIB, KB, MB, format_bytes, format_time
+
+
+class TestRngFactory:
+    def test_same_seed_same_name_same_stream(self):
+        a = RngFactory(42).generator("x")
+        b = RngFactory(42).generator("x")
+        assert np.array_equal(a.random(8), b.random(8))
+
+    def test_different_names_independent(self):
+        f = RngFactory(42)
+        assert not np.array_equal(
+            f.generator("a").random(8), f.generator("b").random(8)
+        )
+
+    def test_different_seeds_differ(self):
+        assert float(RngFactory(1).generator("x").random()) != float(
+            RngFactory(2).generator("x").random()
+        )
+
+    def test_child_path_composes(self):
+        root = RngFactory(7)
+        via_child = root.child("a").generator("b")
+        direct = root.generator("a/b")
+        assert np.array_equal(via_child.random(4), direct.random(4))
+
+    def test_child_scoping_prevents_collisions(self):
+        root = RngFactory(7)
+        assert float(root.child("a").generator("x").random()) != float(
+            root.child("b").generator("x").random()
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(0).generator("")
+
+    def test_independent_of_call_order(self):
+        f1 = RngFactory(3)
+        a1 = f1.generator("a").random()
+        b1 = f1.generator("b").random()
+        f2 = RngFactory(3)
+        b2 = f2.generator("b").random()
+        a2 = f2.generator("a").random()
+        assert a1 == a2 and b1 == b2
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(5, ["p", "q"])
+        assert set(rngs) == {"p", "q"}
+        assert float(rngs["p"].random()) != float(rngs["q"].random())
+
+    @given(st.text(min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_any_name_is_stable(self, name):
+        assert float(RngFactory(9).generator(name).random()) == float(
+            RngFactory(9).generator(name).random()
+        )
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1000 and MB == 10**6 and GB == 10**9
+        assert GIB == 2**30
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1500, "1.50 KB"),
+            (2_500_000, "2.50 MB"),
+            (3 * GB, "3.00 GB"),
+        ],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_format_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    @pytest.mark.parametrize(
+        "s,expected",
+        [
+            (1e-7, "0.1 us"),
+            (0.0005, "500.0 us"),
+            (0.25, "250.0 ms"),
+            (42.0, "42.00 s"),
+            (600, "10.0 min"),
+            (7200, "2.00 h"),
+        ],
+    )
+    def test_format_time(self, s, expected):
+        assert format_time(s) == expected
+
+    def test_format_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-0.1)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_dtype_shape_values(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.float32).reshape(3, 4),
+            "b": np.array([1, 2, 3], dtype=np.int64),
+            "model/fc0/kernel": np.random.default_rng(0).normal(size=(5, 7)),
+        }
+        back = unpack_arrays(pack_arrays(arrays))
+        assert set(back) == set(arrays)
+        for k in arrays:
+            assert back[k].dtype == np.asarray(arrays[k]).dtype
+            assert np.array_equal(back[k], arrays[k])
+
+    def test_slash_keys_survive(self):
+        back = unpack_arrays(pack_arrays({"x/y/z": np.ones(3)}))
+        assert "x/y/z" in back
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            pack_arrays({"": np.ones(1)})
+
+    def test_nbytes_of(self):
+        arrays = {"a": np.zeros((10, 10), dtype=np.float32), "b": np.zeros(5)}
+        assert nbytes_of(arrays) == 400 + 40
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                    min_size=1,
+                    max_size=8,
+                ),
+                st.integers(min_value=1, max_value=16),
+            ),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda t: t[0],
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, spec):
+        rng = np.random.default_rng(0)
+        arrays = {name: rng.normal(size=n).astype(np.float32) for name, n in spec}
+        back = unpack_arrays(pack_arrays(arrays))
+        assert all(np.array_equal(back[k], arrays[k]) for k in arrays)

@@ -1,0 +1,114 @@
+"""Tests for the ensemble workflow engine and the JAG campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.filesystem import SimulatedFilesystem
+from repro.jag.dataset import JagDatasetConfig, small_schema
+from repro.workflow.campaign import run_campaign
+from repro.workflow.engine import EnsembleWorkflow, WorkerPoolSpec
+
+
+class TestWorkflowEngine:
+    def test_all_tasks_complete_once(self):
+        wf = EnsembleWorkflow(WorkerPoolSpec(num_workers=3, tasks_per_job=4))
+        results, stats = wf.run([1.0] * 20)
+        assert stats.tasks_completed == 20
+        assert sorted(r.task_id for r in results) == list(range(20))
+
+    def test_batching_amortizes_overhead(self):
+        """The paper's Merlin point: for ~minute tasks, per-job scheduling
+        overhead dominates unless tasks are batched."""
+        # Enough tasks that the batched schedule still fills every worker.
+        times = [60.0] * 6400
+        unbatched = EnsembleWorkflow(
+            WorkerPoolSpec(num_workers=16, schedule_overhead=30, placement_overhead=15, tasks_per_job=1)
+        )
+        batched = EnsembleWorkflow(
+            WorkerPoolSpec(num_workers=16, schedule_overhead=30, placement_overhead=15, tasks_per_job=100)
+        )
+        _, s_un = unbatched.run(times)
+        _, s_b = batched.run(times)
+        assert s_un.overhead_fraction > 0.4
+        assert s_b.overhead_fraction < 0.02
+        assert s_b.makespan < 0.7 * s_un.makespan
+
+    def test_makespan_lower_bound(self):
+        spec = WorkerPoolSpec(num_workers=4, schedule_overhead=0, placement_overhead=0, tasks_per_job=1)
+        _, stats = EnsembleWorkflow(spec).run([2.0] * 8)
+        assert stats.makespan == pytest.approx(4.0)  # 8 tasks / 4 workers
+
+    def test_single_worker_serializes(self):
+        spec = WorkerPoolSpec(num_workers=1, schedule_overhead=1, placement_overhead=0, tasks_per_job=2)
+        results, stats = EnsembleWorkflow(spec).run([1.0] * 4)
+        assert stats.makespan == pytest.approx(2 * 1 + 4 * 1.0)
+        assert stats.jobs_launched == 2
+
+    def test_task_fn_executed(self):
+        seen = []
+        wf = EnsembleWorkflow(WorkerPoolSpec(num_workers=2), task_fn=seen.append)
+        results, _ = wf.run([0.5] * 5)
+        assert sorted(seen) == list(range(5))
+
+    def test_worker_efficiency_bounds(self):
+        _, stats = EnsembleWorkflow(WorkerPoolSpec()).run([1.0] * 10)
+        assert 0.0 < stats.worker_efficiency <= 1.0
+        assert stats.overhead_fraction + stats.worker_efficiency == pytest.approx(1.0)
+
+    def test_timestamps_non_overlapping_per_worker(self):
+        wf = EnsembleWorkflow(WorkerPoolSpec(num_workers=2, tasks_per_job=3))
+        results, _ = wf.run([1.0, 2.0, 0.5, 1.5, 1.0, 0.5, 2.0])
+        by_worker: dict[int, list] = {}
+        for r in results:
+            by_worker.setdefault(r.worker, []).append((r.start_time, r.end_time))
+        for spans in by_worker.values():
+            spans.sort()
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert s2 >= e1
+
+    def test_validation(self):
+        wf = EnsembleWorkflow(WorkerPoolSpec())
+        with pytest.raises(ValueError):
+            wf.run([])
+        with pytest.raises(ValueError):
+            wf.run([-1.0])
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(num_workers=0)
+
+
+class TestCampaign:
+    def test_end_to_end(self):
+        fs = SimulatedFilesystem()
+        report = run_campaign(
+            JagDatasetConfig(n_samples=200, schema=small_schema(8), seed=4),
+            fs,
+            pool=WorkerPoolSpec(num_workers=8, tasks_per_job=50),
+            samples_per_bundle=50,
+            task_seconds=60.0,
+        )
+        assert report.dataset.n_samples == 200
+        assert len(report.bundle_paths) == 4
+        assert all(fs.exists(p) for p in report.bundle_paths)
+        assert report.stats.tasks_completed == 200
+        assert report.samples_per_simulated_hour > 0
+
+    def test_bundles_preserve_exploration_order(self):
+        fs = SimulatedFilesystem()
+        report = run_campaign(
+            JagDatasetConfig(n_samples=120, schema=small_schema(8), seed=4),
+            fs,
+            samples_per_bundle=40,
+        )
+        first = fs.read_file(report.bundle_paths[0])
+        last = fs.read_file(report.bundle_paths[-1])
+        # sweep order: drive grows across bundles
+        assert first.fields["params"][:, 0].mean() < last.fields["params"][:, 0].mean()
+
+    def test_invalid_task_seconds(self):
+        with pytest.raises(ValueError):
+            run_campaign(
+                JagDatasetConfig(n_samples=10, schema=small_schema(8)),
+                SimulatedFilesystem(),
+                task_seconds=0,
+            )
