@@ -25,6 +25,7 @@ from repro.core import (
 )
 from repro.jag import JagDatasetConfig, generate_dataset, small_schema
 from repro.models import small_config
+from repro.telemetry import JsonlTraceWriter, ProgressLogger, WallClockTimer
 from repro.utils.rng import RngFactory
 
 
@@ -64,7 +65,10 @@ def main() -> None:
             f"laser drive in [{drive.min():.2f}, {drive.max():.2f}]"
         )
 
-    # 4. Tournament training.
+    # 4. Tournament training, observed through the telemetry subsystem:
+    #    a progress line per round, per-phase wall-clock totals, and a
+    #    JSONL trace you can inspect afterwards with
+    #    `python -m repro.experiments trace-report quickstart_trace.jsonl`.
     print("running LTFB (8 rounds x 20 steps) ...")
     driver = LtfbDriver(
         trainers,
@@ -72,13 +76,17 @@ def main() -> None:
         LtfbConfig(steps_per_round=20, rounds=8),
         eval_batch=val_batch,
     )
+    timer = WallClockTimer()
     history = driver.run(
-        on_round=lambda r, d: print(
-            f"  round {r}: best val loss "
-            f"{min(v['val_loss'] for v in d.history.eval_series[-1].values()):.3f}"
-        )
+        callbacks=[
+            ProgressLogger(),
+            timer,
+            JsonlTraceWriter("quickstart_trace.jsonl"),
+        ]
     )
     print(f"tournament adoption rate: {history.adoption_rate():.2f}")
+    print(f"  {timer.summary()}")
+    print("  telemetry trace written to quickstart_trace.jsonl")
 
     best, loss = driver.best_trainer()
     print(f"\nwinning trainer: {best.name} (val loss {loss:.3f})")

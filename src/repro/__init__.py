@@ -14,16 +14,22 @@ Subpackages (see README.md for the architecture overview):
 - :mod:`repro.models` — multimodal autoencoder + CycleGAN surrogate;
 - :mod:`repro.core` — trainers, the LTFB tournament algorithm, baselines,
   checkpointing, and the paper-scale performance models;
+- :mod:`repro.telemetry` — event-bus + callback observability layer
+  (LBANN-callback analog): trace writing, timing, counters;
 - :mod:`repro.experiments` — one harness per paper figure, plus ablations.
 
 The most common entry points are re-exported here.
 """
 
 from repro.core import (
+    AdoptOptimizer,
     EnsembleSpec,
+    ExchangeScope,
+    History,
     KIndependentDriver,
     LtfbConfig,
     LtfbDriver,
+    PopulationDriver,
     Trainer,
     TrainerConfig,
     build_population,
@@ -31,6 +37,14 @@ from repro.core import (
 )
 from repro.jag import JagDatasetConfig, JagSchema, generate_dataset
 from repro.models import ICFSurrogate, MultimodalAutoencoder, SurrogateConfig
+from repro.telemetry import (
+    Callback,
+    CounterAggregator,
+    JsonlTraceWriter,
+    ProgressLogger,
+    TelemetryHub,
+    WallClockTimer,
+)
 from repro.utils.rng import RngFactory
 
 __version__ = "1.0.0"
@@ -46,10 +60,20 @@ __all__ = [
     "EnsembleSpec",
     "TrainerConfig",
     "Trainer",
+    "ExchangeScope",
+    "AdoptOptimizer",
     "LtfbConfig",
     "LtfbDriver",
     "KIndependentDriver",
+    "PopulationDriver",
+    "History",
     "build_population",
     "pretrain_autoencoder",
+    "TelemetryHub",
+    "Callback",
+    "JsonlTraceWriter",
+    "WallClockTimer",
+    "CounterAggregator",
+    "ProgressLogger",
     "__version__",
 ]

@@ -21,6 +21,8 @@ Performance side (analytic, paper scale):
 """
 
 from repro.core.trainer import Trainer, TrainerConfig
+from repro.core.enums import AdoptOptimizer, ExchangeScope
+from repro.core.driver import History, PopulationDriver
 from repro.core.ltfb import LtfbConfig, LtfbDriver, LtfbHistory, TournamentRecord
 from repro.core.kindependent import KIndependentDriver
 from repro.core.ensemble import EnsembleSpec, build_population, pretrain_autoencoder
@@ -42,6 +44,10 @@ from repro.core.perfmodel import (
 __all__ = [
     "Trainer",
     "TrainerConfig",
+    "ExchangeScope",
+    "AdoptOptimizer",
+    "History",
+    "PopulationDriver",
     "LtfbConfig",
     "LtfbDriver",
     "LtfbHistory",

@@ -8,19 +8,32 @@ arrays via the flat-buffer codec of :mod:`repro.utils.serialization`,
 scalars via a small JSON header — so checkpoints are portable and contain
 no pickled code.
 
+Checkpoints also carry the silo reader's RNG state and epoch counter, so
+a population restored into freshly built (identical-seed) trainers at an
+epoch boundary replays exactly the batch sequence the uninterrupted run
+would have seen — mid-LTFB resume is bit-deterministic when rounds align
+with epochs.
+
 Restoring requires an architecturally identical trainer (same config and
 weight names); mismatches raise instead of silently corrupting state.
+
+Both directions emit ``checkpoint`` telemetry events when a
+:class:`~repro.telemetry.TelemetryHub` is passed (or attached to the
+trainer by a running driver).
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.trainer import Trainer
+
+if TYPE_CHECKING:
+    from repro.telemetry import TelemetryHub
 
 __all__ = [
     "trainer_checkpoint",
@@ -53,8 +66,16 @@ def _unflatten_optimizer(prefix: str, meta: Mapping, arrays: Mapping) -> dict:
     return {"step_count": int(meta["step_count"]), "slots": slots}
 
 
-def trainer_checkpoint(trainer: Trainer) -> bytes:
-    """Serialize one trainer: model, both optimizers, counters."""
+def _emit(trainer: Trainer, telemetry, action: str, nbytes: int) -> None:
+    hub = telemetry if telemetry is not None else trainer.telemetry
+    if hub is not None:
+        hub.emit("checkpoint", action=action, trainer=trainer.name, nbytes=nbytes)
+
+
+def trainer_checkpoint(
+    trainer: Trainer, telemetry: "TelemetryHub | None" = None
+) -> bytes:
+    """Serialize one trainer: model, both optimizers, counters, reader."""
     arrays: dict[str, np.ndarray] = {
         f"model/{k}": v for k, v in trainer.surrogate.get_full_state().items()
     }
@@ -75,6 +96,13 @@ def trainer_checkpoint(trainer: Trainer) -> bytes:
         "surrogate_steps": trainer.surrogate.steps_trained,
         "gen_optimizer": gen_meta,
         "disc_optimizer": disc_meta,
+        # Reader continuation: the shuffle generator's state plus the
+        # epoch counter.  PCG64 (and every numpy bit generator) exposes
+        # its state as a JSON-serializable dict of ints/strings.
+        "reader": {
+            "epochs_completed": trainer.reader.epochs_completed,
+            "rng_state": trainer.reader._rng.bit_generator.state,
+        },
     }
     buf = io.BytesIO()
     escaped = {k.replace("/", "\x1f"): v for k, v in arrays.items()}
@@ -82,10 +110,14 @@ def trainer_checkpoint(trainer: Trainer) -> bytes:
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     )
     np.savez(buf, **escaped)
-    return buf.getvalue()
+    payload = buf.getvalue()
+    _emit(trainer, telemetry, "save", len(payload))
+    return payload
 
 
-def restore_trainer(trainer: Trainer, payload: bytes) -> None:
+def restore_trainer(
+    trainer: Trainer, payload: bytes, telemetry: "TelemetryHub | None" = None
+) -> None:
     """Load a checkpoint into an architecturally identical trainer."""
     with np.load(io.BytesIO(payload), allow_pickle=False) as data:
         arrays = {
@@ -114,22 +146,34 @@ def restore_trainer(trainer: Trainer, payload: bytes) -> None:
     trainer.tournaments_won = int(header["tournaments_won"])
     trainer.tournaments_lost = int(header["tournaments_lost"])
     trainer.surrogate.steps_trained = int(header["surrogate_steps"])
+    reader_meta = header.get("reader")
+    if reader_meta is not None:
+        trainer.reader.epochs_completed = int(reader_meta["epochs_completed"])
+        trainer.reader._rng.bit_generator.state = reader_meta["rng_state"]
+        # Discard any in-flight epoch iterator: the restored RNG state is
+        # positioned to draw the next epoch's permutation.
+        trainer._batch_iter = None
+    _emit(trainer, telemetry, "restore", len(payload))
 
 
-def population_checkpoint(trainers: Sequence[Trainer]) -> dict[str, bytes]:
+def population_checkpoint(
+    trainers: Sequence[Trainer], telemetry: "TelemetryHub | None" = None
+) -> dict[str, bytes]:
     """Checkpoint every trainer of a population, keyed by trainer name."""
     names = [t.name for t in trainers]
     if len(set(names)) != len(names):
         raise ValueError(f"trainer names must be unique, got {names}")
-    return {t.name: trainer_checkpoint(t) for t in trainers}
+    return {t.name: trainer_checkpoint(t, telemetry) for t in trainers}
 
 
 def restore_population(
-    trainers: Sequence[Trainer], checkpoints: Mapping[str, bytes]
+    trainers: Sequence[Trainer],
+    checkpoints: Mapping[str, bytes],
+    telemetry: "TelemetryHub | None" = None,
 ) -> None:
     """Restore a population from :func:`population_checkpoint` output."""
     missing = {t.name for t in trainers} - set(checkpoints)
     if missing:
         raise ValueError(f"no checkpoint for trainers: {sorted(missing)}")
     for t in trainers:
-        restore_trainer(t, checkpoints[t.name])
+        restore_trainer(t, checkpoints[t.name], telemetry)

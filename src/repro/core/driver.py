@@ -1,0 +1,221 @@
+"""The shared population-driver API.
+
+Both population algorithms — LTFB tournament training
+(:class:`~repro.core.ltfb.LtfbDriver`) and the K-independent baseline
+(:class:`~repro.core.kindependent.KIndependentDriver`) — extend
+:class:`PopulationDriver` and share one contract:
+
+- ``run(callbacks=[...]) -> History`` — run the configured rounds,
+  streaming telemetry events to the attached callbacks;
+- one :class:`History` shape for both (train losses, eval series, rounds;
+  LTFB additionally fills tournaments/pairings/exchange bytes), so Fig.-13
+  style code can swap drivers without branching;
+- ``best_trainer(metric)`` — population-best selection on the global
+  validation batch.
+
+``run`` resumes from ``history.rounds_completed``: a driver constructed
+with a partially-filled :class:`History` (e.g. after restoring a
+population checkpoint mid-campaign) continues where the history stops.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.trainer import Trainer
+from repro.telemetry import Callback, TelemetryHub
+from repro.telemetry.events import EVAL, ROUND_END
+
+__all__ = ["TournamentRecord", "History", "PopulationDriver"]
+
+
+@dataclass
+class TournamentRecord:
+    """Outcome of one pairwise tournament at one trainer."""
+
+    round_index: int
+    trainer: str
+    partner: str
+    own_score: float
+    partner_score: float
+    adopted_partner: bool
+
+
+@dataclass
+class History:
+    """Everything a population run produced, for analysis and plots.
+
+    One shape for every driver: LTFB fills all fields; drivers without
+    tournaments (K-independent) leave ``tournaments``/``pairings`` empty
+    and ``exchange_bytes`` at zero.
+    """
+
+    rounds_completed: int = 0
+    train_losses: list[dict[str, dict[str, float]]] = field(default_factory=list)
+    eval_series: list[dict[str, dict[str, float]]] = field(default_factory=list)
+    tournaments: list[TournamentRecord] = field(default_factory=list)
+    pairings: list[list[tuple[str, str]]] = field(default_factory=list)
+    exchange_bytes: int = 0
+
+    def adoption_rate(self) -> float:
+        """Fraction of tournament decisions that adopted the partner."""
+        if not self.tournaments:
+            return 0.0
+        adopted = sum(1 for t in self.tournaments if t.adopted_partner)
+        return adopted / len(self.tournaments)
+
+    def best_val_series(self, metric: str = "val_loss") -> list[float]:
+        """Per-round best (min) value of ``metric`` across trainers, from
+        the evaluation snapshots recorded by the driver."""
+        return [
+            min(per_trainer[metric] for per_trainer in snap.values())
+            for snap in self.eval_series
+        ]
+
+
+class PopulationDriver:
+    """Base class: owns the population, the history, and the telemetry hub.
+
+    Parameters
+    ----------
+    trainers:
+        The population (non-empty, unique names).
+    config:
+        The round schedule (:class:`~repro.core.ltfb.LtfbConfig`).
+    eval_batch:
+        Optional *global* validation batch; when given, every trainer is
+        evaluated on it after every round and the series is recorded.
+    history:
+        Optional pre-filled :class:`History` to resume into; ``run`` picks
+        up at ``history.rounds_completed``.
+    """
+
+    def __init__(
+        self,
+        trainers: Sequence[Trainer],
+        config,
+        eval_batch: Mapping[str, np.ndarray] | None = None,
+        history: History | None = None,
+    ) -> None:
+        if not trainers:
+            raise ValueError("need at least one trainer")
+        names = [t.name for t in trainers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"trainer names must be unique, got {names}")
+        self.trainers = list(trainers)
+        self.config = config
+        self.eval_batch = dict(eval_batch) if eval_batch is not None else None
+        self.history = history if history is not None else History()
+        self.telemetry = TelemetryHub()
+
+    # -- the one run signature ------------------------------------------------
+
+    def run(
+        self,
+        callbacks: Iterable[Callback] = (),
+        on_round: Callable[[int, "PopulationDriver"], None] | None = None,
+    ) -> History:
+        """Run the remaining rounds; returns the (shared-shape) history.
+
+        ``callbacks`` subscribe to the driver's telemetry hub for the
+        duration of the run and get the ``on_run_begin``/``on_run_end``
+        lifecycle calls.  ``on_round`` is the deprecated pre-callback hook,
+        kept as a thin shim.
+        """
+        if on_round is not None:
+            warnings.warn(
+                "run(on_round=...) is deprecated; pass run(callbacks=[...]) "
+                "with a repro.telemetry.Callback instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        attached = list(callbacks)
+        for cb in attached:
+            self.telemetry.subscribe(cb)
+        for t in self.trainers:
+            t.telemetry = self.telemetry
+        try:
+            for cb in attached:
+                cb.on_run_begin(self)
+            for r in range(self.history.rounds_completed, self.config.rounds):
+                self.run_round(r)
+                if on_round is not None:
+                    on_round(r, self)
+        finally:
+            for cb in attached:
+                cb.on_run_end(self, self.history)
+                self.telemetry.unsubscribe(cb)
+        return self.history
+
+    def run_round(self, round_index: int) -> None:
+        """Advance the population by one round (subclass responsibility)."""
+        raise NotImplementedError
+
+    # -- shared round phases --------------------------------------------------
+
+    def _train_phase(self, round_index: int) -> float:
+        """Train every trainer for one interval; returns elapsed seconds.
+
+        Per-trainer ``step_end`` events are emitted by the trainers
+        themselves (the hub was attached in :meth:`run`).
+        """
+        t0 = time.perf_counter()
+        losses = {
+            t.name: t.train_steps(self.config.steps_per_round)
+            for t in self.trainers
+        }
+        self.history.train_losses.append(losses)
+        return time.perf_counter() - t0
+
+    def _eval_phase(self, round_index: int) -> float:
+        """Evaluate the population on the global batch; returns elapsed."""
+        if self.eval_batch is None:
+            return 0.0
+        t0 = time.perf_counter()
+        snap = {t.name: t.evaluate(self.eval_batch) for t in self.trainers}
+        self.history.eval_series.append(snap)
+        elapsed = time.perf_counter() - t0
+        self.telemetry.emit(
+            EVAL, round=round_index, metrics=snap, elapsed_s=elapsed
+        )
+        return elapsed
+
+    def _end_round(
+        self,
+        round_index: int,
+        train_s: float,
+        tournament_s: float = 0.0,
+        exchange_s: float = 0.0,
+        eval_s: float = 0.0,
+    ) -> None:
+        """Record round completion and emit the ``round_end`` timing event."""
+        self.history.rounds_completed += 1
+        self.telemetry.emit(
+            ROUND_END,
+            round=round_index,
+            train_s=train_s,
+            tournament_s=tournament_s,
+            exchange_s=exchange_s,
+            eval_s=eval_s,
+        )
+
+    # -- results --------------------------------------------------------------
+
+    def best_trainer(self, metric: str = "val_loss") -> tuple[Trainer, float]:
+        """The population's best model by a metric on the global eval batch
+        (paper: the final surviving model is selected on validation loss)."""
+        if self.eval_batch is None:
+            raise ValueError("no global eval batch configured")
+        scored = [
+            (t, t.evaluate(self.eval_batch)[metric]) for t in self.trainers
+        ]
+        return min(scored, key=lambda pair: pair[1])
+
+    def best_val_series(self, metric: str = "val_loss") -> list[float]:
+        """Per-round best value of ``metric`` across the population."""
+        return self.history.best_val_series(metric)

@@ -1,0 +1,63 @@
+"""Typed knobs for the exchange and adoption policies.
+
+These replace the stringly-typed ``exchange`` / ``scope`` /
+``adopt_optimizer`` parameters that used to be validated independently in
+:class:`~repro.core.ltfb.LtfbConfig`,
+:class:`~repro.core.trainer.TrainerConfig`, and
+``Trainer._scope_accessors``.  Each enum subclasses ``str`` so existing
+string comparisons (``scope == "generator"``) and serialized payloads keep
+working, and :meth:`coerce` accepts either the enum member or its string
+value — the single validation point for all callers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExchangeScope", "AdoptOptimizer"]
+
+
+class _CoercibleStrEnum(str, enum.Enum):
+    """str-mixin enum with one shared validating constructor."""
+
+    @classmethod
+    def coerce(cls, value):
+        """Accept a member or its string value; anything else raises."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            options = ", ".join(repr(m.value) for m in cls)
+            raise ValueError(
+                f"{cls.__name__} must be one of {options}, got {value!r}"
+            ) from None
+
+
+class ExchangeScope(_CoercibleStrEnum):
+    """What crosses the wire in a tournament exchange.
+
+    - ``GENERATOR`` — the paper's GAN extension: only generators are
+      exchanged, discriminators stay local ("educating a student with
+      multiple teachers", and less communication);
+    - ``FULL`` — classic LTFB (Jacobs et al., MLHPC'17): the whole model
+      including the discriminator moves with the winner.
+    """
+
+    GENERATOR = "generator"
+    FULL = "full"
+
+
+class AdoptOptimizer(_CoercibleStrEnum):
+    """What happens to optimizer slots when a foreign model is adopted.
+
+    - ``EXCHANGE`` — the winner's optimizer slots travel with its weights
+      (PBT-style; with frequent tournaments, stale Adam moments otherwise
+      poison every post-adoption step);
+    - ``KEEP`` — keep the local slots (weights-only exchange);
+    - ``RESET`` — drop the slots and restart the optimizer cold.
+    """
+
+    EXCHANGE = "exchange"
+    KEEP = "keep"
+    RESET = "reset"

@@ -7,72 +7,60 @@ validation set is selected.  Same compute, same memory footprint, no model
 exchange — so every model only ever sees its own silo, and with
 exploration-ordered (non-IID) partitions it generalizes progressively
 worse as k grows.
+
+:class:`KIndependentDriver` shares the
+:class:`~repro.core.driver.PopulationDriver` API with
+:class:`~repro.core.ltfb.LtfbDriver` — identical ``run(callbacks=[...])
+-> History`` signatures and ``best_trainer(metric)`` — so experiments can
+swap the two on equal schedules ("roughly equal runtimes ... and equal
+memory footprints") without branching.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.driver import History, PopulationDriver
 from repro.core.ltfb import LtfbConfig
 from repro.core.trainer import Trainer
 
 __all__ = ["KIndependentDriver"]
 
 
-class KIndependentDriver:
-    """Trains a population with no tournaments; mirrors
-    :class:`~repro.core.ltfb.LtfbDriver`'s interface so experiments can
-    swap the two on equal schedules ("roughly equal runtimes ... and equal
-    memory footprints")."""
+class KIndependentDriver(PopulationDriver):
+    """Trains a population with no tournaments.
+
+    The history's tournament fields stay empty (no communication ever
+    happens); ``train_losses``/``eval_series``/``rounds_completed`` remain
+    readable directly on the driver for backwards compatibility.
+    """
 
     def __init__(
         self,
         trainers: Sequence[Trainer],
         config: LtfbConfig,
         eval_batch: Mapping[str, np.ndarray] | None = None,
+        history: History | None = None,
     ) -> None:
-        if not trainers:
-            raise ValueError("need at least one trainer")
-        self.trainers = list(trainers)
-        self.config = config
-        self.eval_batch = dict(eval_batch) if eval_batch is not None else None
-        self.train_losses: list[dict[str, dict[str, float]]] = []
-        self.eval_series: list[dict[str, dict[str, float]]] = []
-        self.rounds_completed = 0
+        super().__init__(trainers, config, eval_batch=eval_batch, history=history)
 
     def run_round(self, round_index: int) -> None:
-        losses = {
-            t.name: t.train_steps(self.config.steps_per_round)
-            for t in self.trainers
-        }
-        self.train_losses.append(losses)
-        if self.eval_batch is not None:
-            self.eval_series.append(
-                {t.name: t.evaluate(self.eval_batch) for t in self.trainers}
-            )
-        self.rounds_completed += 1
+        train_s = self._train_phase(round_index)
+        eval_s = self._eval_phase(round_index)
+        self._end_round(round_index, train_s=train_s, eval_s=eval_s)
 
-    def run(
-        self, on_round: Callable[[int, "KIndependentDriver"], None] | None = None
-    ) -> None:
-        for r in range(self.config.rounds):
-            self.run_round(r)
-            if on_round is not None:
-                on_round(r, self)
+    # -- backwards-compatible views onto the shared history -------------------
 
-    def best_trainer(self, metric: str = "val_loss") -> tuple[Trainer, float]:
-        """Select the best final model on the global validation batch —
-        the K-independent selection rule."""
-        if self.eval_batch is None:
-            raise ValueError("no global eval batch configured")
-        scored = [(t, t.evaluate(self.eval_batch)[metric]) for t in self.trainers]
-        return min(scored, key=lambda pair: pair[1])
+    @property
+    def train_losses(self) -> list[dict[str, dict[str, float]]]:
+        return self.history.train_losses
 
-    def best_val_series(self, metric: str = "val_loss") -> list[float]:
-        """Per-round best value of ``metric`` across the population."""
-        return [
-            min(per_trainer[metric] for per_trainer in snap.values())
-            for snap in self.eval_series
-        ]
+    @property
+    def eval_series(self) -> list[dict[str, dict[str, float]]]:
+        return self.history.eval_series
+
+    @property
+    def rounds_completed(self) -> int:
+        return self.history.rounds_completed

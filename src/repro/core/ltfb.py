@@ -14,19 +14,37 @@ case once a model pulls ahead) or disagreeing (each keeps its own).
 Surviving models "are likely to have been exposed to many trainers at
 different times", which is how a winner becomes an encoded representation
 of data silos it never read directly.
+
+:class:`LtfbDriver` extends the shared
+:class:`~repro.core.driver.PopulationDriver` API — ``run(callbacks=[...])
+-> History`` — adding the pairing/exchange/tournament phase and emitting
+``tournament`` and ``exchange`` telemetry events.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.driver import History, PopulationDriver, TournamentRecord
+from repro.core.enums import ExchangeScope
 from repro.core.trainer import Trainer
+from repro.telemetry.events import EXCHANGE, TOURNAMENT
 from repro.utils.serialization import nbytes_of
 
-__all__ = ["LtfbConfig", "TournamentRecord", "LtfbHistory", "LtfbDriver"]
+__all__ = [
+    "LtfbConfig",
+    "TournamentRecord",
+    "LtfbHistory",
+    "LtfbDriver",
+]
+
+#: Backwards-compatible name: LTFB and K-independent runs now share one
+#: history shape (see :class:`repro.core.driver.History`).
+LtfbHistory = History
 
 
 @dataclass(frozen=True)
@@ -35,72 +53,25 @@ class LtfbConfig:
 
     ``steps_per_round`` is the paper's "predefined mini-batch interval"
     between tournaments; ``rounds`` is how many (train, tournament) cycles
-    to run.  ``exchange`` selects what crosses the wire:
-
-    - ``"generator"`` — the paper's GAN extension: only generators are
-      exchanged, discriminators stay local ("educating a student with
-      multiple teachers", and less communication);
-    - ``"full"`` — classic LTFB (Jacobs et al., MLHPC'17): the whole model
-      including the discriminator moves with the winner.
+    to run.  ``exchange`` selects what crosses the wire (an
+    :class:`~repro.core.enums.ExchangeScope` or its string value).
     """
 
     steps_per_round: int = 50
     rounds: int = 10
-    exchange: str = "generator"
+    exchange: ExchangeScope | str = ExchangeScope.GENERATOR
 
     def __post_init__(self) -> None:
         if self.steps_per_round <= 0 or self.rounds <= 0:
             raise ValueError("steps_per_round and rounds must be positive")
-        if self.exchange not in ("generator", "full"):
-            raise ValueError(
-                f"exchange must be 'generator' or 'full', got {self.exchange!r}"
-            )
+        object.__setattr__(self, "exchange", ExchangeScope.coerce(self.exchange))
 
     @property
     def total_steps(self) -> int:
         return self.steps_per_round * self.rounds
 
 
-@dataclass
-class TournamentRecord:
-    """Outcome of one pairwise tournament at one trainer."""
-
-    round_index: int
-    trainer: str
-    partner: str
-    own_score: float
-    partner_score: float
-    adopted_partner: bool
-
-
-@dataclass
-class LtfbHistory:
-    """Everything a tournament run produced, for analysis and plots."""
-
-    rounds_completed: int = 0
-    train_losses: list[dict[str, dict[str, float]]] = field(default_factory=list)
-    tournaments: list[TournamentRecord] = field(default_factory=list)
-    eval_series: list[dict[str, dict[str, float]]] = field(default_factory=list)
-    exchange_bytes: int = 0
-    pairings: list[list[tuple[str, str]]] = field(default_factory=list)
-
-    def adoption_rate(self) -> float:
-        """Fraction of tournament decisions that adopted the partner."""
-        if not self.tournaments:
-            return 0.0
-        adopted = sum(1 for t in self.tournaments if t.adopted_partner)
-        return adopted / len(self.tournaments)
-
-    def best_val_series(self, metric: str = "val_loss") -> list[float]:
-        """Per-round best (min) value of ``metric`` across trainers, from
-        the evaluation snapshots recorded by the driver."""
-        return [
-            min(per_trainer[metric] for per_trainer in snap.values())
-            for snap in self.eval_series
-        ]
-
-
-class LtfbDriver:
+class LtfbDriver(PopulationDriver):
     """Runs LTFB over a population of trainers.
 
     Parameters
@@ -116,6 +87,8 @@ class LtfbDriver:
         Optional *global* validation batch; when given, every trainer is
         evaluated on it after every round and the series is recorded
         (Figs. 12-13 read this).
+    history:
+        Optional pre-filled history to resume a checkpointed campaign.
     """
 
     def __init__(
@@ -124,17 +97,10 @@ class LtfbDriver:
         rng: np.random.Generator,
         config: LtfbConfig,
         eval_batch: Mapping[str, np.ndarray] | None = None,
+        history: History | None = None,
     ) -> None:
-        if not trainers:
-            raise ValueError("need at least one trainer")
-        names = [t.name for t in trainers]
-        if len(set(names)) != len(names):
-            raise ValueError(f"trainer names must be unique, got {names}")
-        self.trainers = list(trainers)
+        super().__init__(trainers, config, eval_batch=eval_batch, history=history)
         self._rng = rng
-        self.config = config
-        self.eval_batch = dict(eval_batch) if eval_batch is not None else None
-        self.history = LtfbHistory()
 
     # -- pairing -------------------------------------------------------------
 
@@ -151,11 +117,10 @@ class LtfbDriver:
 
     def run_round(self, round_index: int) -> None:
         """Train all trainers for one interval, then hold the tournament."""
-        losses: dict[str, dict[str, float]] = {}
-        for t in self.trainers:
-            losses[t.name] = t.train_steps(self.config.steps_per_round)
-        self.history.train_losses.append(losses)
+        train_s = self._train_phase(round_index)
 
+        t0 = time.perf_counter()
+        exchange_s = 0.0
         pairs = self._draw_pairs()
         self.history.pairings.append(
             [(self.trainers[a].name, self.trainers[b].name) for a, b in pairs]
@@ -164,10 +129,19 @@ class LtfbDriver:
         for a_idx, b_idx in pairs:
             a, b = self.trainers[a_idx], self.trainers[b_idx]
             # Exchange models (the only inter-trainer communication).
+            x0 = time.perf_counter()
             pkg_a = a.exchange_package(scope)
             pkg_b = b.exchange_package(scope)
-            self.history.exchange_bytes += nbytes_of(pkg_a["weights"]) + nbytes_of(
-                pkg_b["weights"]
+            nbytes = nbytes_of(pkg_a["weights"]) + nbytes_of(pkg_b["weights"])
+            exchange_s += time.perf_counter() - x0
+            self.history.exchange_bytes += nbytes
+            self.telemetry.emit(
+                EXCHANGE,
+                round=round_index,
+                trainer_a=a.name,
+                trainer_b=b.name,
+                scope=scope.value,
+                nbytes=nbytes,
             )
             for me, theirs, partner in ((a, pkg_b, b), (b, pkg_a, a)):
                 own_score = me.tournament_score()
@@ -187,34 +161,22 @@ class LtfbDriver:
                         adopted_partner=adopt,
                     )
                 )
+                self.telemetry.emit(
+                    TOURNAMENT,
+                    round=round_index,
+                    trainer=me.name,
+                    partner=partner.name,
+                    own_score=own_score,
+                    partner_score=partner_score,
+                    adopted=adopt,
+                )
+        tournament_s = time.perf_counter() - t0 - exchange_s
 
-        if self.eval_batch is not None:
-            snap = {
-                t.name: t.evaluate(self.eval_batch) for t in self.trainers
-            }
-            self.history.eval_series.append(snap)
-        self.history.rounds_completed += 1
-
-    # -- full run -------------------------------------------------------------------
-
-    def run(
-        self, on_round: Callable[[int, "LtfbDriver"], None] | None = None
-    ) -> LtfbHistory:
-        """Run the configured number of rounds; returns the history."""
-        for r in range(self.config.rounds):
-            self.run_round(r)
-            if on_round is not None:
-                on_round(r, self)
-        return self.history
-
-    # -- results ---------------------------------------------------------------------
-
-    def best_trainer(self, metric: str = "val_loss") -> tuple[Trainer, float]:
-        """The population's best model by a metric on the global eval batch
-        (paper: the final surviving model is selected on validation loss)."""
-        if self.eval_batch is None:
-            raise ValueError("no global eval batch configured")
-        scored = [
-            (t, t.evaluate(self.eval_batch)[metric]) for t in self.trainers
-        ]
-        return min(scored, key=lambda pair: pair[1])
+        eval_s = self._eval_phase(round_index)
+        self._end_round(
+            round_index,
+            train_s=train_s,
+            tournament_s=tournament_s,
+            exchange_s=exchange_s,
+            eval_s=eval_s,
+        )

@@ -15,14 +15,20 @@ real 16-GPU version would take.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+import time
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.core.enums import AdoptOptimizer, ExchangeScope
 from repro.datastore.reader import Reader
 from repro.models.cyclegan import ICFSurrogate, SurrogateConfig
 from repro.tensorlib.optimizers import Adam, Optimizer
+
+if TYPE_CHECKING:
+    from repro.telemetry import TelemetryHub
 
 __all__ = ["TrainerConfig", "Trainer"]
 
@@ -34,13 +40,9 @@ class TrainerConfig:
     batch_size: int = 128
     tournament_metric: str = "val_loss"  # or "discriminator"
     # What happens to the generator optimizer when a foreign generator is
-    # adopted:
-    # - "exchange": the winner's optimizer slots travel with its weights
-    #   (PBT-style; default — with frequent tournaments, stale Adam
-    #   moments otherwise poison every post-adoption step);
-    # - "keep": keep the local slots (weights-only exchange);
-    # - "reset": drop the slots.
-    adopt_optimizer: str = "exchange"
+    # adopted; see :class:`repro.core.enums.AdoptOptimizer` (a member or
+    # its string value).
+    adopt_optimizer: AdoptOptimizer | str = AdoptOptimizer.EXCHANGE
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -50,10 +52,9 @@ class TrainerConfig:
                 f"tournament_metric must be 'val_loss' or 'discriminator', "
                 f"got {self.tournament_metric!r}"
             )
-        if self.adopt_optimizer not in ("exchange", "keep", "reset"):
-            raise ValueError(
-                "adopt_optimizer must be 'exchange', 'keep' or 'reset'"
-            )
+        object.__setattr__(
+            self, "adopt_optimizer", AdoptOptimizer.coerce(self.adopt_optimizer)
+        )
 
 
 class Trainer:
@@ -94,6 +95,9 @@ class Trainer:
         self.tournaments_won = 0
         self.tournaments_lost = 0
         self._batch_iter = None
+        # Telemetry sink: population drivers attach their hub here so
+        # train_steps can emit step_end events; None means uninstrumented.
+        self.telemetry: TelemetryHub | None = None
 
     # -- training ----------------------------------------------------------
 
@@ -107,9 +111,14 @@ class Trainer:
             return next(self._batch_iter)
 
     def train_steps(self, n_steps: int) -> dict[str, float]:
-        """Run ``n_steps`` GAN steps; returns mean loss terms."""
+        """Run ``n_steps`` GAN steps; returns mean loss terms.
+
+        Emits one ``step_end`` telemetry event per call when a hub is
+        attached (drivers attach theirs for the duration of a run).
+        """
         if n_steps <= 0:
             raise ValueError("n_steps must be positive")
+        t0 = time.perf_counter()
         sums: dict[str, float] = {}
         for _ in range(n_steps):
             mb = self._next_batch()
@@ -119,7 +128,17 @@ class Trainer:
             for k, v in terms.items():
                 sums[k] = sums.get(k, 0.0) + v
         self.steps_done += n_steps
-        return {k: v / n_steps for k, v in sums.items()}
+        means = {k: v / n_steps for k, v in sums.items()}
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "step_end",
+                trainer=self.name,
+                steps=n_steps,
+                steps_done=self.steps_done,
+                losses=means,
+                elapsed_s=time.perf_counter() - t0,
+            )
+        return means
 
     # -- evaluation ----------------------------------------------------------
 
@@ -137,7 +156,7 @@ class Trainer:
     def score_candidate(
         self,
         weights: Mapping[str, np.ndarray],
-        scope: str = "generator",
+        scope: ExchangeScope | str = ExchangeScope.GENERATOR,
     ) -> float:
         """Score foreign weights on the local tournament set, leaving this
         trainer's own model untouched.
@@ -156,49 +175,61 @@ class Trainer:
 
     # -- LTFB plumbing ----------------------------------------------------------
 
-    def _scope_accessors(self, scope: str):
-        if scope == "generator":
+    def _scope_accessors(self, scope: ExchangeScope | str):
+        scope = ExchangeScope.coerce(scope)
+        if scope is ExchangeScope.GENERATOR:
             return (
                 self.surrogate.get_generator_state,
                 self.surrogate.set_generator_state,
             )
-        if scope == "full":
-            return self.surrogate.get_full_state, self.surrogate.set_full_state
-        raise ValueError(f"scope must be 'generator' or 'full', got {scope!r}")
+        return self.surrogate.get_full_state, self.surrogate.set_full_state
 
     def generator_state(self) -> dict[str, np.ndarray]:
         return self.surrogate.get_generator_state()
 
-    def exchange_package(self, scope: str = "generator") -> dict:
+    def exchange_package(
+        self, scope: ExchangeScope | str = ExchangeScope.GENERATOR
+    ) -> dict:
         """The tournament exchange payload: weights in the given scope
         plus, under ``adopt_optimizer="exchange"``, the matching optimizer
         state (generator optimizer always; discriminator optimizer too
         when the full model travels)."""
+        scope = ExchangeScope.coerce(scope)
         getter, _ = self._scope_accessors(scope)
-        package: dict = {"scope": scope, "weights": getter()}
-        if self.config.adopt_optimizer == "exchange":
+        package: dict = {"scope": scope.value, "weights": getter()}
+        if self.config.adopt_optimizer == AdoptOptimizer.EXCHANGE:
             package["gen_optimizer"] = self.gen_optimizer.get_state()
-            if scope == "full":
+            if scope is ExchangeScope.FULL:
                 package["disc_optimizer"] = self.disc_optimizer.get_state()
         return package
 
     def generator_package(self) -> dict:
-        """Backwards-compatible alias for the GAN exchange payload."""
-        return self.exchange_package("generator")
+        """Deprecated alias for ``exchange_package("generator")``."""
+        warnings.warn(
+            "Trainer.generator_package() is deprecated; use "
+            "Trainer.exchange_package('generator') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.exchange_package(ExchangeScope.GENERATOR)
 
     def adopt_generator(
         self,
         generator_state: Mapping[str, np.ndarray],
         optimizer_state: Mapping | None = None,
     ) -> None:
-        """Replace the local generator with a tournament winner's.
+        """Deprecated alias for :meth:`adopt_package`.
 
-        The local discriminator and its optimizer state stay (the
-        "multiple teachers" property of LTFB-GAN); the generator optimizer
-        follows :class:`TrainerConfig`: adopt the winner's slots
-        ("exchange", when provided), keep the local ones ("keep"), or
-        start fresh ("reset").
+        Replaces the local generator with a tournament winner's; the local
+        discriminator and its optimizer state stay (the "multiple
+        teachers" property of LTFB-GAN).
         """
+        warnings.warn(
+            "Trainer.adopt_generator() is deprecated; use "
+            "Trainer.adopt_package() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.adopt_package(
             {
                 "scope": "generator",
@@ -209,19 +240,19 @@ class Trainer:
 
     def adopt_package(self, package: Mapping) -> None:
         """Adopt an :meth:`exchange_package` payload."""
-        scope = package.get("scope", "generator")
+        scope = ExchangeScope.coerce(package.get("scope", "generator"))
         _, setter = self._scope_accessors(scope)
         setter(package["weights"])
         mode = self.config.adopt_optimizer
-        if mode == "reset":
+        if mode == AdoptOptimizer.RESET:
             self.gen_optimizer.reset()
-            if scope == "full":
+            if scope is ExchangeScope.FULL:
                 self.disc_optimizer.reset()
             return
-        if mode == "exchange":
+        if mode == AdoptOptimizer.EXCHANGE:
             if package.get("gen_optimizer") is not None:
                 self.gen_optimizer.set_state(package["gen_optimizer"])
-            if scope == "full" and package.get("disc_optimizer") is not None:
+            if scope is ExchangeScope.FULL and package.get("disc_optimizer") is not None:
                 self.disc_optimizer.set_state(package["disc_optimizer"])
 
     def __repr__(self) -> str:

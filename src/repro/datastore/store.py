@@ -24,13 +24,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from repro.cluster.filesystem import SimulatedFilesystem
 from repro.comm.spmd import SpmdComm
 from repro.comm.topology import RankPlacement
+
+if TYPE_CHECKING:
+    from repro.telemetry import TelemetryHub
 
 __all__ = [
     "InsufficientMemoryError",
@@ -96,6 +99,10 @@ class DistributedDataStore:
         Optional rank-to-node placement; when given, fetch statistics
         distinguish intra-node from inter-node transfers (a fetch from the
         *same rank* is free and counts as local).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryHub`; when attached,
+        every :meth:`fetch_batch` emits a ``datastore_fetch`` event with
+        the batch's local/remote fetch deltas.
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class DistributedDataStore:
         bytes_per_rank: int,
         placement: RankPlacement | None = None,
         evicting: bool = False,
+        telemetry: "TelemetryHub | None" = None,
     ) -> None:
         if num_ranks <= 0:
             raise ValueError(f"num_ranks must be positive, got {num_ranks}")
@@ -131,6 +139,7 @@ class DistributedDataStore:
         self._shard_bytes = [0] * num_ranks
         self._owner: dict[int, int] = {}
         self.stats = DataStoreStats()
+        self.telemetry = telemetry
 
     # -- population ---------------------------------------------------------
 
@@ -246,6 +255,12 @@ class DistributedDataStore:
         if ids.ndim != 1 or ids.size == 0:
             raise ValueError("sample_ids must be a non-empty 1-D sequence")
         consumers = consumer_ranks_for_batch(ids.size, self.num_ranks)
+        before = (
+            self.stats.local_fetches,
+            self.stats.remote_fetches,
+            self.stats.local_bytes,
+            self.stats.remote_bytes,
+        )
         samples = []
         for pos, sid_np in enumerate(ids):
             sid = int(sid_np)
@@ -279,6 +294,15 @@ class DistributedDataStore:
                     self.stats.remote_fetches += 1
                     self.stats.remote_bytes += nbytes
             samples.append(sample)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "datastore_fetch",
+                batch_size=int(ids.size),
+                local_fetches=self.stats.local_fetches - before[0],
+                remote_fetches=self.stats.remote_fetches - before[1],
+                local_bytes=self.stats.local_bytes - before[2],
+                remote_bytes=self.stats.remote_bytes - before[3],
+            )
         names = list(field_names) if field_names else sorted(samples[0])
         batch = {}
         for name in names:

@@ -5,10 +5,14 @@ Usage::
     python -m repro.experiments fig09 fig10 fig11        # performance figures
     python -m repro.experiments --all-perf               # all three
     python -m repro.experiments fig07 fig12 --quick      # quality figures
+    python -m repro.experiments trace-report trace.jsonl # summarize telemetry
 
 Performance figures run in seconds (analytic models).  Quality figures
 train real networks: the default scale takes minutes per figure; pass
-``--quick`` for a structural smoke run.
+``--quick`` for a structural smoke run.  ``trace-report`` summarizes a
+JSONL telemetry trace written by
+:class:`repro.telemetry.JsonlTraceWriter` — per-phase wall-clock,
+adoption rate, exchange bytes, datastore fetch locality.
 """
 
 from __future__ import annotations
@@ -70,7 +74,27 @@ QUALITY_FIGURES = {
 ALL_FIGURES = {**PERF_FIGURES, **QUALITY_FIGURES}
 
 
+def _trace_report(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace-report",
+        description="Summarize a JSONL telemetry trace.",
+    )
+    parser.add_argument("trace", help="path to a trace.jsonl file")
+    args = parser.parse_args(argv)
+    from repro.telemetry.report import render_trace_report
+
+    try:
+        print(render_trace_report(args.trace))
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace-report":
+        return _trace_report(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
     )

@@ -243,8 +243,10 @@ def dataset_ordering_ablation(
             config,
             eval_batch=bench.val_batch,
         )
-        kind.run()
-        kind_best = min(v["val_loss"] for v in kind.eval_series[-1].values())
+        kind_history = kind.run()
+        kind_best = min(
+            v["val_loss"] for v in kind_history.eval_series[-1].values()
+        )
         report.add_row(
             order=order,
             ltfb_best=ltfb_best,

@@ -197,12 +197,18 @@ class QualityWorkbench:
         rounds: int = 10,
         steps_per_round: int = 40,
         hyperparam_jitter: float = 0.2,
+        callbacks=(),
     ):
         """Run (and memoize) one LTFB training under ``tag``.
 
         Figures that analyse the *same* trained surrogate (7 and 8) share
         a run by passing the same tag/schedule.  Returns the finished
         :class:`~repro.core.ltfb.LtfbDriver`.
+
+        ``callbacks`` (e.g. a
+        :class:`~repro.telemetry.JsonlTraceWriter`) are attached only on
+        the run that populates the cache; cache hits return the finished
+        driver untouched.
         """
         from repro.core.ltfb import LtfbConfig, LtfbDriver
 
@@ -220,6 +226,6 @@ class QualityWorkbench:
                 LtfbConfig(steps_per_round=steps_per_round, rounds=rounds),
                 eval_batch=self.val_batch,
             )
-            driver.run()
+            driver.run(callbacks=callbacks)
             cache[key] = driver
         return cache[key]

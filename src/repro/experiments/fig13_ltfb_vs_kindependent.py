@@ -57,8 +57,7 @@ def run(
                 config,
                 eval_batch=bench.val_batch,
             )
-            ltfb.run()
-            ltfb_runs.append(ltfb.history.best_val_series())
+            ltfb_runs.append(ltfb.run().best_val_series())
 
             kind = KIndependentDriver(
                 bench.population(
@@ -67,8 +66,8 @@ def run(
                 config,
                 eval_batch=bench.val_batch,
             )
-            kind.run()
-            kind_runs.append(kind.best_val_series())
+            # Same run(...) -> History API as LtfbDriver: no branching.
+            kind_runs.append(kind.run().best_val_series())
         ltfb_series[k] = [
             sum(run[r] for run in ltfb_runs) / n_seeds for r in range(rounds)
         ]

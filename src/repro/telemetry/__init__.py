@@ -1,0 +1,68 @@
+"""Telemetry: the event-bus + callback observability layer.
+
+Modeled on LBANN's callback architecture.  Instrumented components — the
+population drivers, :class:`~repro.core.trainer.Trainer`,
+:class:`~repro.datastore.store.DistributedDataStore`, and
+:mod:`repro.core.checkpoint` — emit typed events into a
+:class:`TelemetryHub`; :class:`Callback` subscribers consume them.
+
+Shipped callbacks:
+
+- :class:`JsonlTraceWriter` — one JSON object per event to a trace file;
+- :class:`WallClockTimer` — per-phase timings (train/tournament/exchange/eval);
+- :class:`CounterAggregator` — exchange bytes, adoption rate, datastore
+  local/remote fetch counters, checkpoint traffic;
+- :class:`ProgressLogger` — one line per round.
+
+Typical use::
+
+    from repro.telemetry import JsonlTraceWriter, WallClockTimer
+
+    timer = WallClockTimer()
+    history = driver.run(callbacks=[JsonlTraceWriter("trace.jsonl"), timer])
+    print(timer.summary())
+
+and afterwards ``python -m repro.experiments trace-report trace.jsonl``.
+"""
+
+from repro.telemetry.callbacks import (
+    Callback,
+    CounterAggregator,
+    JsonlTraceWriter,
+    ProgressLogger,
+    WallClockTimer,
+)
+from repro.telemetry.events import (
+    CHECKPOINT,
+    DATASTORE_FETCH,
+    EVAL,
+    EVENT_TYPES,
+    EXCHANGE,
+    ROUND_END,
+    STEP_END,
+    TOURNAMENT,
+    TelemetryEvent,
+    TelemetryHub,
+)
+from repro.telemetry.report import load_trace, render_trace_report, summarize_trace
+
+__all__ = [
+    "TelemetryEvent",
+    "TelemetryHub",
+    "EVENT_TYPES",
+    "STEP_END",
+    "ROUND_END",
+    "TOURNAMENT",
+    "EXCHANGE",
+    "EVAL",
+    "DATASTORE_FETCH",
+    "CHECKPOINT",
+    "Callback",
+    "JsonlTraceWriter",
+    "WallClockTimer",
+    "CounterAggregator",
+    "ProgressLogger",
+    "load_trace",
+    "summarize_trace",
+    "render_trace_report",
+]

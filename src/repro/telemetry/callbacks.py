@@ -1,0 +1,278 @@
+"""Shipped callbacks: trace writing, timing, counting, progress.
+
+The :class:`Callback` base mirrors LBANN's callback architecture: a
+callback subscribes to a :class:`~repro.telemetry.events.TelemetryHub`
+and receives every event, dispatched both generically (:meth:`on_event`)
+and to per-type hooks (``on_step_end``, ``on_tournament``, ...).  Drivers
+additionally call the :meth:`on_run_begin` / :meth:`on_run_end` lifecycle
+hooks around a full run.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import sys
+from typing import IO, Mapping
+
+import numpy as np
+
+from repro.telemetry.events import TelemetryEvent
+
+__all__ = [
+    "Callback",
+    "JsonlTraceWriter",
+    "WallClockTimer",
+    "CounterAggregator",
+    "ProgressLogger",
+]
+
+
+class Callback:
+    """Base class for telemetry consumers.
+
+    Subclasses override any subset of the per-type hooks (named
+    ``on_<event type>``) and/or the catch-all :meth:`on_event`; both are
+    called for every event, per-type hook first.
+    """
+
+    def handle(self, event: TelemetryEvent) -> None:
+        hook = getattr(self, f"on_{event.type}", None)
+        if hook is not None:
+            hook(event)
+        self.on_event(event)
+
+    # -- generic + lifecycle hooks ------------------------------------------
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        """Called for every event, after the per-type hook."""
+
+    def on_run_begin(self, driver) -> None:
+        """Called by a driver before its first round."""
+
+    def on_run_end(self, driver, history) -> None:
+        """Called by a driver after its last round (also on error exit)."""
+
+
+def _jsonify(value):
+    """Coerce payload values to JSON-encodable types."""
+    if isinstance(value, enum.Enum):
+        return _jsonify(value.value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+class JsonlTraceWriter(Callback):
+    """Writes one JSON object per event to a trace file.
+
+    The output is the interchange format of the subsystem: every line is
+    ``{"type": ..., "time_s": ..., "sequence": ..., **payload}``, parseable
+    with one ``json.loads`` per line and summarized by
+    ``python -m repro.experiments trace-report <trace.jsonl>``.
+
+    The file opens lazily on the first event and closes on
+    :meth:`on_run_end` (or an explicit :meth:`close`); the writer can also
+    be used as a context manager.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._fh: IO[str] | None = None
+        self.events_written = 0
+
+    def _file(self) -> IO[str]:
+        if self._fh is None:
+            self._fh = open(self.path, "w", encoding="utf-8")
+        return self._fh
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        record = {
+            "type": event.type,
+            "time_s": round(event.time_s, 9),
+            "sequence": event.sequence,
+        }
+        record.update(_jsonify(event.payload))
+        self._file().write(json.dumps(record) + "\n")
+        self.events_written += 1
+
+    def on_run_end(self, driver, history) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class WallClockTimer(Callback):
+    """Accumulates per-phase wall-clock time across a run.
+
+    Phases are the driver's round structure — ``train``, ``tournament``,
+    ``exchange``, ``eval`` — read from ``round_end`` events (the driver
+    times each phase with a monotonic clock; this callback only sums).
+    """
+
+    PHASES = ("train", "tournament", "exchange", "eval")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {phase: 0.0 for phase in self.PHASES}
+        self.rounds = 0
+
+    def on_round_end(self, event: TelemetryEvent) -> None:
+        for phase in self.PHASES:
+            self.totals[phase] += float(event.payload.get(f"{phase}_s", 0.0))
+        self.rounds += 1
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.totals.values())
+
+    def summary(self) -> str:
+        parts = [f"{phase} {self.totals[phase]:.3f}s" for phase in self.PHASES]
+        return (
+            f"wall clock over {self.rounds} rounds: "
+            + ", ".join(parts)
+            + f" (total {self.total_s:.3f}s)"
+        )
+
+
+class CounterAggregator(Callback):
+    """Folds event streams into run-level counters.
+
+    Tracks exchange traffic, tournament adoption, datastore local/remote
+    fetch counters (the per-batch deltas the store emits — the same fields
+    as :class:`~repro.datastore.store.DataStoreStats`), checkpoint
+    traffic, and step totals.  A store that is not wired to a hub can be
+    folded in after the fact with :meth:`fold_datastore`.
+    """
+
+    def __init__(self) -> None:
+        self.exchange_bytes = 0
+        self.exchanges = 0
+        self.tournaments = 0
+        self.adoptions = 0
+        self.steps = 0
+        self.rounds = 0
+        self.datastore_local_fetches = 0
+        self.datastore_remote_fetches = 0
+        self.datastore_local_bytes = 0
+        self.datastore_remote_bytes = 0
+        self.checkpoint_saves = 0
+        self.checkpoint_restores = 0
+        self.checkpoint_bytes = 0
+
+    # -- per-type folds ------------------------------------------------------
+
+    def on_exchange(self, event: TelemetryEvent) -> None:
+        self.exchanges += 1
+        self.exchange_bytes += int(event.payload["nbytes"])
+
+    def on_tournament(self, event: TelemetryEvent) -> None:
+        self.tournaments += 1
+        if event.payload["adopted"]:
+            self.adoptions += 1
+
+    def on_step_end(self, event: TelemetryEvent) -> None:
+        self.steps += int(event.payload["steps"])
+
+    def on_round_end(self, event: TelemetryEvent) -> None:
+        self.rounds += 1
+
+    def on_datastore_fetch(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        self.datastore_local_fetches += int(p["local_fetches"])
+        self.datastore_remote_fetches += int(p["remote_fetches"])
+        self.datastore_local_bytes += int(p["local_bytes"])
+        self.datastore_remote_bytes += int(p["remote_bytes"])
+
+    def on_checkpoint(self, event: TelemetryEvent) -> None:
+        if event.payload["action"] == "save":
+            self.checkpoint_saves += 1
+        else:
+            self.checkpoint_restores += 1
+        self.checkpoint_bytes += int(event.payload["nbytes"])
+
+    def fold_datastore(self, stats) -> None:
+        """Add a :class:`~repro.datastore.store.DataStoreStats` snapshot
+        (for stores that ran without a telemetry hub)."""
+        self.datastore_local_fetches += stats.local_fetches
+        self.datastore_remote_fetches += stats.remote_fetches
+        self.datastore_local_bytes += stats.local_bytes
+        self.datastore_remote_bytes += stats.remote_bytes
+
+    # -- derived -------------------------------------------------------------
+
+    def adoption_rate(self) -> float:
+        """Fraction of tournament decisions that adopted the partner."""
+        return self.adoptions / self.tournaments if self.tournaments else 0.0
+
+    def remote_fetch_fraction(self) -> float:
+        total = self.datastore_local_fetches + self.datastore_remote_fetches
+        return self.datastore_remote_fetches / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """All counters plus derived rates, as one flat dict."""
+        return {
+            "rounds": self.rounds,
+            "steps": self.steps,
+            "exchanges": self.exchanges,
+            "exchange_bytes": self.exchange_bytes,
+            "tournaments": self.tournaments,
+            "adoptions": self.adoptions,
+            "adoption_rate": self.adoption_rate(),
+            "datastore_local_fetches": self.datastore_local_fetches,
+            "datastore_remote_fetches": self.datastore_remote_fetches,
+            "datastore_local_bytes": self.datastore_local_bytes,
+            "datastore_remote_bytes": self.datastore_remote_bytes,
+            "remote_fetch_fraction": self.remote_fetch_fraction(),
+            "checkpoint_saves": self.checkpoint_saves,
+            "checkpoint_restores": self.checkpoint_restores,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+
+
+class ProgressLogger(Callback):
+    """Prints a one-line summary per round (the ``on_round`` replacement).
+
+    Shows the round index, the train-phase time, and — when the driver
+    evaluates on a global batch — the population-best value of ``metric``.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, metric: str = "val_loss") -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.metric = metric
+        self._last_eval: Mapping | None = None
+        self._total_rounds: int | None = None
+
+    def on_run_begin(self, driver) -> None:
+        self._total_rounds = driver.config.rounds
+
+    def on_eval(self, event: TelemetryEvent) -> None:
+        self._last_eval = event.payload["metrics"]
+
+    def on_round_end(self, event: TelemetryEvent) -> None:
+        r = event.payload["round"]
+        label = f"round {r}" if self._total_rounds is None else (
+            f"round {r + 1}/{self._total_rounds}"
+        )
+        line = f"[{label}] train {event.payload['train_s']:.2f}s"
+        if self._last_eval is not None:
+            best = min(m[self.metric] for m in self._last_eval.values())
+            line += f", best {self.metric} {best:.4f}"
+            self._last_eval = None
+        print(line, file=self.stream)

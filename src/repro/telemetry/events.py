@@ -1,0 +1,139 @@
+"""Typed telemetry events and the hub that routes them.
+
+LBANN structures run-time observability as callbacks attached to the
+training loop; every figure of the paper (7-13) is a trace of exactly the
+quantities those callbacks record — per-round losses, tournament outcomes,
+datastore fetch counters, wall-clock phase timings.  This module is the
+transport layer of that design: instrumented components (drivers,
+trainers, the data store, checkpointing) ``emit`` events into a
+:class:`TelemetryHub`, and :class:`~repro.telemetry.callbacks.Callback`
+subscribers consume them.
+
+Events are *typed*: every event carries one of the names in
+:data:`EVENT_TYPES` and a structured payload whose shape is fixed per
+type (documented on the constants below).  Emitting an unknown type is an
+error — consumers should be able to switch on ``event.type`` exhaustively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "STEP_END",
+    "ROUND_END",
+    "TOURNAMENT",
+    "EXCHANGE",
+    "EVAL",
+    "DATASTORE_FETCH",
+    "CHECKPOINT",
+    "EVENT_TYPES",
+    "TelemetryEvent",
+    "TelemetryHub",
+]
+
+#: One trainer finished a ``train_steps`` interval.  Payload: ``trainer``,
+#: ``steps``, ``steps_done``, ``losses`` (mean loss terms), ``elapsed_s``.
+STEP_END = "step_end"
+
+#: A driver finished one (train, tournament, eval) round.  Payload:
+#: ``round`` plus per-phase wall-clock seconds ``train_s``,
+#: ``tournament_s``, ``exchange_s``, ``eval_s``.
+ROUND_END = "round_end"
+
+#: One trainer judged one pairwise tournament.  Payload: ``round``,
+#: ``trainer``, ``partner``, ``own_score``, ``partner_score``, ``adopted``.
+TOURNAMENT = "tournament"
+
+#: One model-exchange transfer between a pair of trainers.  Payload:
+#: ``round``, ``trainer_a``, ``trainer_b``, ``scope``, ``nbytes``.
+EXCHANGE = "exchange"
+
+#: The population was evaluated on the global validation batch.  Payload:
+#: ``round``, ``metrics`` (per-trainer metric dicts), ``elapsed_s``.
+EVAL = "eval"
+
+#: The data store assembled one mini-batch.  Payload: ``batch_size``,
+#: ``local_fetches``, ``remote_fetches``, ``local_bytes``,
+#: ``remote_bytes`` — per-batch deltas of
+#: :class:`~repro.datastore.store.DataStoreStats`.
+DATASTORE_FETCH = "datastore_fetch"
+
+#: A trainer checkpoint was written or restored.  Payload: ``action``
+#: (``"save"`` or ``"restore"``), ``trainer``, ``nbytes``.
+CHECKPOINT = "checkpoint"
+
+EVENT_TYPES = frozenset(
+    {STEP_END, ROUND_END, TOURNAMENT, EXCHANGE, EVAL, DATASTORE_FETCH, CHECKPOINT}
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured observation from an instrumented component.
+
+    ``time_s`` is seconds since the hub was created (monotonic clock), so
+    traces order and difference cleanly; ``sequence`` is a per-hub counter
+    that breaks timestamp ties.
+    """
+
+    type: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+    time_s: float = 0.0
+    sequence: int = 0
+
+
+class TelemetryHub:
+    """Routes events from instrumented components to subscribed callbacks.
+
+    A hub with no subscribers is effectively free: :meth:`emit` returns
+    before constructing the event, so permanently-attached instrumentation
+    costs nothing when nobody is listening.
+    """
+
+    def __init__(self) -> None:
+        self.callbacks: list = []
+        self._sequence = 0
+        self._t0 = time.perf_counter()
+
+    def subscribe(self, callback) -> None:
+        """Attach a callback (idempotent)."""
+        if callback not in self.callbacks:
+            self.callbacks.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Detach a callback; unknown callbacks are ignored."""
+        if callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    @property
+    def active(self) -> bool:
+        """True when at least one callback is subscribed."""
+        return bool(self.callbacks)
+
+    def emit(self, event_type: str, /, **payload) -> TelemetryEvent | None:
+        """Dispatch one event to every subscriber.
+
+        Returns the event, or ``None`` when there were no subscribers
+        (the cheap path).  Raises ``ValueError`` on unknown event types so
+        typos fail at the emit site, not silently downstream.
+        """
+        if event_type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {event_type!r}; "
+                f"expected one of {sorted(EVENT_TYPES)}"
+            )
+        if not self.callbacks:
+            return None
+        event = TelemetryEvent(
+            type=event_type,
+            payload=payload,
+            time_s=time.perf_counter() - self._t0,
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        for callback in list(self.callbacks):
+            callback.handle(event)
+        return event

@@ -1,0 +1,114 @@
+"""Offline trace analysis: summarize a JSONL telemetry trace.
+
+The counterpart of :class:`~repro.telemetry.callbacks.JsonlTraceWriter`:
+reads a trace back, folds it through the same aggregation logic the live
+callbacks use, and renders the run-level summary the paper's figures are
+built from — per-phase wall-clock, tournament adoption rate, exchange
+traffic, datastore fetch locality.
+
+Exposed on the command line as::
+
+    python -m repro.experiments trace-report <trace.jsonl>
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.telemetry.callbacks import CounterAggregator, WallClockTimer
+from repro.telemetry.events import EVENT_TYPES, TelemetryEvent
+
+__all__ = ["load_trace", "summarize_trace", "render_trace_report", "trace_report"]
+
+
+def load_trace(path) -> list[TelemetryEvent]:
+    """Parse a JSONL trace file back into events.
+
+    Blank lines are skipped; malformed JSON or unknown event types raise
+    ``ValueError`` with the offending line number.
+    """
+    events: list[TelemetryEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            event_type = record.pop("type", None)
+            if event_type not in EVENT_TYPES:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown event type {event_type!r}"
+                )
+            events.append(
+                TelemetryEvent(
+                    type=event_type,
+                    time_s=float(record.pop("time_s", 0.0)),
+                    sequence=int(record.pop("sequence", len(events))),
+                    payload=record,
+                )
+            )
+    return events
+
+
+def summarize_trace(
+    events: Iterable[TelemetryEvent],
+) -> tuple[WallClockTimer, CounterAggregator, dict[str, int]]:
+    """Replay events through the live aggregation callbacks.
+
+    Returns the filled timer and counter aggregator plus a per-type event
+    census.
+    """
+    timer = WallClockTimer()
+    counters = CounterAggregator()
+    census: dict[str, int] = {}
+    for event in events:
+        census[event.type] = census.get(event.type, 0) + 1
+        timer.handle(event)
+        counters.handle(event)
+    return timer, counters, census
+
+
+def render_trace_report(path) -> str:
+    """Load a trace and render the plain-text summary."""
+    events = load_trace(path)
+    timer, counters, census = summarize_trace(events)
+    out = [f"== telemetry trace report: {path} =="]
+    out.append(f"events: {len(events)}")
+    for event_type in sorted(census):
+        out.append(f"  {event_type}: {census[event_type]}")
+    out.append("per-phase wall clock:")
+    for phase in timer.PHASES:
+        out.append(f"  {phase}: {timer.totals[phase]:.3f}s")
+    out.append(f"  total: {timer.total_s:.3f}s over {timer.rounds} rounds")
+    summary = counters.summary()
+    out.append("counters:")
+    out.append(f"  steps: {summary['steps']}")
+    out.append(
+        f"  tournaments: {summary['tournaments']} "
+        f"(adoption rate {summary['adoption_rate']:.3f})"
+    )
+    out.append(
+        f"  exchanges: {summary['exchanges']} "
+        f"({summary['exchange_bytes']} bytes)"
+    )
+    if summary["datastore_local_fetches"] or summary["datastore_remote_fetches"]:
+        out.append(
+            f"  datastore fetches: {summary['datastore_local_fetches']} local / "
+            f"{summary['datastore_remote_fetches']} remote "
+            f"(remote fraction {summary['remote_fetch_fraction']:.3f})"
+        )
+    if summary["checkpoint_saves"] or summary["checkpoint_restores"]:
+        out.append(
+            f"  checkpoints: {summary['checkpoint_saves']} saved / "
+            f"{summary['checkpoint_restores']} restored "
+            f"({summary['checkpoint_bytes']} bytes)"
+        )
+    return "\n".join(out)
+
+
+# Back-compat-friendly short alias used by the CLI.
+trace_report = render_trace_report

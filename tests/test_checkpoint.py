@@ -14,6 +14,7 @@ from repro.core.checkpoint import (
     trainer_checkpoint,
 )
 from repro.core.ensemble import build_population
+from repro.core.ltfb import LtfbConfig, LtfbDriver
 from repro.utils.rng import RngFactory
 
 
@@ -127,3 +128,86 @@ class TestPopulationCheckpoint:
         two_trainers[1].name = two_trainers[0].name
         with pytest.raises(ValueError):
             population_checkpoint(two_trainers)
+
+
+class TestMidRunResume:
+    """Checkpoint an LTFB campaign mid-run, restore into a *fresh*
+    population (as after preemption), and finish: the resumed ``History``
+    and the final model weights must equal the uninterrupted run's.
+
+    The schedule is epoch-aligned by construction: 448 train ids with
+    ``tournament_fraction=0.125`` leave 196-sample silos at k=2; batch 32
+    gives 6 steps per reader epoch, so ``steps_per_round=6`` checkpoints
+    exactly at epoch boundaries — the regime where the checkpointed reader
+    RNG state replays the identical batch sequence.
+    """
+
+    ROUNDS = 4
+    INTERRUPT_AT = 2
+    STEPS_PER_ROUND = 6
+
+    def _population(self, tiny_dataset, tiny_spec, tiny_autoencoder):
+        spec = dataclasses.replace(tiny_spec, k=2)
+        train_ids = np.arange(tiny_dataset.n_samples - 64)
+        return build_population(
+            tiny_dataset, train_ids, RngFactory(77), spec, tiny_autoencoder
+        )
+
+    def _driver(self, trainers, eval_batch, rounds, history=None, burned=0):
+        # The pairing RNG is not checkpointed (it belongs to the driver,
+        # not a trainer); a resuming caller replays the completed rounds'
+        # draws to realign it.
+        rng = np.random.default_rng(424)
+        for _ in range(burned):
+            rng.permutation(len(trainers))
+        return LtfbDriver(
+            trainers,
+            rng,
+            LtfbConfig(steps_per_round=self.STEPS_PER_ROUND, rounds=rounds),
+            eval_batch=eval_batch,
+            history=history,
+        )
+
+    def test_resume_matches_uninterrupted_run(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        val_ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
+        val_batch = {k: v[val_ids] for k, v in tiny_dataset.fields.items()}
+
+        # Uninterrupted reference.
+        ref_pop = self._population(tiny_dataset, tiny_spec, tiny_autoencoder)
+        for t in ref_pop:  # guard the epoch-alignment premise
+            assert t.reader.steps_per_epoch(t.config.batch_size) == (
+                self.STEPS_PER_ROUND
+            )
+        full = self._driver(ref_pop, val_batch, self.ROUNDS).run()
+
+        # Interrupted run: stop after 2 rounds and checkpoint everything.
+        pop_a = self._population(tiny_dataset, tiny_spec, tiny_autoencoder)
+        partial = self._driver(pop_a, val_batch, self.INTERRUPT_AT).run()
+        ckpts = population_checkpoint(pop_a)
+        assert partial.rounds_completed == self.INTERRUPT_AT
+
+        # "New process": fresh identically-built population, restore, and
+        # resume by handing the partial History back to a full-length driver.
+        pop_b = self._population(tiny_dataset, tiny_spec, tiny_autoencoder)
+        restore_population(pop_b, ckpts)
+        resumed = self._driver(
+            pop_b,
+            val_batch,
+            self.ROUNDS,
+            history=partial,
+            burned=self.INTERRUPT_AT,
+        ).run()
+
+        assert resumed.rounds_completed == full.rounds_completed == self.ROUNDS
+        assert resumed.pairings == full.pairings
+        assert resumed.tournaments == full.tournaments
+        assert resumed.train_losses == full.train_losses
+        assert resumed.eval_series == full.eval_series
+        assert resumed.exchange_bytes == full.exchange_bytes
+        for ref, res in zip(ref_pop, pop_b):
+            assert ref.steps_done == res.steps_done
+            assert states_equal(
+                ref.surrogate.get_full_state(), res.surrogate.get_full_state()
+            )

@@ -12,6 +12,7 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.core.driver import History
 from repro.core.ensemble import EnsembleSpec, build_population
 from repro.core.kindependent import KIndependentDriver
 from repro.core.ltfb import LtfbConfig, LtfbDriver
@@ -72,12 +73,12 @@ class TestTrainer:
         for k, v in a.surrogate.get_generator_state().items():
             np.testing.assert_array_equal(v, own[k])
 
-    def test_adopt_generator_replaces_generator_keeps_discriminator(
+    def test_adopt_package_replaces_generator_keeps_discriminator(
         self, population
     ):
         a, b = population(k=2)
         disc_before = a.surrogate.discriminator.get_state()
-        a.adopt_generator(b.generator_state())
+        a.adopt_package({"scope": "generator", "weights": b.generator_state()})
         for k, v in a.surrogate.get_generator_state().items():
             np.testing.assert_array_equal(v, b.generator_state()[k])
         for k, v in a.surrogate.discriminator.get_state().items():
@@ -94,8 +95,20 @@ class TestTrainer:
         )
         a.train_steps(2)
         assert a.gen_optimizer.step_count > 0
-        a.adopt_generator(trainers[1].generator_state())
+        a.adopt_package(
+            {"scope": "generator", "weights": trainers[1].generator_state()}
+        )
         assert a.gen_optimizer.step_count == 0
+
+    def test_deprecated_aliases_warn_and_still_work(self, population):
+        a, b = population(k=2)
+        with pytest.warns(DeprecationWarning, match="generator_package"):
+            pkg = b.generator_package()
+        assert pkg["scope"] == "generator"
+        with pytest.warns(DeprecationWarning, match="adopt_generator"):
+            a.adopt_generator(b.generator_state())
+        for k, v in a.surrogate.get_generator_state().items():
+            np.testing.assert_array_equal(v, b.generator_state()[k])
 
     def test_discriminator_tournament_metric(self, population, val_batch):
         trainers = population(k=2)
@@ -252,6 +265,26 @@ class TestKIndependent:
         all_losses = [t.evaluate(val_batch)["val_loss"] for t in trainers]
         assert loss == pytest.approx(min(all_losses))
         assert len(driver.best_val_series()) == 2
+
+    def test_run_returns_shared_history_shape(self, population, val_batch):
+        """Both drivers return the same History type so Fig.-13 code can
+        swap them without branching."""
+        trainers = population(k=2)
+        history = KIndependentDriver(
+            trainers, LtfbConfig(steps_per_round=1, rounds=2), eval_batch=val_batch
+        ).run()
+        assert isinstance(history, History)
+        assert history.rounds_completed == 2
+        assert history.tournaments == [] and history.exchange_bytes == 0
+        assert len(history.best_val_series()) == 2
+        # Back-compat views stay readable on the driver itself.
+        ltfb = LtfbDriver(
+            population(k=2, seed=8),
+            np.random.default_rng(0),
+            LtfbConfig(steps_per_round=1, rounds=1),
+            eval_batch=val_batch,
+        )
+        assert isinstance(ltfb.run(), History)
 
 
 class TestBuildPopulation:

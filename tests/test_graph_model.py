@@ -16,7 +16,7 @@ from repro.tensorlib.layers import (
     Slice,
     Sum,
 )
-from repro.tensorlib.model import Model, mlp
+from repro.tensorlib.model import mlp
 from repro.utils.rng import RngFactory
 
 RNGS = lambda s=0: RngFactory(s)  # noqa: E731

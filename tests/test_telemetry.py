@@ -1,0 +1,367 @@
+"""Tests for the telemetry subsystem and the unified driver API.
+
+Covers the hub/event layer, the shipped callbacks (trace writer, timer,
+counter aggregator, progress logger), instrumentation of the data store
+and checkpointing, the trace-report CLI, and the deprecated ``on_round``
+shim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import restore_trainer, trainer_checkpoint
+from repro.core.enums import AdoptOptimizer, ExchangeScope
+from repro.core.ensemble import build_population
+from repro.core.kindependent import KIndependentDriver
+from repro.core.ltfb import LtfbConfig, LtfbDriver
+from repro.datastore.store import DistributedDataStore
+from repro.telemetry import (
+    EVENT_TYPES,
+    Callback,
+    CounterAggregator,
+    JsonlTraceWriter,
+    ProgressLogger,
+    TelemetryHub,
+    WallClockTimer,
+    load_trace,
+    summarize_trace,
+)
+from repro.utils.rng import RngFactory
+
+
+class Recorder(Callback):
+    """Collects every event for assertions."""
+
+    def __init__(self) -> None:
+        self.events = []
+        self.run_begins = 0
+        self.run_ends = 0
+
+    def on_event(self, event) -> None:
+        self.events.append(event)
+
+    def on_run_begin(self, driver) -> None:
+        self.run_begins += 1
+
+    def on_run_end(self, driver, history) -> None:
+        self.run_ends += 1
+
+    def of_type(self, event_type):
+        return [e for e in self.events if e.type == event_type]
+
+
+@pytest.fixture()
+def population(tiny_dataset, tiny_spec, tiny_autoencoder):
+    def build(k=2, seed=7, **overrides):
+        spec = dataclasses.replace(tiny_spec, k=k, **overrides)
+        train_ids = np.arange(tiny_dataset.n_samples - 64)
+        return build_population(
+            tiny_dataset, train_ids, RngFactory(seed), spec, tiny_autoencoder
+        )
+
+    return build
+
+
+@pytest.fixture()
+def val_batch(tiny_dataset):
+    ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
+    return {k: v[ids] for k, v in tiny_dataset.fields.items()}
+
+
+class TestHub:
+    def test_emit_without_subscribers_is_free(self):
+        hub = TelemetryHub()
+        assert hub.emit("step_end", trainer="t0") is None
+        assert not hub.active
+
+    def test_emit_dispatches_and_sequences(self):
+        hub = TelemetryHub()
+        rec = Recorder()
+        hub.subscribe(rec)
+        hub.subscribe(rec)  # idempotent
+        e0 = hub.emit("round_end", round=0, train_s=1.0)
+        e1 = hub.emit("eval", round=0, metrics={}, elapsed_s=0.0)
+        assert [e.type for e in rec.events] == ["round_end", "eval"]
+        assert (e0.sequence, e1.sequence) == (0, 1)
+        assert e1.time_s >= e0.time_s >= 0.0
+
+    def test_unknown_event_type_rejected(self):
+        hub = TelemetryHub()
+        with pytest.raises(ValueError, match="unknown event type"):
+            hub.emit("banana")
+
+    def test_unsubscribe(self):
+        hub = TelemetryHub()
+        rec = Recorder()
+        hub.subscribe(rec)
+        hub.unsubscribe(rec)
+        hub.unsubscribe(rec)  # unknown is a no-op
+        hub.emit("round_end", round=0)
+        assert rec.events == []
+
+    def test_per_type_hooks_dispatch(self):
+        calls = []
+
+        class Hooked(Callback):
+            def on_tournament(self, event):
+                calls.append(("typed", event.type))
+
+            def on_event(self, event):
+                calls.append(("generic", event.type))
+
+        hub = TelemetryHub()
+        hub.subscribe(Hooked())
+        hub.emit("tournament", round=0, trainer="a", partner="b",
+                 own_score=1.0, partner_score=2.0, adopted=False)
+        hub.emit("round_end", round=0)
+        assert calls == [
+            ("typed", "tournament"),
+            ("generic", "tournament"),
+            ("generic", "round_end"),
+        ]
+
+
+class TestLtfbTelemetry:
+    @pytest.fixture()
+    def traced_run(self, population, val_batch, tmp_path):
+        trainers = population(k=4)
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(0),
+            LtfbConfig(steps_per_round=2, rounds=2),
+            eval_batch=val_batch,
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        rec = Recorder()
+        timer = WallClockTimer()
+        counters = CounterAggregator()
+        stream = io.StringIO()
+        history = driver.run(
+            callbacks=[
+                JsonlTraceWriter(trace_path),
+                rec,
+                timer,
+                counters,
+                ProgressLogger(stream=stream),
+            ]
+        )
+        return driver, history, trace_path, rec, timer, counters, stream
+
+    def test_event_stream_shape(self, traced_run):
+        driver, history, _, rec, _, _, _ = traced_run
+        assert rec.run_begins == 1 and rec.run_ends == 1
+        # 4 trainers x 2 rounds train intervals.
+        assert len(rec.of_type("step_end")) == 8
+        # 2 pairs x 2 rounds exchanges; 2 decisions per exchange.
+        assert len(rec.of_type("exchange")) == 4
+        assert len(rec.of_type("tournament")) == len(history.tournaments) == 8
+        assert len(rec.of_type("eval")) == 2
+        assert len(rec.of_type("round_end")) == 2
+        for e in rec.of_type("step_end"):
+            assert e.payload["steps"] == 2
+            assert e.payload["elapsed_s"] >= 0.0
+            assert "gen_loss" in e.payload["losses"]
+
+    def test_counters_match_history(self, traced_run):
+        _, history, _, _, _, counters, _ = traced_run
+        assert counters.exchange_bytes == history.exchange_bytes
+        assert counters.tournaments == len(history.tournaments)
+        assert counters.adoption_rate() == pytest.approx(history.adoption_rate())
+        assert counters.steps == 16  # 4 trainers x 2 rounds x 2 steps
+
+    def test_timer_accumulates_phases(self, traced_run):
+        _, _, _, _, timer, _, _ = traced_run
+        assert timer.rounds == 2
+        assert set(timer.totals) == {"train", "tournament", "exchange", "eval"}
+        assert timer.totals["train"] > 0.0
+        assert timer.totals["eval"] > 0.0
+        assert all(v >= 0.0 for v in timer.totals.values())
+        assert "wall clock over 2 rounds" in timer.summary()
+
+    def test_progress_logger_lines(self, traced_run):
+        _, _, _, _, _, _, stream = traced_run
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[round 1/2]")
+        assert "best val_loss" in lines[0]
+
+    def test_jsonl_trace_round_trip(self, traced_run):
+        _, history, trace_path, rec, _, _, _ = traced_run
+        # Every line is one JSON object with a known type.
+        with open(trace_path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        assert len(records) == len(rec.events)
+        assert {r["type"] for r in records} <= EVENT_TYPES
+        assert {"step_end", "tournament", "eval", "exchange", "round_end"} <= {
+            r["type"] for r in records
+        }
+        # Loading reproduces the stream; summarizing reproduces the run.
+        events = load_trace(trace_path)
+        assert [e.type for e in events] == [e.type for e in rec.events]
+        timer, counters, census = summarize_trace(events)
+        assert counters.exchange_bytes == history.exchange_bytes
+        assert counters.adoption_rate() == pytest.approx(history.adoption_rate())
+        assert census["round_end"] == 2 and timer.rounds == 2
+
+    def test_callbacks_detach_after_run(self, traced_run):
+        driver, _, _, rec, _, _, _ = traced_run
+        assert driver.telemetry.callbacks == []
+        n = len(rec.events)
+        driver.telemetry.emit("round_end", round=99)
+        assert len(rec.events) == n
+
+
+class TestDeprecatedOnRound:
+    def test_on_round_shim_warns_and_fires(self, population, val_batch):
+        driver = LtfbDriver(
+            population(k=2),
+            np.random.default_rng(1),
+            LtfbConfig(steps_per_round=1, rounds=3),
+            eval_batch=val_batch,
+        )
+        seen = []
+        with pytest.warns(DeprecationWarning, match="on_round"):
+            history = driver.run(on_round=lambda r, d: seen.append(r))
+        assert seen == [0, 1, 2]
+        assert history.rounds_completed == 3
+
+    def test_on_round_shim_on_kindependent(self, population):
+        driver = KIndependentDriver(
+            population(k=2), LtfbConfig(steps_per_round=1, rounds=2)
+        )
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            driver.run(on_round=lambda r, d: seen.append(r))
+        assert seen == [0, 1]
+
+
+class TestDatastoreTelemetry:
+    def test_fetch_batch_emits_deltas(self):
+        hub = TelemetryHub()
+        rec = Recorder()
+        hub.subscribe(rec)
+        store = DistributedDataStore(
+            num_ranks=2, bytes_per_rank=1 << 20, telemetry=hub
+        )
+        sample = {"x": np.ones(4, dtype=np.float32)}
+        for sid in range(4):
+            store.cache_sample(sid % 2, sid, sample)
+        store.fetch_batch([0, 1, 2, 3])
+        events = rec.of_type("datastore_fetch")
+        assert len(events) == 1
+        p = events[0].payload
+        assert p["batch_size"] == 4
+        assert p["local_fetches"] + p["remote_fetches"] == 4
+        assert p["local_fetches"] == store.stats.local_fetches
+        assert p["remote_fetches"] == store.stats.remote_fetches
+        assert p["local_bytes"] + p["remote_bytes"] == 4 * 16
+
+    def test_counter_aggregator_folds_stats_snapshot(self):
+        store = DistributedDataStore(num_ranks=2, bytes_per_rank=1 << 20)
+        sample = {"x": np.ones(4, dtype=np.float32)}
+        for sid in range(4):
+            store.cache_sample(sid % 2, sid, sample)
+        store.fetch_batch([0, 1, 2, 3])
+        counters = CounterAggregator()
+        counters.fold_datastore(store.stats)
+        assert (
+            counters.datastore_local_fetches + counters.datastore_remote_fetches
+            == 4
+        )
+        assert counters.remote_fetch_fraction() == pytest.approx(
+            store.stats.remote_fraction
+        )
+
+
+class TestCheckpointTelemetry:
+    def test_save_and_restore_emit_events(self, population):
+        t = population(k=1)[0]
+        hub = TelemetryHub()
+        rec = Recorder()
+        hub.subscribe(rec)
+        payload = trainer_checkpoint(t, telemetry=hub)
+        restore_trainer(t, payload, telemetry=hub)
+        events = rec.of_type("checkpoint")
+        assert [e.payload["action"] for e in events] == ["save", "restore"]
+        assert all(e.payload["nbytes"] == len(payload) for e in events)
+        assert all(e.payload["trainer"] == t.name for e in events)
+
+    def test_falls_back_to_trainer_hub(self, population):
+        t = population(k=1)[0]
+        hub = TelemetryHub()
+        rec = Recorder()
+        hub.subscribe(rec)
+        t.telemetry = hub
+        trainer_checkpoint(t)
+        assert len(rec.of_type("checkpoint")) == 1
+
+
+class TestEnums:
+    def test_coerce_accepts_member_and_string(self):
+        assert ExchangeScope.coerce("full") is ExchangeScope.FULL
+        assert ExchangeScope.coerce(ExchangeScope.GENERATOR) is (
+            ExchangeScope.GENERATOR
+        )
+        assert AdoptOptimizer.coerce("keep") is AdoptOptimizer.KEEP
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="ExchangeScope"):
+            ExchangeScope.coerce("half")
+        with pytest.raises(ValueError, match="AdoptOptimizer"):
+            AdoptOptimizer.coerce("maybe")
+
+    def test_enums_accepted_by_configs(self, population):
+        cfg = LtfbConfig(steps_per_round=1, rounds=1, exchange=ExchangeScope.FULL)
+        assert cfg.exchange is ExchangeScope.FULL
+        assert cfg.exchange == "full"  # str-mixin keeps comparisons working
+        a, b = population(k=2)
+        pkg = a.exchange_package(ExchangeScope.FULL)
+        assert pkg["scope"] == "full" and isinstance(pkg["scope"], str)
+        b.adopt_package(pkg)
+
+    def test_str_scope_still_accepted(self, population):
+        a, _ = population(k=2)
+        assert a.exchange_package("generator")["scope"] == "generator"
+        with pytest.raises(ValueError):
+            a.exchange_package("half")
+
+
+class TestTraceReportCli:
+    def test_summarizes_a_real_trace(self, population, val_batch, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        trace_path = tmp_path / "trace.jsonl"
+        driver = LtfbDriver(
+            population(k=2),
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=1, rounds=2),
+            eval_batch=val_batch,
+        )
+        driver.run(callbacks=[JsonlTraceWriter(trace_path)])
+        assert main(["trace-report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall clock" in out
+        assert "adoption rate" in out
+        assert "exchange" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "trace-report:" in capsys.readouterr().err
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "round_end"}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trace(bad)
+        unknown = tmp_path / "unknown.jsonl"
+        unknown.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown event type"):
+            load_trace(unknown)
