@@ -16,6 +16,8 @@ Subpackages (see README.md for the architecture overview):
   checkpointing, and the paper-scale performance models;
 - :mod:`repro.telemetry` — event-bus + callback observability layer
   (LBANN-callback analog): trace writing, timing, counters;
+- :mod:`repro.exec` — pluggable execution backends (serial/thread/
+  process) deciding where population trainer work runs;
 - :mod:`repro.experiments` — one harness per paper figure, plus ablations.
 
 The most common entry points are re-exported here.
@@ -34,6 +36,13 @@ from repro.core import (
     TrainerConfig,
     build_population,
     pretrain_autoencoder,
+)
+from repro.exec import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
 )
 from repro.jag import JagDatasetConfig, JagSchema, generate_dataset
 from repro.models import ICFSurrogate, MultimodalAutoencoder, SurrogateConfig
@@ -69,6 +78,11 @@ __all__ = [
     "History",
     "build_population",
     "pretrain_autoencoder",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
     "TelemetryHub",
     "Callback",
     "JsonlTraceWriter",

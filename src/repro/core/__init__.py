@@ -27,6 +27,8 @@ from repro.core.ltfb import LtfbConfig, LtfbDriver, LtfbHistory, TournamentRecor
 from repro.core.kindependent import KIndependentDriver
 from repro.core.ensemble import EnsembleSpec, build_population, pretrain_autoencoder
 from repro.core.checkpoint import (
+    apply_exec_state,
+    capture_exec_state,
     population_checkpoint,
     restore_population,
     restore_trainer,
@@ -66,4 +68,6 @@ __all__ = [
     "restore_trainer",
     "population_checkpoint",
     "restore_population",
+    "capture_exec_state",
+    "apply_exec_state",
 ]

@@ -40,6 +40,8 @@ __all__ = [
     "restore_trainer",
     "population_checkpoint",
     "restore_population",
+    "capture_exec_state",
+    "apply_exec_state",
 ]
 
 _HEADER_KEY = "__checkpoint_header__"
@@ -72,10 +74,8 @@ def _emit(trainer: Trainer, telemetry, action: str, nbytes: int) -> None:
         hub.emit("checkpoint", action=action, trainer=trainer.name, nbytes=nbytes)
 
 
-def trainer_checkpoint(
-    trainer: Trainer, telemetry: "TelemetryHub | None" = None
-) -> bytes:
-    """Serialize one trainer: model, both optimizers, counters, reader."""
+def _train_state_arrays(trainer: Trainer) -> tuple[dict, dict, dict]:
+    """Model weights plus both flattened optimizer states and their meta."""
     arrays: dict[str, np.ndarray] = {
         f"model/{k}": v for k, v in trainer.surrogate.get_full_state().items()
     }
@@ -87,6 +87,56 @@ def trainer_checkpoint(
     )
     arrays.update(gen_arrays)
     arrays.update(disc_arrays)
+    return arrays, gen_meta, disc_meta
+
+
+def _pack(arrays: Mapping[str, np.ndarray], header: Mapping) -> bytes:
+    buf = io.BytesIO()
+    escaped = {k.replace("/", "\x1f"): v for k, v in arrays.items()}
+    escaped[_HEADER_KEY] = np.frombuffer(
+        json.dumps(dict(header)).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(buf, **escaped)
+    return buf.getvalue()
+
+
+def _unpack(payload: bytes) -> tuple[dict[str, np.ndarray], dict]:
+    with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+        arrays = {
+            k.replace("\x1f", "/"): np.array(data[k])
+            for k in data.files
+            if k != _HEADER_KEY
+        }
+        header = json.loads(bytes(data[_HEADER_KEY]).decode("utf-8"))
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {header.get('version')!r}"
+        )
+    return arrays, header
+
+
+def _apply_train_state(trainer: Trainer, arrays: Mapping, header: Mapping) -> None:
+    model_state = {
+        k.removeprefix("model/"): v
+        for k, v in arrays.items()
+        if k.startswith("model/")
+    }
+    trainer.surrogate.set_full_state(model_state)
+    trainer.gen_optimizer.set_state(
+        _unflatten_optimizer("opt_gen", header["gen_optimizer"], arrays)
+    )
+    trainer.disc_optimizer.set_state(
+        _unflatten_optimizer("opt_disc", header["disc_optimizer"], arrays)
+    )
+    trainer.steps_done = int(header["steps_done"])
+    trainer.surrogate.steps_trained = int(header["surrogate_steps"])
+
+
+def trainer_checkpoint(
+    trainer: Trainer, telemetry: "TelemetryHub | None" = None
+) -> bytes:
+    """Serialize one trainer: model, both optimizers, counters, reader."""
+    arrays, gen_meta, disc_meta = _train_state_arrays(trainer)
     header = {
         "version": _FORMAT_VERSION,
         "name": trainer.name,
@@ -104,13 +154,7 @@ def trainer_checkpoint(
             "rng_state": trainer.reader._rng.bit_generator.state,
         },
     }
-    buf = io.BytesIO()
-    escaped = {k.replace("/", "\x1f"): v for k, v in arrays.items()}
-    escaped[_HEADER_KEY] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez(buf, **escaped)
-    payload = buf.getvalue()
+    payload = _pack(arrays, header)
     _emit(trainer, telemetry, "save", len(payload))
     return payload
 
@@ -119,33 +163,10 @@ def restore_trainer(
     trainer: Trainer, payload: bytes, telemetry: "TelemetryHub | None" = None
 ) -> None:
     """Load a checkpoint into an architecturally identical trainer."""
-    with np.load(io.BytesIO(payload), allow_pickle=False) as data:
-        arrays = {
-            k.replace("\x1f", "/"): np.array(data[k])
-            for k in data.files
-            if k != _HEADER_KEY
-        }
-        header = json.loads(bytes(data[_HEADER_KEY]).decode("utf-8"))
-    if header.get("version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint version {header.get('version')!r}"
-        )
-    model_state = {
-        k.removeprefix("model/"): v
-        for k, v in arrays.items()
-        if k.startswith("model/")
-    }
-    trainer.surrogate.set_full_state(model_state)
-    trainer.gen_optimizer.set_state(
-        _unflatten_optimizer("opt_gen", header["gen_optimizer"], arrays)
-    )
-    trainer.disc_optimizer.set_state(
-        _unflatten_optimizer("opt_disc", header["disc_optimizer"], arrays)
-    )
-    trainer.steps_done = int(header["steps_done"])
+    arrays, header = _unpack(payload)
+    _apply_train_state(trainer, arrays, header)
     trainer.tournaments_won = int(header["tournaments_won"])
     trainer.tournaments_lost = int(header["tournaments_lost"])
-    trainer.surrogate.steps_trained = int(header["surrogate_steps"])
     reader_meta = header.get("reader")
     if reader_meta is not None:
         trainer.reader.epochs_completed = int(reader_meta["epochs_completed"])
@@ -154,6 +175,60 @@ def restore_trainer(
         # positioned to draw the next epoch's permutation.
         trainer._batch_iter = None
     _emit(trainer, telemetry, "restore", len(payload))
+
+
+def capture_exec_state(trainer: Trainer, include_reader: bool = True) -> bytes:
+    """Snapshot the state an execution backend ships between processes.
+
+    Same flat-buffer format as :func:`trainer_checkpoint` but scoped to
+    what worker/driver replicas need to stay consistent: model weights,
+    both optimizer states, and step counters.  ``include_reader=True``
+    (worker -> driver direction) additionally carries the reader's RNG
+    state and epoch counter so the driver-side trainer can be checkpointed
+    after a run exactly as a serially trained one would be.  The
+    driver -> worker direction (pushing tournament adoptions) omits the
+    reader so the worker's in-flight epoch iterator is left untouched.
+
+    Tournament tallies never travel: the driver process is authoritative
+    for those.  No telemetry is emitted; this is backend plumbing, not a
+    user-visible checkpoint.
+    """
+    arrays, gen_meta, disc_meta = _train_state_arrays(trainer)
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trainer.name,
+        "steps_done": trainer.steps_done,
+        "surrogate_steps": trainer.surrogate.steps_trained,
+        "gen_optimizer": gen_meta,
+        "disc_optimizer": disc_meta,
+    }
+    if include_reader:
+        header["reader"] = {
+            "epochs_completed": trainer.reader.epochs_completed,
+            "rng_state": trainer.reader._rng.bit_generator.state,
+        }
+    return _pack(arrays, header)
+
+
+def apply_exec_state(trainer: Trainer, payload: bytes) -> None:
+    """Apply a :func:`capture_exec_state` snapshot to a trainer replica.
+
+    Restores exactly what the payload carries: reader state (and the
+    in-flight iterator reset) only when the snapshot included it, and
+    never the tournament tallies.
+    """
+    arrays, header = _unpack(payload)
+    if header["name"] != trainer.name:
+        raise ValueError(
+            f"exec state for trainer {header['name']!r} applied to "
+            f"{trainer.name!r}"
+        )
+    _apply_train_state(trainer, arrays, header)
+    reader_meta = header.get("reader")
+    if reader_meta is not None:
+        trainer.reader.epochs_completed = int(reader_meta["epochs_completed"])
+        trainer.reader._rng.bit_generator.state = reader_meta["rng_state"]
+        trainer._batch_iter = None
 
 
 def population_checkpoint(

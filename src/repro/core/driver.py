@@ -13,6 +13,12 @@ Both population algorithms — LTFB tournament training
 - ``best_trainer(metric)`` — population-best selection on the global
   validation batch.
 
+*What* a driver computes is separated from *where* trainer work runs: the
+train phase is delegated to an :class:`~repro.exec.ExecutionBackend`
+(``backend="serial"|"thread"|"process"``, or an instance), and all
+backends are bit-identical at round boundaries because trainers are
+independent within a round.
+
 ``run`` resumes from ``history.rounds_completed``: a driver constructed
 with a partially-filled :class:`History` (e.g. after restoring a
 population checkpoint mid-campaign) continues where the history stops.
@@ -28,6 +34,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.trainer import Trainer
+from repro.exec import ExecutionBackend, resolve_backend
 from repro.telemetry import Callback, TelemetryHub
 from repro.telemetry.events import EVAL, ROUND_END
 
@@ -93,6 +100,10 @@ class PopulationDriver:
     history:
         Optional pre-filled :class:`History` to resume into; ``run`` picks
         up at ``history.rounds_completed``.
+    backend:
+        Where trainer work executes: ``None``/``"serial"`` (default),
+        ``"thread"``, ``"process"``, or a constructed
+        :class:`~repro.exec.ExecutionBackend`.
     """
 
     def __init__(
@@ -101,6 +112,7 @@ class PopulationDriver:
         config,
         eval_batch: Mapping[str, np.ndarray] | None = None,
         history: History | None = None,
+        backend: ExecutionBackend | str | None = None,
     ) -> None:
         if not trainers:
             raise ValueError("need at least one trainer")
@@ -112,6 +124,7 @@ class PopulationDriver:
         self.eval_batch = dict(eval_batch) if eval_batch is not None else None
         self.history = history if history is not None else History()
         self.telemetry = TelemetryHub()
+        self.backend = resolve_backend(backend)
 
     # -- the one run signature ------------------------------------------------
 
@@ -139,6 +152,7 @@ class PopulationDriver:
             self.telemetry.subscribe(cb)
         for t in self.trainers:
             t.telemetry = self.telemetry
+        self.backend.bind(self.trainers, self.telemetry)
         try:
             for cb in attached:
                 cb.on_run_begin(self)
@@ -147,6 +161,7 @@ class PopulationDriver:
                 if on_round is not None:
                     on_round(r, self)
         finally:
+            self.backend.release()
             for cb in attached:
                 cb.on_run_end(self, self.history)
                 self.telemetry.unsubscribe(cb)
@@ -161,14 +176,15 @@ class PopulationDriver:
     def _train_phase(self, round_index: int) -> float:
         """Train every trainer for one interval; returns elapsed seconds.
 
-        Per-trainer ``step_end`` events are emitted by the trainers
-        themselves (the hub was attached in :meth:`run`).
+        Execution is delegated to the backend; on return the driver's
+        trainer objects hold the post-train state regardless of where the
+        steps ran.  Per-trainer ``step_end`` events reach the hub either
+        directly (serial) or relayed in population order (thread/process).
         """
         t0 = time.perf_counter()
-        losses = {
-            t.name: t.train_steps(self.config.steps_per_round)
-            for t in self.trainers
-        }
+        losses = self.backend.train_round(
+            round_index, self.config.steps_per_round
+        )
         self.history.train_losses.append(losses)
         return time.perf_counter() - t0
 
@@ -202,6 +218,8 @@ class PopulationDriver:
             tournament_s=tournament_s,
             exchange_s=exchange_s,
             eval_s=eval_s,
+            backend=self.backend.name,
+            workers=self.backend.num_workers,
         )
 
     # -- results --------------------------------------------------------------

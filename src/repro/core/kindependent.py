@@ -43,8 +43,12 @@ class KIndependentDriver(PopulationDriver):
         config: LtfbConfig,
         eval_batch: Mapping[str, np.ndarray] | None = None,
         history: History | None = None,
+        backend=None,
     ) -> None:
-        super().__init__(trainers, config, eval_batch=eval_batch, history=history)
+        super().__init__(
+            trainers, config, eval_batch=eval_batch, history=history,
+            backend=backend,
+        )
 
     def run_round(self, round_index: int) -> None:
         train_s = self._train_phase(round_index)

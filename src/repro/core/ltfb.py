@@ -89,6 +89,10 @@ class LtfbDriver(PopulationDriver):
         (Figs. 12-13 read this).
     history:
         Optional pre-filled history to resume a checkpointed campaign.
+    backend:
+        Where trainer work executes (``"serial"``/``"thread"``/
+        ``"process"`` or an :class:`~repro.exec.ExecutionBackend`); see
+        :class:`~repro.core.driver.PopulationDriver`.
     """
 
     def __init__(
@@ -98,8 +102,12 @@ class LtfbDriver(PopulationDriver):
         config: LtfbConfig,
         eval_batch: Mapping[str, np.ndarray] | None = None,
         history: History | None = None,
+        backend=None,
     ) -> None:
-        super().__init__(trainers, config, eval_batch=eval_batch, history=history)
+        super().__init__(
+            trainers, config, eval_batch=eval_batch, history=history,
+            backend=backend,
+        )
         self._rng = rng
 
     # -- pairing -------------------------------------------------------------
@@ -151,6 +159,9 @@ class LtfbDriver(PopulationDriver):
                     me.adopt_package(theirs)
                     me.tournaments_lost += 1
                     partner.tournaments_won += 1
+                    # Remote replicas must re-sync before the next train
+                    # interval (no-op for in-process backends).
+                    self.backend.mark_dirty(me.name)
                 self.history.tournaments.append(
                     TournamentRecord(
                         round_index=round_index,

@@ -98,6 +98,11 @@ class Trainer:
         # Telemetry sink: population drivers attach their hub here so
         # train_steps can emit step_end events; None means uninstrumented.
         self.telemetry: TelemetryHub | None = None
+        # Execution placement, stamped into step_end events.  Backends
+        # (repro.exec) overwrite these when they bind/ship the trainer;
+        # a bare trainer trains in-process, hence the serial defaults.
+        self.backend_name: str = "serial"
+        self.worker_index: int = 0
 
     # -- training ----------------------------------------------------------
 
@@ -137,6 +142,8 @@ class Trainer:
                 steps_done=self.steps_done,
                 losses=means,
                 elapsed_s=time.perf_counter() - t0,
+                backend=self.backend_name,
+                worker=self.worker_index,
             )
         return means
 

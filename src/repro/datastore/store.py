@@ -56,7 +56,13 @@ class InsufficientMemoryError(RuntimeError):
 
 @dataclass
 class DataStoreStats:
-    """Counters over the lifetime of the store."""
+    """Counters over the lifetime of the store.
+
+    ``per_rank_bytes`` mirrors each rank's current shard occupancy (one
+    entry per rank, maintained by the store as samples are cached and
+    evicted) — the per-rank memory-balance view Fig. 10 style analyses
+    read.
+    """
 
     cached_samples: int = 0
     cached_bytes: int = 0
@@ -138,7 +144,7 @@ class DistributedDataStore:
         ]
         self._shard_bytes = [0] * num_ranks
         self._owner: dict[int, int] = {}
-        self.stats = DataStoreStats()
+        self.stats = DataStoreStats(per_rank_bytes=[0] * num_ranks)
         self.telemetry = telemetry
 
     # -- population ---------------------------------------------------------
@@ -180,6 +186,7 @@ class DistributedDataStore:
         self._owner[sample_id] = rank
         self.stats.cached_samples += 1
         self.stats.cached_bytes += nbytes
+        self.stats.per_rank_bytes[rank] = self._shard_bytes[rank]
 
     def preload(
         self,

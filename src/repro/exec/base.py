@@ -1,0 +1,201 @@
+"""The :class:`ExecutionBackend` contract and shared relay plumbing.
+
+A backend's lifecycle mirrors one driver run: the driver calls
+:meth:`~ExecutionBackend.bind` with its trainers and telemetry hub before
+the first round, :meth:`~ExecutionBackend.train_round` once per round,
+:meth:`~ExecutionBackend.mark_dirty` whenever it mutates a trainer's
+model/optimizer state outside the backend (tournament adoption), and
+:meth:`~ExecutionBackend.release` after the last round.
+
+Backends must preserve two invariants the drivers rely on:
+
+- **round-boundary determinism** — after ``train_round`` returns, the
+  driver-side trainer objects hold exactly the state a serial run would
+  have produced (trainers are independent within a round and all RNG is
+  scoped per trainer, so this is achievable for any placement);
+- **telemetry ordering** — events produced during the train phase are
+  delivered to the driver's hub grouped per trainer, in population order,
+  exactly as the serial loop emits them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.telemetry.events import EVENT_TYPES
+
+if TYPE_CHECKING:
+    from repro.core.trainer import Trainer
+    from repro.telemetry import TelemetryHub
+
+__all__ = ["ExecutionBackend", "EventRecorder", "resolve_backend", "BACKEND_NAMES"]
+
+
+class EventRecorder:
+    """A hub stand-in that buffers ``(type, payload)`` pairs.
+
+    Parallel backends attach one per trainer during the train phase so
+    instrumented components can emit off the driver thread/process; the
+    backend then replays the buffer into the real hub, in population
+    order, restoring the serial trace ordering.  Payloads must stay
+    picklable (they cross process boundaries under the process backend).
+    """
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, dict]] = []
+
+    def emit(self, event_type: str, /, **payload) -> None:
+        if event_type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {event_type!r}; "
+                f"expected one of {sorted(EVENT_TYPES)}"
+            )
+        self.events.append((event_type, payload))
+
+    def replay_into(self, hub: "TelemetryHub") -> None:
+        for event_type, payload in self.events:
+            hub.emit(event_type, **payload)
+        self.events.clear()
+
+
+class ExecutionBackend(ABC):
+    """Where/how per-trainer population work executes.
+
+    Subclasses define :attr:`name` (the CLI/telemetry identifier), the
+    worker count they actually use, and the four lifecycle hooks.  A
+    backend instance is reusable: ``bind`` after ``release`` starts a
+    fresh session (the process backend re-spawns its pool).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._trainers: list["Trainer"] = []
+        self._telemetry: "TelemetryHub | None" = None
+        self._bound = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(
+        self, trainers: Sequence["Trainer"], telemetry: "TelemetryHub"
+    ) -> None:
+        """Attach to a driver's population for the duration of one run."""
+        if self._bound:
+            raise RuntimeError(f"{self.name} backend is already bound")
+        self._trainers = list(trainers)
+        self._telemetry = telemetry
+        self._bound = True
+        self._on_bind()
+
+    def release(self) -> None:
+        """Detach from the population; idempotent."""
+        if not self._bound:
+            return
+        try:
+            self._on_release()
+        finally:
+            self._trainers = []
+            self._telemetry = None
+            self._bound = False
+
+    def _on_bind(self) -> None:
+        """Subclass hook: start workers, tag trainers, ship replicas."""
+
+    def _on_release(self) -> None:
+        """Subclass hook: stop workers, restore trainer attributes."""
+
+    # -- per-round work -------------------------------------------------------
+
+    @abstractmethod
+    def train_round(
+        self, round_index: int, n_steps: int
+    ) -> dict[str, dict[str, float]]:
+        """Train every trainer ``n_steps``; return per-trainer mean losses.
+
+        On return the driver-side trainer objects hold the post-train
+        state (weights, optimizers, counters), whatever process executed
+        the steps.  The result dict is keyed by trainer name in
+        population order.
+        """
+
+    def mark_dirty(self, trainer_name: str) -> None:
+        """The driver mutated this trainer's model/optimizer state.
+
+        Called after tournament adoption; backends holding remote
+        replicas must re-sync that trainer before its next train step.
+        In-process backends need not do anything — the driver's trainer
+        objects *are* the executing state.
+        """
+
+    @property
+    def num_workers(self) -> int:
+        """How many concurrent execution slots this backend uses."""
+        return 1
+
+    # -- convenience -----------------------------------------------------------
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "bound" if self._bound else "idle"
+        return f"{type(self).__name__}({state}, workers={self.num_workers})"
+
+    @staticmethod
+    def worker_of(trainer_index: int, num_workers: int) -> int:
+        """The deterministic trainer -> worker-slot assignment every
+        backend uses (round-robin), so traces are placement-stable."""
+        return trainer_index % max(1, num_workers)
+
+
+#: Names accepted by :func:`resolve_backend` and the ``--backend`` CLI flag.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def resolve_backend(
+    spec: "ExecutionBackend | str | None", max_workers: int | None = None
+) -> "ExecutionBackend":
+    """Coerce a backend spec into an :class:`ExecutionBackend`.
+
+    ``None`` means the serial default; a string names one of
+    :data:`BACKEND_NAMES`; an instance passes through unchanged (in which
+    case ``max_workers`` must not also be given — the instance already
+    chose its pool size).
+    """
+    if isinstance(spec, ExecutionBackend):
+        if max_workers is not None:
+            raise ValueError(
+                "max_workers cannot override an already-constructed backend"
+            )
+        return spec
+    if spec is None:
+        spec = "serial"
+    if isinstance(spec, str):
+        try:
+            cls = _registry()[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown execution backend {spec!r}; "
+                f"expected one of {BACKEND_NAMES}"
+            ) from None
+        return cls(max_workers=max_workers)
+    raise TypeError(
+        f"backend must be None, a name, or an ExecutionBackend, got {spec!r}"
+    )
+
+
+def _registry() -> dict:
+    # Deferred import: serial/thread/process import this module.
+    from repro.exec.process import ProcessBackend
+    from repro.exec.serial import SerialBackend
+    from repro.exec.thread import ThreadBackend
+
+    return {
+        "serial": SerialBackend,
+        "thread": ThreadBackend,
+        "process": ProcessBackend,
+    }

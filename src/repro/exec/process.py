@@ -1,0 +1,264 @@
+"""ProcessBackend: a persistent multiprocessing pool of trainer replicas.
+
+Layout: the population is split round-robin over N worker processes; each
+worker holds live replicas of its trainers (shipped once, at bind time)
+and services per-round commands over a pipe:
+
+- ``train`` — run the round's train interval on every local replica, in
+  local population order, and reply with per-trainer losses, the buffered
+  telemetry events, and a state snapshot
+  (:func:`~repro.core.checkpoint.capture_exec_state`, reader included);
+- ``apply`` — load driver-pushed state deltas (tournament adoptions) into
+  named replicas, leaving their in-flight epoch iterators untouched;
+- ``stop`` — exit.
+
+The driver-side trainers stay authoritative for everything the driver
+computes (tournaments, evaluation, checkpoints): after every train
+command their model/optimizer/counter/reader-RNG state is overwritten
+with the worker snapshot, so the two copies agree at round boundaries and
+the run is bit-identical to serial.  Telemetry events cross back over the
+reply and are re-emitted into the driver's hub in population order.
+
+Trainers within one worker share one pickled object graph, so replicas of
+the frozen autoencoder stay shared per worker exactly as in the serial
+process (and are mutated only by one trainer at a time, since a worker is
+sequential).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+
+from repro.exec.base import EventRecorder, ExecutionBackend
+
+__all__ = ["ProcessBackend"]
+
+_JOIN_TIMEOUT_S = 10.0
+
+
+def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
+    """Entry point of one worker process: replicas + command loop."""
+    from repro.core.checkpoint import apply_exec_state, capture_exec_state
+
+    trainers = pickle.loads(trainers_payload)
+    by_name = {t.name: t for t in trainers}
+    for t in trainers:
+        t.backend_name = "process"
+        t.worker_index = worker_index
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            try:
+                if cmd == "train":
+                    n_steps = msg[1]
+                    results = []
+                    for t in trainers:
+                        recorder = EventRecorder()
+                        t.telemetry = recorder
+                        try:
+                            losses = t.train_steps(n_steps)
+                        finally:
+                            t.telemetry = None
+                        results.append(
+                            (
+                                t.name,
+                                losses,
+                                recorder.events,
+                                capture_exec_state(t, include_reader=True),
+                            )
+                        )
+                    conn.send(("ok", results))
+                elif cmd == "apply":
+                    for name, payload in msg[1]:
+                        apply_exec_state(by_name[name], payload)
+                    conn.send(("ok", None))
+                elif cmd == "stop":
+                    conn.send(("ok", None))
+                    return
+                else:  # pragma: no cover - protocol misuse
+                    conn.send(("error", f"unknown command {cmd!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # driver went away
+        return
+    finally:
+        conn.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Train trainers on a persistent pool of worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; defaults to ``min(cpu_count, len(trainers))``.
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` uses the platform default.  Replicas
+        are shipped as explicit pickle payloads either way, so behaviour
+        is start-method independent.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, max_workers: int | None = None, mp_context: str | None = None
+    ) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self._max_workers = max_workers
+        self._mp_context = mp_context
+        self._procs: list = []
+        self._conns: list = []
+        self._owner: dict[str, int] = {}  # trainer name -> worker index
+        self._dirty: set[str] = set()
+
+    @property
+    def num_workers(self) -> int:
+        if not self._trainers:
+            return self._max_workers or (os.cpu_count() or 1)
+        return min(
+            self._max_workers or (os.cpu_count() or 1), len(self._trainers)
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _on_bind(self) -> None:
+        for t in self._trainers:
+            if t._batch_iter is not None:
+                raise ValueError(
+                    f"trainer {t.name!r} has an in-flight epoch iterator; "
+                    "the process backend can only adopt trainers at an "
+                    "iterator-clean point (freshly built or checkpoint-"
+                    "restored) — its mid-epoch position cannot be shipped "
+                    "to a worker"
+                )
+        ctx = multiprocessing.get_context(self._mp_context)
+        n = self.num_workers
+        groups: list[list] = [[] for _ in range(n)]
+        for i, t in enumerate(self._trainers):
+            wid = self.worker_of(i, n)
+            groups[wid].append(t)
+            self._owner[t.name] = wid
+            t.backend_name = self.name
+            t.worker_index = wid
+        self._procs, self._conns = [], []
+        for wid, group in enumerate(groups):
+            # Strip driver-side telemetry before pickling (hubs may hold
+            # open files); one payload per worker keeps objects shared by
+            # its trainers (the frozen autoencoder) shared in the replica.
+            saved = [t.telemetry for t in group]
+            try:
+                for t in group:
+                    t.telemetry = None
+                payload = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
+            finally:
+                for t, hub in zip(group, saved):
+                    t.telemetry = hub
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, wid, payload),
+                daemon=True,
+                name=f"repro-exec-{wid}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._dirty = set()
+
+    def _on_release(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(_JOIN_TIMEOUT_S):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join()
+        self._procs, self._conns = [], []
+        self._owner, self._dirty = {}, set()
+
+    # -- protocol ---------------------------------------------------------------
+
+    def _send(self, worker_index: int, msg) -> None:
+        try:
+            self._conns[worker_index].send(msg)
+        except (BrokenPipeError, OSError):
+            raise RuntimeError(
+                f"execution worker {worker_index} died unexpectedly"
+            ) from None
+
+    def _recv(self, worker_index: int):
+        try:
+            tag, data = self._conns[worker_index].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"execution worker {worker_index} died unexpectedly"
+            ) from None
+        if tag == "error":
+            raise RuntimeError(
+                f"execution worker {worker_index} failed:\n{data}"
+            )
+        return data
+
+    def _flush_dirty(self) -> None:
+        if not self._dirty:
+            return
+        from repro.core.checkpoint import capture_exec_state
+
+        by_name = {t.name: t for t in self._trainers}
+        per_worker: dict[int, list] = {}
+        for name in sorted(self._dirty):
+            payload = capture_exec_state(by_name[name], include_reader=False)
+            per_worker.setdefault(self._owner[name], []).append((name, payload))
+        for wid, updates in per_worker.items():
+            self._send(wid, ("apply", updates))
+        for wid in per_worker:
+            self._recv(wid)
+        self._dirty.clear()
+
+    def mark_dirty(self, trainer_name: str) -> None:
+        if trainer_name not in self._owner:
+            raise ValueError(f"unknown trainer {trainer_name!r}")
+        self._dirty.add(trainer_name)
+
+    # -- per-round work -------------------------------------------------------
+
+    def train_round(
+        self, round_index: int, n_steps: int
+    ) -> dict[str, dict[str, float]]:
+        assert self._telemetry is not None
+        from repro.core.checkpoint import apply_exec_state
+
+        self._flush_dirty()
+        for wid in range(len(self._conns)):
+            self._send(wid, ("train", n_steps))
+        losses_by_name: dict[str, dict[str, float]] = {}
+        events_by_name: dict[str, list] = {}
+        for wid in range(len(self._conns)):
+            for name, losses, events, state in self._recv(wid):
+                trainer = next(t for t in self._trainers if t.name == name)
+                apply_exec_state(trainer, state)
+                losses_by_name[name] = losses
+                events_by_name[name] = events
+        # Replay worker telemetry in population order, matching serial.
+        for t in self._trainers:
+            for event_type, payload in events_by_name.get(t.name, ()):
+                self._telemetry.emit(event_type, **payload)
+        return {t.name: losses_by_name[t.name] for t in self._trainers}

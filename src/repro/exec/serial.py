@@ -1,0 +1,34 @@
+"""SerialBackend: the reference in-process, one-at-a-time executor."""
+
+from __future__ import annotations
+
+from repro.exec.base import ExecutionBackend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Train trainers sequentially in the driver process.
+
+    This is exactly the pre-backend behaviour of the drivers: trainers
+    emit their telemetry directly into the driver's hub as they train,
+    and the driver's trainer objects are the executing state, so
+    ``mark_dirty`` has nothing to do.
+    """
+
+    name = "serial"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        # max_workers is accepted (and ignored) so every backend shares
+        # one construction signature; serial is definitionally 1 slot.
+        super().__init__()
+
+    def _on_bind(self) -> None:
+        for t in self._trainers:
+            t.backend_name = self.name
+            t.worker_index = 0
+
+    def train_round(
+        self, round_index: int, n_steps: int
+    ) -> dict[str, dict[str, float]]:
+        return {t.name: t.train_steps(n_steps) for t in self._trainers}

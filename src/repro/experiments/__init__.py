@@ -22,6 +22,9 @@ corresponding benchmark under ``benchmarks/``.
   partitioned K-independent training (real training).
 - :mod:`repro.experiments.ablations` — mechanism ablations (tournament
   scope, adoption policy, exchange scope, interconnect, dataset order).
+- :mod:`repro.experiments.backend_scaling` — one LTFB schedule under each
+  :mod:`repro.exec` execution backend: determinism + wall-clock speedup
+  (real training).
 
 Run the performance figures from the command line::
 

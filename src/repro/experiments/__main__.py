@@ -5,14 +5,20 @@ Usage::
     python -m repro.experiments fig09 fig10 fig11        # performance figures
     python -m repro.experiments --all-perf               # all three
     python -m repro.experiments fig07 fig12 --quick      # quality figures
+    python -m repro.experiments fig12 --backend process  # parallel training
+    python -m repro.experiments backends                 # backend scaling
     python -m repro.experiments trace-report trace.jsonl # summarize telemetry
 
 Performance figures run in seconds (analytic models).  Quality figures
 train real networks: the default scale takes minutes per figure; pass
-``--quick`` for a structural smoke run.  ``trace-report`` summarizes a
-JSONL telemetry trace written by
-:class:`repro.telemetry.JsonlTraceWriter` — per-phase wall-clock,
-adoption rate, exchange bytes, datastore fetch locality.
+``--quick`` for a structural smoke run.  ``--backend`` selects the
+:mod:`repro.exec` execution backend the quality runs train under
+(results are bit-identical across backends; only wall clock changes) and
+``--workers`` caps its worker count.  ``backends`` is the backend-scaling
+report itself.  ``trace-report`` summarizes a JSONL telemetry trace
+written by :class:`repro.telemetry.JsonlTraceWriter` — per-phase
+wall-clock, adoption rate, exchange bytes, datastore fetch locality, and
+per-worker train time.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import argparse
 import sys
 
 from repro.experiments import (
+    backend_scaling,
     fig07_scalars,
     fig08_images,
     fig09_data_parallel,
@@ -42,8 +49,22 @@ def _quality_bench(args):
 
     if getattr(args, "_bench", None) is None:
         n = 1024 if args.quick else 12_288
-        args._bench = QualityWorkbench(seed=args.seed, n_samples=n)
+        args._bench = QualityWorkbench(
+            seed=args.seed,
+            n_samples=n,
+            backend=args.backend,
+            workers=args.workers,
+        )
     return args._bench
+
+
+def _backend_scaling(args):
+    if args.quick:
+        return backend_scaling.run(
+            k=4, rounds=2, steps_per_round=4, workers=args.workers or 2,
+            n_samples=768, seed=args.seed,
+        )
+    return backend_scaling.run(workers=args.workers or 4, seed=args.seed)
 
 
 def _quality_schedule(args) -> dict:
@@ -69,6 +90,7 @@ QUALITY_FIGURES = {
         trainer_counts=(2,) if args.quick else (2, 4, 8),
         **_quality_schedule(args),
     ),
+    "backends": _backend_scaling,
 }
 
 ALL_FIGURES = {**PERF_FIGURES, **QUALITY_FIGURES}
@@ -113,6 +135,18 @@ def main(argv: list[str] | None = None) -> int:
         help="miniature quality runs (structure only, minutes -> seconds)",
     )
     parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend for the quality-figure training runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker cap for parallel backends (default: one per CPU)",
+    )
     args = parser.parse_args(argv)
     args._bench = None
 

@@ -140,10 +140,19 @@ class QualityWorkbench:
         spec: EnsembleSpec | None = None,
         dataset_order: str = "design",
         max_val_samples: int = 2048,
+        backend: str = "serial",
+        workers: int | None = None,
     ) -> None:
         self.seed = seed
         self.rngs = RngFactory(seed)
         self.base_spec = spec or EnsembleSpec()
+        # Execution backend for every LTFB run the workbench launches;
+        # results are bit-identical across backends so figures don't care,
+        # only wall clock does.
+        self.backend = backend
+        self.workers = workers
+        # Memoized LTFB runs, keyed by (tag, schedule) — see train_ltfb.
+        self._ltfb_cache: dict[tuple, object] = {}
         # The campaign enumeration order: "design" (low-discrepancy, the
         # spectral design's natural order => near-IID silos) by default;
         # "sweep" gives the drive-band-ordered, strongly non-IID silos
@@ -207,16 +216,21 @@ class QualityWorkbench:
 
         ``callbacks`` (e.g. a
         :class:`~repro.telemetry.JsonlTraceWriter`) are attached only on
-        the run that populates the cache; cache hits return the finished
-        driver untouched.
+        the run that populates the cache; on a cache hit they are
+        **silently dropped** — the training already happened, so there is
+        no event stream left to observe.  Callers that need a trace must
+        use a fresh tag (or a fresh workbench).
+
+        The run executes under the workbench's configured execution
+        backend (``backend``/``workers``); the backend is part of the memo
+        key only through the workbench instance itself, because histories
+        are bit-identical across backends.
         """
         from repro.core.ltfb import LtfbConfig, LtfbDriver
+        from repro.exec import resolve_backend
 
         key = (tag, k, rounds, steps_per_round, hyperparam_jitter)
-        cache = getattr(self, "_ltfb_cache", None)
-        if cache is None:
-            cache = self._ltfb_cache = {}
-        if key not in cache:
+        if key not in self._ltfb_cache:
             trainers = self.population(
                 k, tag=tag, hyperparam_jitter=hyperparam_jitter
             )
@@ -225,7 +239,8 @@ class QualityWorkbench:
                 self.pairing_rng(tag),
                 LtfbConfig(steps_per_round=steps_per_round, rounds=rounds),
                 eval_batch=self.val_batch,
+                backend=resolve_backend(self.backend, max_workers=self.workers),
             )
             driver.run(callbacks=callbacks)
-            cache[key] = driver
-        return cache[key]
+            self._ltfb_cache[key] = driver
+        return self._ltfb_cache[key]

@@ -159,6 +159,11 @@ class CounterAggregator(Callback):
     as :class:`~repro.datastore.store.DataStoreStats`), checkpoint
     traffic, and step totals.  A store that is not wired to a hub can be
     folded in after the fact with :meth:`fold_datastore`.
+
+    ``worker_train_s`` attributes trainer compute to execution-backend
+    workers: per ``step_end`` event, ``elapsed_s`` is added under the key
+    ``"{backend}/worker{worker}"``.  Events from traces written before
+    backend attribution existed carry neither field and are skipped.
     """
 
     def __init__(self) -> None:
@@ -168,6 +173,7 @@ class CounterAggregator(Callback):
         self.adoptions = 0
         self.steps = 0
         self.rounds = 0
+        self.worker_train_s: dict[str, float] = {}
         self.datastore_local_fetches = 0
         self.datastore_remote_fetches = 0
         self.datastore_local_bytes = 0
@@ -189,6 +195,14 @@ class CounterAggregator(Callback):
 
     def on_step_end(self, event: TelemetryEvent) -> None:
         self.steps += int(event.payload["steps"])
+        backend = event.payload.get("backend")
+        worker = event.payload.get("worker")
+        if backend is not None and worker is not None:
+            key = f"{backend}/worker{int(worker)}"
+            self.worker_train_s[key] = (
+                self.worker_train_s.get(key, 0.0)
+                + float(event.payload.get("elapsed_s", 0.0))
+            )
 
     def on_round_end(self, event: TelemetryEvent) -> None:
         self.rounds += 1
@@ -226,7 +240,15 @@ class CounterAggregator(Callback):
         return self.datastore_remote_fetches / total if total else 0.0
 
     def summary(self) -> dict[str, float]:
-        """All counters plus derived rates, as one flat dict."""
+        """All counters plus derived rates, as one flat dict.
+
+        Per-worker train seconds appear flattened as
+        ``train_s[<backend>/worker<N>]`` keys (absent when no ``step_end``
+        event carried backend attribution)."""
+        per_worker = {
+            f"train_s[{key}]": seconds
+            for key, seconds in sorted(self.worker_train_s.items())
+        }
         return {
             "rounds": self.rounds,
             "steps": self.steps,
@@ -243,6 +265,7 @@ class CounterAggregator(Callback):
             "checkpoint_saves": self.checkpoint_saves,
             "checkpoint_restores": self.checkpoint_restores,
             "checkpoint_bytes": self.checkpoint_bytes,
+            **per_worker,
         }
 
 

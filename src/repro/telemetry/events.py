@@ -35,12 +35,15 @@ __all__ = [
 ]
 
 #: One trainer finished a ``train_steps`` interval.  Payload: ``trainer``,
-#: ``steps``, ``steps_done``, ``losses`` (mean loss terms), ``elapsed_s``.
+#: ``steps``, ``steps_done``, ``losses`` (mean loss terms), ``elapsed_s``,
+#: plus ``backend`` (execution backend name) and ``worker`` (which worker
+#: slot ran the interval; always 0 under the serial backend).
 STEP_END = "step_end"
 
 #: A driver finished one (train, tournament, eval) round.  Payload:
 #: ``round`` plus per-phase wall-clock seconds ``train_s``,
-#: ``tournament_s``, ``exchange_s``, ``eval_s``.
+#: ``tournament_s``, ``exchange_s``, ``eval_s``, plus ``backend`` and
+#: ``workers`` (the execution backend and its worker count).
 ROUND_END = "round_end"
 
 #: One trainer judged one pairwise tournament.  Payload: ``round``,

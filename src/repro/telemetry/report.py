@@ -4,7 +4,8 @@ The counterpart of :class:`~repro.telemetry.callbacks.JsonlTraceWriter`:
 reads a trace back, folds it through the same aggregation logic the live
 callbacks use, and renders the run-level summary the paper's figures are
 built from — per-phase wall-clock, tournament adoption rate, exchange
-traffic, datastore fetch locality.
+traffic, datastore fetch locality, and (for traces recorded under a
+parallel execution backend) per-worker train-time attribution.
 
 Exposed on the command line as::
 
@@ -107,6 +108,13 @@ def render_trace_report(path) -> str:
             f"{summary['checkpoint_restores']} restored "
             f"({summary['checkpoint_bytes']} bytes)"
         )
+    if counters.worker_train_s:
+        out.append("per-worker train wall clock:")
+        busiest = max(counters.worker_train_s.values())
+        for key in sorted(counters.worker_train_s):
+            seconds = counters.worker_train_s[key]
+            share = seconds / busiest if busiest else 0.0
+            out.append(f"  {key}: {seconds:.3f}s ({share:.0%} of busiest)")
     return "\n".join(out)
 
 

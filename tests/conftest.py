@@ -19,6 +19,25 @@ from repro.utils.rng import RngFactory
 TINY_SCHEMA = JagSchema(image_size=8, views=2, channels=2)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        default="serial",
+        choices=["serial", "thread", "process"],
+        help="execution backend the backend-aware tests train under",
+    )
+
+
+@pytest.fixture(scope="session")
+def cli_backend(request) -> str:
+    """The ``--backend`` the suite was invoked with (default ``serial``).
+
+    Tests that run a population driver and don't care *where* the steps
+    execute take this fixture, so CI can re-run them under every backend.
+    """
+    return request.config.getoption("--backend")
+
+
 @pytest.fixture(scope="session")
 def rngs() -> RngFactory:
     return RngFactory(1234)

@@ -258,6 +258,27 @@ class TestDistributedDataStore:
         store.fetch_batch(list(range(8)))
         assert store.stats.remote_fetches == 0  # same node => local
 
+    def test_per_rank_bytes_tracks_shard_occupancy(self):
+        store = DistributedDataStore(3, 10**6)
+        assert store.stats.per_rank_bytes == [0, 0, 0]
+        store.cache_sample(0, 0, {"x": np.zeros(10, dtype=np.float32)})  # 40 B
+        store.cache_sample(0, 1, {"x": np.zeros(10, dtype=np.float32)})
+        store.cache_sample(2, 2, {"x": np.zeros(5, dtype=np.float32)})  # 20 B
+        assert store.stats.per_rank_bytes == [80, 0, 20]
+        assert store.stats.per_rank_bytes == [
+            store.shard_bytes(r) for r in range(3)
+        ]
+        assert sum(store.stats.per_rank_bytes) == store.stats.cached_bytes
+
+    def test_per_rank_bytes_tracks_evictions(self):
+        # Budget fits exactly two 40-byte samples per rank.
+        store = DistributedDataStore(2, bytes_per_rank=80, evicting=True)
+        for s in range(3):
+            store.cache_sample(0, s, {"x": np.zeros(10, dtype=np.float32)})
+        assert store.stats.evictions == 1
+        assert store.stats.per_rank_bytes == [80, 0]
+        assert store.stats.per_rank_bytes[0] == store.shard_bytes(0)
+
 
 class TestReaders:
     def test_array_reader_epoch_covers_population(self):

@@ -141,6 +141,24 @@ class TestQualityFigures:
         assert {"k2_ltfb", "k2_kind"} <= set(report.rows[0])
 
 
+class TestBackendScaling:
+    def test_structure_and_determinism(self):
+        from repro.experiments import backend_scaling
+
+        report = backend_scaling.run(
+            k=2,
+            rounds=1,
+            steps_per_round=2,
+            workers=2,
+            n_samples=512,
+            backends=("serial", "thread"),
+        )
+        assert [r["backend"] for r in report.rows] == ["serial", "thread"]
+        assert all(r["identical"] for r in report.rows)
+        determinism = report.checks[0]
+        assert "determinism" in determinism.name and determinism.passed
+
+
 class TestWorkbench:
     def test_strided_validation_unbiased(self, mini_bench):
         drive = mini_bench.val_batch["params"][:, 0]
@@ -152,3 +170,54 @@ class TestWorkbench:
         ga = a[0].generator_state()
         gb = b[0].generator_state()
         assert any((ga[k] != gb[k]).any() for k in ga)
+
+    def test_ltfb_cache_initialized_eagerly(self, mini_bench):
+        # The cache is a real attribute from construction (no lazy
+        # getattr), so introspection and pickling see a stable shape.
+        assert isinstance(mini_bench._ltfb_cache, dict)
+        assert "_ltfb_cache" in vars(mini_bench)
+
+    def test_cache_hit_drops_callbacks(self, mini_bench):
+        from repro.telemetry import Callback
+
+        class Counting(Callback):
+            def __init__(self):
+                self.events = 0
+
+            def on_event(self, event):
+                self.events += 1
+
+        first, second = Counting(), Counting()
+        d1 = mini_bench.train_ltfb(
+            "cache-cb", k=2, rounds=1, steps_per_round=2, callbacks=[first]
+        )
+        d2 = mini_bench.train_ltfb(
+            "cache-cb", k=2, rounds=1, steps_per_round=2, callbacks=[second]
+        )
+        assert d2 is d1  # memoized
+        assert first.events > 0
+        # Documented behaviour: the hit returns the finished driver and the
+        # new callbacks never see an event (training already happened).
+        assert second.events == 0
+
+    def test_workbench_backend_plumbs_into_driver(self):
+        schema = JagSchema(image_size=8, views=2, channels=2)
+        spec = EnsembleSpec(
+            surrogate=SurrogateConfig(
+                schema=schema,
+                ae_hidden=(48, 32),
+                forward_hidden=(24, 24),
+                inverse_hidden=(24, 24),
+                disc_hidden=(16, 8),
+                batch_size=32,
+            ),
+            trainer=TrainerConfig(batch_size=32),
+            ae_epochs=2,
+            ae_max_samples=256,
+        )
+        bench = QualityWorkbench(
+            seed=5, n_samples=512, spec=spec, backend="thread", workers=2
+        )
+        driver = bench.train_ltfb("bk", k=2, rounds=1, steps_per_round=2)
+        assert driver.backend.name == "thread"
+        assert driver.history.rounds_completed == 1

@@ -114,10 +114,10 @@ def test_full_pipeline_through_datastore(pipeline):
 
 
 def test_ltfb_and_kindependent_same_schedule_comparable(
-    tiny_dataset, tiny_spec, tiny_autoencoder
+    tiny_dataset, tiny_spec, tiny_autoencoder, cli_backend
 ):
     """The Fig.-13 experimental contract: identical silos, schedules, and
-    eval batches for the two algorithms."""
+    eval batches for the two algorithms (under the --backend under test)."""
     rngs = RngFactory(3)
     train_ids = np.arange(tiny_dataset.n_samples - 64)
     val_ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
@@ -130,12 +130,14 @@ def test_ltfb_and_kindependent_same_schedule_comparable(
         np.random.default_rng(0),
         config,
         eval_batch=val_batch,
+        backend=cli_backend,
     )
     ltfb.run()
     kind = KIndependentDriver(
         build_population(tiny_dataset, train_ids, rngs.child("k"), spec, tiny_autoencoder),
         config,
         eval_batch=val_batch,
+        backend=cli_backend,
     )
     kind.run()
 
@@ -145,7 +147,9 @@ def test_ltfb_and_kindependent_same_schedule_comparable(
         assert t_l.reader.num_samples == t_k.reader.num_samples  # equal silos
 
 
-def test_deterministic_end_to_end(tiny_dataset, tiny_spec, tiny_autoencoder):
+def test_deterministic_end_to_end(
+    tiny_dataset, tiny_spec, tiny_autoencoder, cli_backend
+):
     """Same seeds => bit-identical tournament history."""
 
     def run_once():
@@ -158,6 +162,7 @@ def test_deterministic_end_to_end(tiny_dataset, tiny_spec, tiny_autoencoder):
             trainers,
             rngs.generator("pairing"),
             LtfbConfig(steps_per_round=2, rounds=2),
+            backend=cli_backend,
         )
         driver.run()
         return [
