@@ -8,11 +8,14 @@ arrays via the flat-buffer codec of :mod:`repro.utils.serialization`,
 scalars via a small JSON header — so checkpoints are portable and contain
 no pickled code.
 
-Checkpoints also carry the silo reader's RNG state and epoch counter, so
-a population restored into freshly built (identical-seed) trainers at an
-epoch boundary replays exactly the batch sequence the uninterrupted run
-would have seen — mid-LTFB resume is bit-deterministic when rounds align
-with epochs.
+Checkpoints also carry the silo reader's continuation as a *plan cursor*:
+the RNG state the in-flight epoch was planned from, the next undelivered
+step, and the prefetch depth.  Restoring re-plans the identical epoch and
+skips the delivered batches, so a population restored into freshly built
+(identical-seed) trainers replays exactly the batch sequence the
+uninterrupted run would have seen — mid-LTFB resume is bit-deterministic
+even mid-epoch, and regardless of prefetch depth (prefetched-but-
+undelivered batches are re-materialized from the plan, never serialized).
 
 Restoring requires an architecturally identical trainer (same config and
 weight names); mismatches raise instead of silently corrupting state.
@@ -72,6 +75,43 @@ def _emit(trainer: Trainer, telemetry, action: str, nbytes: int) -> None:
     hub = telemetry if telemetry is not None else trainer.telemetry
     if hub is not None:
         hub.emit("checkpoint", action=action, trainer=trainer.name, nbytes=nbytes)
+
+
+def _reader_meta(trainer: Trainer) -> dict:
+    """The reader continuation: epoch counter + plan cursor.
+
+    When an epoch is in flight the cursor's pre-plan RNG state is the
+    authoritative ``rng_state`` (the live generator may have been advanced
+    further by a prefetch thread planning ahead — restore re-plans from
+    the cursor, which lands the generator in the identical place).
+    """
+    cursor = trainer.data_state()
+    rng_state = (
+        cursor["epoch_rng_state"]
+        if cursor is not None
+        else trainer.reader._rng.bit_generator.state
+    )
+    return {
+        "epochs_completed": trainer.reader.epochs_completed,
+        "rng_state": rng_state,
+        "plan_cursor": cursor,
+        "prefetch_depth": trainer.prefetch_depth,
+    }
+
+
+def _apply_reader_meta(
+    trainer: Trainer, meta: Mapping, restore_depth: bool
+) -> None:
+    trainer.reader.epochs_completed = int(meta["epochs_completed"])
+    trainer.reader._rng.bit_generator.state = meta["rng_state"]
+    cursor = meta.get("plan_cursor")
+    if cursor is None:
+        # No epoch in flight: position the reader to plan the next epoch.
+        trainer.reader._epochs_planned = trainer.reader.epochs_completed
+    if restore_depth and meta.get("prefetch_depth") is not None:
+        trainer.set_prefetch_depth(int(meta["prefetch_depth"]))
+    # Discard any live pipeline; it rebuilds lazily from the cursor.
+    trainer.set_data_state(cursor)
 
 
 def _train_state_arrays(trainer: Trainer) -> tuple[dict, dict, dict]:
@@ -146,13 +186,11 @@ def trainer_checkpoint(
         "surrogate_steps": trainer.surrogate.steps_trained,
         "gen_optimizer": gen_meta,
         "disc_optimizer": disc_meta,
-        # Reader continuation: the shuffle generator's state plus the
-        # epoch counter.  PCG64 (and every numpy bit generator) exposes
-        # its state as a JSON-serializable dict of ints/strings.
-        "reader": {
-            "epochs_completed": trainer.reader.epochs_completed,
-            "rng_state": trainer.reader._rng.bit_generator.state,
-        },
+        # Reader continuation: epoch counter, shuffle generator state, and
+        # the in-flight epoch's plan cursor + prefetch depth.  PCG64 (and
+        # every numpy bit generator) exposes its state as a
+        # JSON-serializable dict of ints/strings.
+        "reader": _reader_meta(trainer),
     }
     payload = _pack(arrays, header)
     _emit(trainer, telemetry, "save", len(payload))
@@ -169,11 +207,7 @@ def restore_trainer(
     trainer.tournaments_lost = int(header["tournaments_lost"])
     reader_meta = header.get("reader")
     if reader_meta is not None:
-        trainer.reader.epochs_completed = int(reader_meta["epochs_completed"])
-        trainer.reader._rng.bit_generator.state = reader_meta["rng_state"]
-        # Discard any in-flight epoch iterator: the restored RNG state is
-        # positioned to draw the next epoch's permutation.
-        trainer._batch_iter = None
+        _apply_reader_meta(trainer, reader_meta, restore_depth=True)
     _emit(trainer, telemetry, "restore", len(payload))
 
 
@@ -183,11 +217,12 @@ def capture_exec_state(trainer: Trainer, include_reader: bool = True) -> bytes:
     Same flat-buffer format as :func:`trainer_checkpoint` but scoped to
     what worker/driver replicas need to stay consistent: model weights,
     both optimizer states, and step counters.  ``include_reader=True``
-    (worker -> driver direction) additionally carries the reader's RNG
-    state and epoch counter so the driver-side trainer can be checkpointed
-    after a run exactly as a serially trained one would be.  The
-    driver -> worker direction (pushing tournament adoptions) omits the
-    reader so the worker's in-flight epoch iterator is left untouched.
+    (worker -> driver direction) additionally carries the reader's epoch
+    counter, RNG state, and plan cursor so the driver-side trainer can be
+    checkpointed after a run exactly as a serially trained one would be —
+    including mid-epoch.  The driver -> worker direction (pushing
+    tournament adoptions) omits the reader so the worker's in-flight data
+    pipeline is left untouched.
 
     Tournament tallies never travel: the driver process is authoritative
     for those.  No telemetry is emitted; this is backend plumbing, not a
@@ -203,19 +238,17 @@ def capture_exec_state(trainer: Trainer, include_reader: bool = True) -> bytes:
         "disc_optimizer": disc_meta,
     }
     if include_reader:
-        header["reader"] = {
-            "epochs_completed": trainer.reader.epochs_completed,
-            "rng_state": trainer.reader._rng.bit_generator.state,
-        }
+        header["reader"] = _reader_meta(trainer)
     return _pack(arrays, header)
 
 
 def apply_exec_state(trainer: Trainer, payload: bytes) -> None:
     """Apply a :func:`capture_exec_state` snapshot to a trainer replica.
 
-    Restores exactly what the payload carries: reader state (and the
-    in-flight iterator reset) only when the snapshot included it, and
-    never the tournament tallies.
+    Restores exactly what the payload carries: reader state (epoch
+    counter, RNG, plan cursor) only when the snapshot included it, and
+    never the tournament tallies.  The replica's own prefetch depth is
+    kept — depth is an execution-placement knob, not trained state.
     """
     arrays, header = _unpack(payload)
     if header["name"] != trainer.name:
@@ -226,9 +259,7 @@ def apply_exec_state(trainer: Trainer, payload: bytes) -> None:
     _apply_train_state(trainer, arrays, header)
     reader_meta = header.get("reader")
     if reader_meta is not None:
-        trainer.reader.epochs_completed = int(reader_meta["epochs_completed"])
-        trainer.reader._rng.bit_generator.state = reader_meta["rng_state"]
-        trainer._batch_iter = None
+        _apply_reader_meta(trainer, reader_meta, restore_depth=False)
 
 
 def population_checkpoint(

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Mapping
 import numpy as np
 
 from repro.core.enums import AdoptOptimizer, ExchangeScope
+from repro.datastore.pipeline import build_pipeline
 from repro.datastore.reader import Reader
 from repro.models.cyclegan import ICFSurrogate, SurrogateConfig
 from repro.tensorlib.optimizers import Adam, Optimizer
@@ -73,6 +74,12 @@ class Trainer:
         candidates.
     config:
         Behavioural knobs.
+    prefetch_depth:
+        How many batches the data pipeline materializes ahead of training
+        (0 = synchronous).  A performance knob, not a config: execution
+        backends overwrite it at bind time, and any depth yields
+        bit-identical training because batch *plans* are independent of
+        materialization (see :mod:`repro.datastore.pipeline`).
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class Trainer:
         reader: Reader,
         tournament_batch: Mapping[str, np.ndarray],
         config: TrainerConfig = TrainerConfig(),
+        prefetch_depth: int = 0,
     ) -> None:
         self.name = name
         self.surrogate = surrogate
@@ -94,7 +102,13 @@ class Trainer:
         self.steps_done = 0
         self.tournaments_won = 0
         self.tournaments_lost = 0
-        self._batch_iter = None
+        # Data pipeline over the reader: built lazily on the first batch
+        # (so an untrained trainer never touches the reader RNG), or
+        # rebuilt from a pending plan-cursor state (checkpoint restore /
+        # arrival in a worker process).
+        self.prefetch_depth = int(prefetch_depth)
+        self._pipeline = None
+        self._pipeline_state: dict | None = None
         # Telemetry sink: population drivers attach their hub here so
         # train_steps can emit step_end events; None means uninstrumented.
         self.telemetry: TelemetryHub | None = None
@@ -106,14 +120,67 @@ class Trainer:
 
     # -- training ----------------------------------------------------------
 
+    def _data_pipeline(self):
+        if self._pipeline is None:
+            self._pipeline = build_pipeline(
+                self.reader, self.config.batch_size, self.prefetch_depth
+            )
+            if self._pipeline_state is not None:
+                self._pipeline.restore(self._pipeline_state)
+                self._pipeline_state = None
+        return self._pipeline
+
     def _next_batch(self):
-        if self._batch_iter is None:
-            self._batch_iter = self.reader.epoch(self.config.batch_size)
-        try:
-            return next(self._batch_iter)
-        except StopIteration:
-            self._batch_iter = self.reader.epoch(self.config.batch_size)
-            return next(self._batch_iter)
+        pipeline = self._data_pipeline()
+        pipeline.telemetry = self.telemetry
+        pipeline.context = {
+            "trainer": self.name,
+            "backend": self.backend_name,
+            "worker": self.worker_index,
+        }
+        return pipeline.next_batch()
+
+    # -- data-pipeline lifecycle --------------------------------------------
+
+    def data_state(self) -> dict | None:
+        """The plan cursor of the in-flight epoch (JSON-serializable), or
+        ``None`` when the trainer has never drawn a batch."""
+        if self._pipeline is not None:
+            return self._pipeline.state()
+        return self._pipeline_state
+
+    def set_data_state(self, state: Mapping | None) -> None:
+        """Adopt a plan cursor; the pipeline rebuilds lazily from it."""
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+        self._pipeline_state = dict(state) if state is not None else None
+
+    def suspend_data_pipeline(self) -> None:
+        """Fold a live pipeline back into its plan-cursor state.
+
+        Stops any prefetch thread; prefetched-but-undelivered batches are
+        dropped (they are re-materialized from the plan on resume)."""
+        if self._pipeline is not None:
+            state = self._pipeline.state()
+            self._pipeline.close()
+            self._pipeline = None
+            self._pipeline_state = state
+
+    def set_prefetch_depth(self, depth: int) -> None:
+        """Change the pipeline depth without changing what gets trained."""
+        if depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {depth}")
+        if depth != self.prefetch_depth:
+            self.suspend_data_pipeline()
+            self.prefetch_depth = int(depth)
+
+    def __getstate__(self) -> dict:
+        # Live pipelines hold threads and queues; fold them into their
+        # serializable plan cursor so trainers can ship mid-epoch (the
+        # process backend pickles trainers over pipes).
+        self.suspend_data_pipeline()
+        return self.__dict__.copy()
 
     def train_steps(self, n_steps: int) -> dict[str, float]:
         """Run ``n_steps`` GAN steps; returns mean loss terms.

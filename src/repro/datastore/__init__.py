@@ -12,7 +12,12 @@ locally cached samples to the ranks that need them — after the first epoch
 - :mod:`repro.datastore.store` — the distributed store: ownership,
   capacity accounting, mini-batch exchange, dynamic/preload population.
 - :mod:`repro.datastore.reader` — training-side readers: a naive
-  file-per-sample reader and a store-backed reader.
+  file-per-sample reader and a store-backed reader, each split into a
+  deterministic RNG-only *plan* phase and an RNG-free *materialize* phase.
+- :mod:`repro.datastore.pipeline` — plan/materialize cursors: the
+  synchronous :class:`BatchPipeline` and the background-thread
+  :class:`PrefetchingReader` that overlaps batch assembly with training
+  compute (the paper's non-blocking exchange, Section III-B).
 - :mod:`repro.datastore.partition` — dataset partitioning across LTFB
   trainers (contiguous bundle ranges by default, matching the paper's
   exploration-ordered files).
@@ -25,7 +30,16 @@ from repro.datastore.store import (
     DistributedDataStore,
     InsufficientMemoryError,
 )
-from repro.datastore.reader import MiniBatch, NaiveReader, Reader, StoreReader
+from repro.datastore.reader import (
+    ArrayReader,
+    BatchPlan,
+    EpochPlan,
+    MiniBatch,
+    NaiveReader,
+    Reader,
+    StoreReader,
+)
+from repro.datastore.pipeline import BatchPipeline, PrefetchingReader, build_pipeline
 from repro.datastore.partition import partition_indices, partition_items
 
 __all__ = [
@@ -37,9 +51,15 @@ __all__ = [
     "DataStoreStats",
     "InsufficientMemoryError",
     "Reader",
+    "ArrayReader",
     "NaiveReader",
     "StoreReader",
     "MiniBatch",
+    "BatchPlan",
+    "EpochPlan",
+    "BatchPipeline",
+    "PrefetchingReader",
+    "build_pipeline",
     "partition_indices",
     "partition_items",
 ]

@@ -15,6 +15,21 @@ Three readers with one interface:
 
 Readers shuffle with their own :class:`numpy.random.Generator` so epoch
 order is reproducible and independent across trainers.
+
+The data path is split into two phases (paper Section III-B overlaps the
+second with training compute):
+
+- :meth:`Reader.plan_epoch` — *deciding* the batches.  Deterministic and
+  I/O-free; the only phase that touches the reader RNG.  Returns an
+  :class:`EpochPlan` of :class:`BatchPlan` entries plus the RNG state the
+  plan was drawn from, so an in-flight epoch is replayable from a
+  checkpoint.
+- :meth:`Reader.materialize` — *building* one planned batch.  RNG-free,
+  so it can run ahead on a background thread
+  (:class:`~repro.datastore.pipeline.PrefetchingReader`) without
+  perturbing the sequence of batches a trainer sees.
+
+:meth:`Reader.epoch` is the synchronous composition of the two.
 """
 
 from __future__ import annotations
@@ -29,7 +44,15 @@ from repro.cluster.filesystem import SimulatedFilesystem
 from repro.datastore.bundle import Bundle
 from repro.datastore.store import DistributedDataStore, consumer_ranks_for_batch
 
-__all__ = ["MiniBatch", "Reader", "ArrayReader", "NaiveReader", "StoreReader"]
+__all__ = [
+    "MiniBatch",
+    "BatchPlan",
+    "EpochPlan",
+    "Reader",
+    "ArrayReader",
+    "NaiveReader",
+    "StoreReader",
+]
 
 
 @dataclass
@@ -44,8 +67,56 @@ class MiniBatch:
         return int(self.sample_ids.size)
 
 
+@dataclass(frozen=True)
+class BatchPlan:
+    """One planned mini-batch: which samples, and where in the schedule.
+
+    Produced by :meth:`Reader.plan_epoch`; consumed by
+    :meth:`Reader.materialize`.  Carries no data — only the decision.
+    """
+
+    epoch_index: int
+    step_index: int
+    sample_ids: np.ndarray
+    is_last: bool  # final batch of its epoch
+
+    @property
+    def size(self) -> int:
+        return int(self.sample_ids.size)
+
+
+@dataclass(frozen=True)
+class EpochPlan:
+    """A full epoch's batch schedule plus the RNG provenance to replay it.
+
+    ``rng_state`` is the reader RNG's bit-generator state *before* the
+    permutation was drawn: restoring it and calling
+    :meth:`Reader.plan_epoch` again regenerates this exact plan — the
+    mechanism mid-epoch checkpoint resume is built on.
+    """
+
+    epoch_index: int
+    batch_size: int
+    drop_last: bool
+    rng_state: dict
+    batches: tuple[BatchPlan, ...]
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[BatchPlan]:
+        return iter(self.batches)
+
+
 class Reader(ABC):
-    """Iterable source of mini-batches over a fixed sample population."""
+    """Iterable source of mini-batches over a fixed sample population.
+
+    ``epochs_completed`` counts *delivered* epochs: it advances exactly
+    when an epoch's final batch is handed to the consumer (not when the
+    exhausted iterator is polled one more time), so a trainer that has
+    consumed N full epochs reports N even if it stopped on the epoch's
+    last step.  Partially consumed epochs never count.
+    """
 
     def __init__(self, sample_ids: Sequence[int], rng: np.random.Generator) -> None:
         self.sample_ids = np.asarray(sample_ids, dtype=np.int64)
@@ -53,6 +124,9 @@ class Reader(ABC):
             raise ValueError("sample_ids must be a non-empty 1-D sequence")
         self._rng = rng
         self.epochs_completed = 0
+        # Epochs whose plan has been drawn (may run ahead of delivery
+        # under a prefetching pipeline); assigns EpochPlan.epoch_index.
+        self._epochs_planned = 0
 
     @property
     def num_samples(self) -> int:
@@ -64,24 +138,63 @@ class Reader(ABC):
         n = self.num_samples
         return n // batch_size if drop_last else -(-n // batch_size)
 
-    def epoch(
-        self, batch_size: int, drop_last: bool = True
-    ) -> Iterator[MiniBatch]:
-        """Yield one epoch of mini-batches over a fresh random permutation."""
+    # -- plan phase (RNG, no I/O) -------------------------------------------
+
+    def plan_epoch(self, batch_size: int, drop_last: bool = True) -> EpochPlan:
+        """Decide one epoch's batches: the only phase that touches the RNG.
+
+        Draws a fresh permutation and slices it into
+        :class:`BatchPlan` entries; performs no file or store I/O, so a
+        plan can be drawn arbitrarily far ahead of materialization.
+        """
         steps = self.steps_per_epoch(batch_size, drop_last)
         if steps == 0:
             raise ValueError(
                 f"batch_size {batch_size} exceeds population {self.num_samples}"
             )
+        rng_state = self._rng.bit_generator.state
         perm = self._rng.permutation(self.num_samples)
-        for s in range(steps):
-            ids = self.sample_ids[perm[s * batch_size : (s + 1) * batch_size]]
-            yield MiniBatch(self._fetch(ids), ids)
-        self.epochs_completed += 1
+        epoch_index = self._epochs_planned
+        self._epochs_planned += 1
+        batches = tuple(
+            BatchPlan(
+                epoch_index=epoch_index,
+                step_index=s,
+                sample_ids=self.sample_ids[perm[s * batch_size : (s + 1) * batch_size]],
+                is_last=(s == steps - 1),
+            )
+            for s in range(steps)
+        )
+        return EpochPlan(epoch_index, batch_size, drop_last, rng_state, batches)
+
+    # -- materialize phase (I/O, no RNG) ------------------------------------
+
+    def materialize(self, plan: BatchPlan) -> MiniBatch:
+        """Build one planned batch.  RNG-free, hence safe to run ahead."""
+        return MiniBatch(self._fetch(plan.sample_ids, plan=plan), plan.sample_ids)
+
+    # -- synchronous composition --------------------------------------------
+
+    def epoch(
+        self, batch_size: int, drop_last: bool = True
+    ) -> Iterator[MiniBatch]:
+        """Yield one epoch of mini-batches: plan, then materialize each."""
+        plan = self.plan_epoch(batch_size, drop_last)
+        for bp in plan:
+            mb = self.materialize(bp)
+            if bp.is_last:
+                self.epochs_completed += 1
+            yield mb
 
     @abstractmethod
-    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
-        """Materialize the batch for the given global sample ids."""
+    def _fetch(
+        self, ids: np.ndarray, plan: BatchPlan | None = None
+    ) -> dict[str, np.ndarray]:
+        """Materialize the batch for the given global sample ids.
+
+        ``plan`` (when the fetch serves a planned batch) lets store-backed
+        readers attribute exchange accounting to the planned epoch/step.
+        """
 
 
 class ArrayReader(Reader):
@@ -98,10 +211,14 @@ class ArrayReader(Reader):
         n = {k: v.shape[0] for k, v in self._fields.items()}
         if len(set(n.values())) != 1:
             raise ValueError(f"fields disagree on sample count: {n}")
+        if self.sample_ids.min() < 0:
+            raise ValueError("sample ids must be non-negative")
         if self.sample_ids.max() >= next(iter(n.values())):
             raise ValueError("sample ids exceed field length")
 
-    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+    def _fetch(
+        self, ids: np.ndarray, plan: BatchPlan | None = None
+    ) -> dict[str, np.ndarray]:
         return {k: v[ids] for k, v in self._fields.items()}
 
 
@@ -122,7 +239,6 @@ class _BundleIndexed(Reader):
         self._fs = fs
         self._paths = list(bundle_paths)
         self._spb = int(samples_per_bundle)
-        self._local_bundle_base = {}  # path -> first global id, filled lazily
 
     def _bundle_of(self, sample_id: int) -> tuple[str, int]:
         """Locate a global sample id: (bundle path, row)."""
@@ -154,7 +270,9 @@ class _BundleIndexed(Reader):
 class NaiveReader(_BundleIndexed):
     """File-per-batch ingestion with no caching (the Fig. 10 baseline)."""
 
-    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+    def _fetch(
+        self, ids: np.ndarray, plan: BatchPlan | None = None
+    ) -> dict[str, np.ndarray]:
         samples = self._read_batch_from_files(ids)
         names = sorted(samples[0][1])
         return {
@@ -193,7 +311,9 @@ class StoreReader(_BundleIndexed):
             needed = sorted({self._bundle_of(int(s))[0] for s in self.sample_ids})
             self.preload_report = store.preload(fs, needed)
 
-    def _fetch(self, ids: np.ndarray) -> dict[str, np.ndarray]:
+    def _fetch(
+        self, ids: np.ndarray, plan: BatchPlan | None = None
+    ) -> dict[str, np.ndarray]:
         file_samples: dict[int, dict[str, np.ndarray]] = {}
         if self.mode == "dynamic":
             missing = [int(s) for s in ids if s not in self.store]
@@ -220,4 +340,4 @@ class StoreReader(_BundleIndexed):
                     np.asarray(still_missing, dtype=np.int64)
                 ):
                     file_samples[still_missing[pos]] = sample
-        return self.store.fetch_batch(ids, fallback=file_samples or None)
+        return self.store.fetch_batch(ids, fallback=file_samples or None, plan=plan)

@@ -244,6 +244,7 @@ class DistributedDataStore:
         sample_ids: Sequence[int],
         field_names: Sequence[str] | None = None,
         fallback: Mapping[int, Mapping[str, np.ndarray]] | None = None,
+        plan: "object | None" = None,
     ) -> dict[str, np.ndarray]:
         """Assemble a mini-batch from the shards.
 
@@ -257,6 +258,12 @@ class DistributedDataStore:
         evicting store may have dropped them); fallback samples count as
         neither local nor remote fetches — their cost is the file read the
         caller already performed.
+
+        ``plan`` is the :class:`~repro.datastore.reader.BatchPlan` this
+        fetch materializes, when there is one; its epoch/step are stamped
+        into the ``datastore_fetch`` event so exchange accounting can be
+        attributed per planned batch even when a prefetching pipeline
+        fetches ahead of the training step that consumes it.
         """
         ids = np.asarray(sample_ids, dtype=np.int64)
         if ids.ndim != 1 or ids.size == 0:
@@ -302,6 +309,12 @@ class DistributedDataStore:
                     self.stats.remote_bytes += nbytes
             samples.append(sample)
         if self.telemetry is not None:
+            planned = {}
+            if plan is not None:
+                planned = {
+                    "epoch": int(plan.epoch_index),
+                    "step": int(plan.step_index),
+                }
             self.telemetry.emit(
                 "datastore_fetch",
                 batch_size=int(ids.size),
@@ -309,6 +322,7 @@ class DistributedDataStore:
                 remote_fetches=self.stats.remote_fetches - before[1],
                 local_bytes=self.stats.local_bytes - before[2],
                 remote_bytes=self.stats.remote_bytes - before[3],
+                **planned,
             )
         names = list(field_names) if field_names else sorted(samples[0])
         batch = {}

@@ -70,10 +70,20 @@ class ExecutionBackend(ABC):
 
     name: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, prefetch_depth: int | None = None) -> None:
+        if prefetch_depth is not None and prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be >= 0, got {prefetch_depth}"
+            )
+        # Data-pipeline depth imposed on every bound trainer for the
+        # duration of a run (None = leave each trainer's own depth).  Any
+        # depth is bit-identical: batch plans are independent of
+        # materialization (see repro.datastore.pipeline).
+        self.prefetch_depth = prefetch_depth
         self._trainers: list["Trainer"] = []
         self._telemetry: "TelemetryHub | None" = None
         self._bound = False
+        self._saved_depths: list[int] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -86,6 +96,10 @@ class ExecutionBackend(ABC):
         self._trainers = list(trainers)
         self._telemetry = telemetry
         self._bound = True
+        if self.prefetch_depth is not None:
+            self._saved_depths = [t.prefetch_depth for t in self._trainers]
+            for t in self._trainers:
+                t.set_prefetch_depth(self.prefetch_depth)
         self._on_bind()
 
     def release(self) -> None:
@@ -95,6 +109,13 @@ class ExecutionBackend(ABC):
         try:
             self._on_release()
         finally:
+            if self._saved_depths:
+                # Restoring the pre-bind depth also folds any live
+                # prefetch pipeline back into its plan cursor (stopping
+                # its thread) whenever the depth actually changed.
+                for t, depth in zip(self._trainers, self._saved_depths):
+                    t.set_prefetch_depth(depth)
+            self._saved_depths = []
             self._trainers = []
             self._telemetry = None
             self._bound = False
@@ -157,19 +178,25 @@ BACKEND_NAMES = ("serial", "thread", "process")
 
 
 def resolve_backend(
-    spec: "ExecutionBackend | str | None", max_workers: int | None = None
+    spec: "ExecutionBackend | str | None",
+    max_workers: int | None = None,
+    prefetch_depth: int | None = None,
 ) -> "ExecutionBackend":
     """Coerce a backend spec into an :class:`ExecutionBackend`.
 
     ``None`` means the serial default; a string names one of
     :data:`BACKEND_NAMES`; an instance passes through unchanged (in which
-    case ``max_workers`` must not also be given — the instance already
-    chose its pool size).
+    case ``max_workers``/``prefetch_depth`` must not also be given — the
+    instance already chose its pool size and pipeline depth).
     """
     if isinstance(spec, ExecutionBackend):
         if max_workers is not None:
             raise ValueError(
                 "max_workers cannot override an already-constructed backend"
+            )
+        if prefetch_depth is not None:
+            raise ValueError(
+                "prefetch_depth cannot override an already-constructed backend"
             )
         return spec
     if spec is None:
@@ -182,7 +209,7 @@ def resolve_backend(
                 f"unknown execution backend {spec!r}; "
                 f"expected one of {BACKEND_NAMES}"
             ) from None
-        return cls(max_workers=max_workers)
+        return cls(max_workers=max_workers, prefetch_depth=prefetch_depth)
     raise TypeError(
         f"backend must be None, a name, or an ExecutionBackend, got {spec!r}"
     )

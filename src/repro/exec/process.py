@@ -9,8 +9,13 @@ and services per-round commands over a pipe:
   telemetry events, and a state snapshot
   (:func:`~repro.core.checkpoint.capture_exec_state`, reader included);
 - ``apply`` — load driver-pushed state deltas (tournament adoptions) into
-  named replicas, leaving their in-flight epoch iterators untouched;
+  named replicas, leaving their in-flight data pipelines untouched;
 - ``stop`` — exit.
+
+Mid-epoch trainers ship cleanly: pickling a trainer folds its live data
+pipeline into a serializable plan cursor (see ``Trainer.__getstate__``),
+and the worker replica rebuilds the pipeline — at the trainer's prefetch
+depth — on its first batch.
 
 The driver-side trainers stay authoritative for everything the driver
 computes (tournaments, evaluation, checkpoints): after every train
@@ -67,7 +72,9 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
                             (
                                 t.name,
                                 losses,
-                                recorder.events,
+                                # Snapshot: a live prefetch thread may still
+                                # be appending to the recorder.
+                                list(recorder.events),
                                 capture_exec_state(t, include_reader=True),
                             )
                         )
@@ -106,9 +113,12 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
 
     def __init__(
-        self, max_workers: int | None = None, mp_context: str | None = None
+        self,
+        max_workers: int | None = None,
+        mp_context: str | None = None,
+        prefetch_depth: int | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(prefetch_depth=prefetch_depth)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self._max_workers = max_workers
@@ -129,15 +139,6 @@ class ProcessBackend(ExecutionBackend):
     # -- lifecycle -----------------------------------------------------------
 
     def _on_bind(self) -> None:
-        for t in self._trainers:
-            if t._batch_iter is not None:
-                raise ValueError(
-                    f"trainer {t.name!r} has an in-flight epoch iterator; "
-                    "the process backend can only adopt trainers at an "
-                    "iterator-clean point (freshly built or checkpoint-"
-                    "restored) — its mid-epoch position cannot be shipped "
-                    "to a worker"
-                )
         ctx = multiprocessing.get_context(self._mp_context)
         n = self.num_workers
         groups: list[list] = [[] for _ in range(n)]

@@ -18,10 +18,16 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        prefetch_depth: int | None = None,
+    ) -> None:
         # max_workers is accepted (and ignored) so every backend shares
         # one construction signature; serial is definitionally 1 slot.
-        super().__init__()
+        # prefetch_depth still matters here: the data pipeline can
+        # materialize ahead even when trainers run one at a time.
+        super().__init__(prefetch_depth=prefetch_depth)
 
     def _on_bind(self) -> None:
         for t in self._trainers:

@@ -35,8 +35,12 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def __init__(self, max_workers: int | None = None) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        prefetch_depth: int | None = None,
+    ) -> None:
+        super().__init__(prefetch_depth=prefetch_depth)
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         self._max_workers = max_workers

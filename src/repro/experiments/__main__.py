@@ -13,12 +13,14 @@ Performance figures run in seconds (analytic models).  Quality figures
 train real networks: the default scale takes minutes per figure; pass
 ``--quick`` for a structural smoke run.  ``--backend`` selects the
 :mod:`repro.exec` execution backend the quality runs train under
-(results are bit-identical across backends; only wall clock changes) and
-``--workers`` caps its worker count.  ``backends`` is the backend-scaling
-report itself.  ``trace-report`` summarizes a JSONL telemetry trace
-written by :class:`repro.telemetry.JsonlTraceWriter` — per-phase
-wall-clock, adoption rate, exchange bytes, datastore fetch locality, and
-per-worker train time.
+(results are bit-identical across backends; only wall clock changes),
+``--workers`` caps its worker count, and ``--prefetch-depth`` sets the
+data-pipeline depth (0 = synchronous; any depth is bit-identical, only
+fetch stall changes).  ``backends`` is the backend-scaling report itself,
+run at depth 0 and the requested depth.  ``trace-report`` summarizes a
+JSONL telemetry trace written by :class:`repro.telemetry.JsonlTraceWriter`
+— per-phase wall-clock, adoption rate, exchange bytes, datastore fetch
+locality, data-pipeline stall vs. overlap, and per-worker train time.
 """
 
 from __future__ import annotations
@@ -54,17 +56,21 @@ def _quality_bench(args):
             n_samples=n,
             backend=args.backend,
             workers=args.workers,
+            prefetch_depth=args.prefetch_depth,
         )
     return args._bench
 
 
 def _backend_scaling(args):
+    depth = 2 if args.prefetch_depth is None else args.prefetch_depth
     if args.quick:
         return backend_scaling.run(
             k=4, rounds=2, steps_per_round=4, workers=args.workers or 2,
-            n_samples=768, seed=args.seed,
+            n_samples=768, seed=args.seed, prefetch_depth=depth,
         )
-    return backend_scaling.run(workers=args.workers or 4, seed=args.seed)
+    return backend_scaling.run(
+        workers=args.workers or 4, seed=args.seed, prefetch_depth=depth
+    )
 
 
 def _quality_schedule(args) -> dict:
@@ -146,6 +152,16 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="worker cap for parallel backends (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=None,
+        help=(
+            "data-pipeline prefetch depth for training runs (default: "
+            "trainer-configured; 0 = synchronous). Results are "
+            "bit-identical at any depth."
+        ),
     )
     args = parser.parse_args(argv)
     args._bench = None

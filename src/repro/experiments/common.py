@@ -142,15 +142,17 @@ class QualityWorkbench:
         max_val_samples: int = 2048,
         backend: str = "serial",
         workers: int | None = None,
+        prefetch_depth: int | None = None,
     ) -> None:
         self.seed = seed
         self.rngs = RngFactory(seed)
         self.base_spec = spec or EnsembleSpec()
-        # Execution backend for every LTFB run the workbench launches;
-        # results are bit-identical across backends so figures don't care,
-        # only wall clock does.
+        # Execution backend and data-pipeline depth for every LTFB run the
+        # workbench launches; results are bit-identical across backends and
+        # depths so figures don't care, only wall clock does.
         self.backend = backend
         self.workers = workers
+        self.prefetch_depth = prefetch_depth
         # Memoized LTFB runs, keyed by (tag, schedule) — see train_ltfb.
         self._ltfb_cache: dict[tuple, object] = {}
         # The campaign enumeration order: "design" (low-discrepancy, the
@@ -239,7 +241,11 @@ class QualityWorkbench:
                 self.pairing_rng(tag),
                 LtfbConfig(steps_per_round=steps_per_round, rounds=rounds),
                 eval_batch=self.val_batch,
-                backend=resolve_backend(self.backend, max_workers=self.workers),
+                backend=resolve_backend(
+                    self.backend,
+                    max_workers=self.workers,
+                    prefetch_depth=self.prefetch_depth,
+                ),
             )
             driver.run(callbacks=callbacks)
             self._ltfb_cache[key] = driver

@@ -38,6 +38,8 @@ from repro.telemetry.events import (
     EVAL,
     EVENT_TYPES,
     EXCHANGE,
+    FETCH_STALL,
+    PREFETCH_FILL,
     ROUND_END,
     STEP_END,
     TOURNAMENT,
@@ -56,6 +58,8 @@ __all__ = [
     "EXCHANGE",
     "EVAL",
     "DATASTORE_FETCH",
+    "FETCH_STALL",
+    "PREFETCH_FILL",
     "CHECKPOINT",
     "Callback",
     "JsonlTraceWriter",

@@ -88,10 +88,14 @@ class JsonlTraceWriter(Callback):
         self.path = path
         self._fh: IO[str] | None = None
         self.events_written = 0
+        self._mode = "w"
 
     def _file(self) -> IO[str]:
         if self._fh is None:
-            self._fh = open(self.path, "w", encoding="utf-8")
+            self._fh = open(self.path, self._mode, encoding="utf-8")
+            # A straggler event after close() (e.g. from a still-running
+            # prefetch thread) must append, not truncate the trace.
+            self._mode = "a"
         return self._fh
 
     def on_event(self, event: TelemetryEvent) -> None:
@@ -164,6 +168,12 @@ class CounterAggregator(Callback):
     workers: per ``step_end`` event, ``elapsed_s`` is added under the key
     ``"{backend}/worker{worker}"``.  Events from traces written before
     backend attribution existed carry neither field and are skipped.
+
+    ``fetch_stall`` events are folded the same way: per delivered batch,
+    ``stall_s`` (the consumer's wait) accumulates into ``fetch_stall_s``
+    and the hidden remainder ``max(0, materialize_s - stall_s)`` into
+    ``fetch_overlap_s``, with per-worker breakdowns in ``worker_stall_s``
+    / ``worker_overlap_s`` when the event carries backend attribution.
     """
 
     def __init__(self) -> None:
@@ -174,6 +184,13 @@ class CounterAggregator(Callback):
         self.steps = 0
         self.rounds = 0
         self.worker_train_s: dict[str, float] = {}
+        self.fetch_stalls = 0
+        self.fetch_stall_s = 0.0
+        self.fetch_overlap_s = 0.0
+        self.worker_stall_s: dict[str, float] = {}
+        self.worker_overlap_s: dict[str, float] = {}
+        self.prefetch_fills = 0
+        self._prefetch_fill_sum = 0
         self.datastore_local_fetches = 0
         self.datastore_remote_fetches = 0
         self.datastore_local_bytes = 0
@@ -207,6 +224,26 @@ class CounterAggregator(Callback):
     def on_round_end(self, event: TelemetryEvent) -> None:
         self.rounds += 1
 
+    def on_fetch_stall(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        stall = float(p["stall_s"])
+        overlap = max(0.0, float(p.get("materialize_s", stall)) - stall)
+        self.fetch_stalls += 1
+        self.fetch_stall_s += stall
+        self.fetch_overlap_s += overlap
+        backend = p.get("backend")
+        worker = p.get("worker")
+        if backend is not None and worker is not None:
+            key = f"{backend}/worker{int(worker)}"
+            self.worker_stall_s[key] = self.worker_stall_s.get(key, 0.0) + stall
+            self.worker_overlap_s[key] = (
+                self.worker_overlap_s.get(key, 0.0) + overlap
+            )
+
+    def on_prefetch_fill(self, event: TelemetryEvent) -> None:
+        self.prefetch_fills += 1
+        self._prefetch_fill_sum += int(event.payload.get("fill", 0))
+
     def on_datastore_fetch(self, event: TelemetryEvent) -> None:
         p = event.payload
         self.datastore_local_fetches += int(p["local_fetches"])
@@ -239,16 +276,37 @@ class CounterAggregator(Callback):
         total = self.datastore_local_fetches + self.datastore_remote_fetches
         return self.datastore_remote_fetches / total if total else 0.0
 
+    def mean_prefetch_fill(self) -> float:
+        """Mean prefetch-queue occupancy observed at fill time."""
+        return (
+            self._prefetch_fill_sum / self.prefetch_fills
+            if self.prefetch_fills
+            else 0.0
+        )
+
     def summary(self) -> dict[str, float]:
         """All counters plus derived rates, as one flat dict.
 
         Per-worker train seconds appear flattened as
         ``train_s[<backend>/worker<N>]`` keys (absent when no ``step_end``
-        event carried backend attribution)."""
+        event carried backend attribution); per-worker data-path stall and
+        overlap appear as ``stall_s[...]`` / ``overlap_s[...]`` keys."""
         per_worker = {
             f"train_s[{key}]": seconds
             for key, seconds in sorted(self.worker_train_s.items())
         }
+        per_worker.update(
+            {
+                f"stall_s[{key}]": seconds
+                for key, seconds in sorted(self.worker_stall_s.items())
+            }
+        )
+        per_worker.update(
+            {
+                f"overlap_s[{key}]": seconds
+                for key, seconds in sorted(self.worker_overlap_s.items())
+            }
+        )
         return {
             "rounds": self.rounds,
             "steps": self.steps,
@@ -257,6 +315,11 @@ class CounterAggregator(Callback):
             "tournaments": self.tournaments,
             "adoptions": self.adoptions,
             "adoption_rate": self.adoption_rate(),
+            "fetch_stalls": self.fetch_stalls,
+            "fetch_stall_s": self.fetch_stall_s,
+            "fetch_overlap_s": self.fetch_overlap_s,
+            "prefetch_fills": self.prefetch_fills,
+            "prefetch_mean_fill": self.mean_prefetch_fill(),
             "datastore_local_fetches": self.datastore_local_fetches,
             "datastore_remote_fetches": self.datastore_remote_fetches,
             "datastore_local_bytes": self.datastore_local_bytes,

@@ -17,6 +17,7 @@ error — consumers should be able to switch on ``event.type`` exhaustively.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -28,6 +29,8 @@ __all__ = [
     "EXCHANGE",
     "EVAL",
     "DATASTORE_FETCH",
+    "FETCH_STALL",
+    "PREFETCH_FILL",
     "CHECKPOINT",
     "EVENT_TYPES",
     "TelemetryEvent",
@@ -64,12 +67,38 @@ EVAL = "eval"
 #: :class:`~repro.datastore.store.DataStoreStats`.
 DATASTORE_FETCH = "datastore_fetch"
 
+#: A data pipeline delivered one batch to its consumer.  Payload:
+#: ``depth`` (prefetch depth, 0 = synchronous), ``epoch``/``step`` (the
+#: planned batch delivered), ``stall_s`` (how long the consumer waited for
+#: the batch — the data path's contribution to step latency) and
+#: ``materialize_s`` (how long building the batch actually took; at depth
+#: >= 1 the difference is work hidden behind training compute).  When the
+#: pipeline serves a trainer the event also carries ``trainer``,
+#: ``backend`` and ``worker``.
+FETCH_STALL = "fetch_stall"
+
+#: A prefetching pipeline's background thread finished materializing one
+#: batch ahead of the consumer.  Payload: ``depth``, ``fill`` (queue
+#: occupancy after the insert), ``epoch``/``step``, ``materialize_s``,
+#: plus ``trainer``/``backend``/``worker`` when serving a trainer.
+PREFETCH_FILL = "prefetch_fill"
+
 #: A trainer checkpoint was written or restored.  Payload: ``action``
 #: (``"save"`` or ``"restore"``), ``trainer``, ``nbytes``.
 CHECKPOINT = "checkpoint"
 
 EVENT_TYPES = frozenset(
-    {STEP_END, ROUND_END, TOURNAMENT, EXCHANGE, EVAL, DATASTORE_FETCH, CHECKPOINT}
+    {
+        STEP_END,
+        ROUND_END,
+        TOURNAMENT,
+        EXCHANGE,
+        EVAL,
+        DATASTORE_FETCH,
+        FETCH_STALL,
+        PREFETCH_FILL,
+        CHECKPOINT,
+    }
 )
 
 
@@ -100,6 +129,11 @@ class TelemetryHub:
         self.callbacks: list = []
         self._sequence = 0
         self._t0 = time.perf_counter()
+        # A prefetching pipeline emits from its background thread while the
+        # consumer emits from the training thread; serialize dispatch so
+        # callbacks never observe interleaved partial updates.  Reentrant:
+        # a callback may itself emit.
+        self._lock = threading.RLock()
 
     def subscribe(self, callback) -> None:
         """Attach a callback (idempotent)."""
@@ -130,13 +164,14 @@ class TelemetryHub:
             )
         if not self.callbacks:
             return None
-        event = TelemetryEvent(
-            type=event_type,
-            payload=payload,
-            time_s=time.perf_counter() - self._t0,
-            sequence=self._sequence,
-        )
-        self._sequence += 1
-        for callback in list(self.callbacks):
-            callback.handle(event)
+        with self._lock:
+            event = TelemetryEvent(
+                type=event_type,
+                payload=payload,
+                time_s=time.perf_counter() - self._t0,
+                sequence=self._sequence,
+            )
+            self._sequence += 1
+            for callback in list(self.callbacks):
+                callback.handle(event)
         return event

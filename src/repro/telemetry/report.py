@@ -4,8 +4,9 @@ The counterpart of :class:`~repro.telemetry.callbacks.JsonlTraceWriter`:
 reads a trace back, folds it through the same aggregation logic the live
 callbacks use, and renders the run-level summary the paper's figures are
 built from — per-phase wall-clock, tournament adoption rate, exchange
-traffic, datastore fetch locality, and (for traces recorded under a
-parallel execution backend) per-worker train-time attribution.
+traffic, datastore fetch locality, data-pipeline stall vs. overlap, and
+(for traces recorded under a parallel execution backend) per-worker
+train-time and stall attribution.
 
 Exposed on the command line as::
 
@@ -115,6 +116,29 @@ def render_trace_report(path) -> str:
             seconds = counters.worker_train_s[key]
             share = seconds / busiest if busiest else 0.0
             out.append(f"  {key}: {seconds:.3f}s ({share:.0%} of busiest)")
+    if summary["fetch_stalls"]:
+        out.append("data pipeline:")
+        out.append(
+            f"  fetch stalls: {summary['fetch_stalls']} "
+            f"(stalled {summary['fetch_stall_s']:.3f}s, overlapped "
+            f"{summary['fetch_overlap_s']:.3f}s of materialization)"
+        )
+        if summary["prefetch_fills"]:
+            out.append(
+                f"  prefetch fills: {summary['prefetch_fills']} "
+                f"(mean queue fill {summary['prefetch_mean_fill']:.2f})"
+            )
+        workers = sorted(
+            set(counters.worker_stall_s) | set(counters.worker_overlap_s)
+        )
+        if workers:
+            out.append("  per-worker stall vs. overlap:")
+            for key in workers:
+                out.append(
+                    f"    {key}: stall "
+                    f"{counters.worker_stall_s.get(key, 0.0):.3f}s / overlap "
+                    f"{counters.worker_overlap_s.get(key, 0.0):.3f}s"
+                )
     return "\n".join(out)
 
 

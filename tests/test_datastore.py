@@ -312,6 +312,13 @@ class TestReaders:
         with pytest.raises(ValueError):
             list(reader.epoch(11))
 
+    def test_negative_sample_ids_rejected(self):
+        # Negative ids would silently index from the end of the field
+        # arrays; the constructor rejects them like out-of-range ids.
+        fields = make_fields(n=10)
+        with pytest.raises(ValueError, match="non-negative"):
+            ArrayReader(fields, np.array([0, -1, 2]), np.random.default_rng(0))
+
     def test_naive_reader_reopens_every_epoch(self):
         fs, _, paths = make_fs_with_bundles()
         reader = NaiveReader(fs, paths, 20, np.arange(200), np.random.default_rng(1))

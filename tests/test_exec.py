@@ -193,14 +193,30 @@ class TestCrossBackendDeterminism:
 
 
 class TestProcessBackend:
-    def test_rejects_mid_epoch_iterator(
+    def test_mid_epoch_bind_matches_serial(
         self, tiny_dataset, tiny_spec, tiny_autoencoder
     ):
-        trainers = _population(tiny_dataset, tiny_spec, tiny_autoencoder, k=2)
-        trainers[0].train_steps(1)  # leaves an in-flight epoch iterator
+        """Trainers with an in-flight data pipeline ship to workers cleanly:
+        pickling folds the pipeline into its plan cursor, and the replica
+        resumes the same epoch bit-identically to a serial continuation."""
+        ref = _population(tiny_dataset, tiny_spec, tiny_autoencoder, k=2)
+        ref_losses = {}
+        for t in ref:
+            t.train_steps(1)
+            ref_losses[t.name] = t.train_steps(3)
+        live = _population(tiny_dataset, tiny_spec, tiny_autoencoder, k=2)
+        for t in live:
+            t.train_steps(1)  # leaves a mid-epoch data pipeline
         backend = ProcessBackend(max_workers=2)
-        with pytest.raises(ValueError, match="in-flight epoch iterator"):
-            backend.bind(trainers, TelemetryHub())
+        backend.bind(live, TelemetryHub())
+        try:
+            losses = backend.train_round(0, 3)
+        finally:
+            backend.release()
+        assert losses == ref_losses
+        for tr, tl in zip(ref, live):
+            for key, arr in tr.generator_state().items():
+                np.testing.assert_array_equal(arr, tl.generator_state()[key])
 
     def test_mark_dirty_unknown_trainer(
         self, tiny_dataset, tiny_spec, tiny_autoencoder

@@ -153,8 +153,14 @@ class TestBackendScaling:
             n_samples=512,
             backends=("serial", "thread"),
         )
-        assert [r["backend"] for r in report.rows] == ["serial", "thread"]
+        # backend x prefetch-depth grid: depth 0 and the overlapped depth.
+        assert [(r["backend"], r["depth"]) for r in report.rows] == [
+            ("serial", 0), ("serial", 2), ("thread", 0), ("thread", 2),
+        ]
         assert all(r["identical"] for r in report.rows)
+        assert all(r["stall_s"] >= 0 and r["overlap_s"] >= 0 for r in report.rows)
+        # Synchronous pipelines cannot overlap materialization.
+        assert all(r["overlap_s"] == 0 for r in report.rows if r["depth"] == 0)
         determinism = report.checks[0]
         assert "determinism" in determinism.name and determinism.passed
 

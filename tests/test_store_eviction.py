@@ -83,6 +83,33 @@ class TestEvictingStore:
         assert fs.stats.opens > opens_epoch0
         assert store.stats.evictions > 0
 
+    def test_fetch_rereads_hits_evicted_by_same_batch(self):
+        """Caching a batch's misses can evict that very batch's hits; the
+        ``still_missing`` second file pass in ``StoreReader._fetch`` must
+        re-read the casualties so the batch always assembles."""
+        fs = SimulatedFilesystem()
+        n = 4
+        fields = {"x": np.arange(n, dtype=np.float32).reshape(n, 1)}
+        paths = write_bundles(fs, fields, samples_per_bundle=n)
+        # One rank, budget of exactly two one-float32 samples.
+        store = DistributedDataStore(1, bytes_per_rank=8, evicting=True)
+        reader = StoreReader(
+            fs, paths, n, np.arange(n), np.random.default_rng(0), store,
+            "dynamic",
+        )
+        feeds = reader._fetch(np.array([0, 1]))
+        np.testing.assert_array_equal(feeds["x"][:, 0], [0.0, 1.0])
+        assert 0 in store and 1 in store
+        opens_before = fs.stats.opens
+        # Misses 2 and 3 fill the shard, evicting hits 0 and 1 mid-batch.
+        feeds = reader._fetch(np.array([0, 1, 2, 3]))
+        np.testing.assert_array_equal(feeds["x"][:, 0], [0.0, 1.0, 2.0, 3.0])
+        assert store.stats.evictions == 2
+        assert 0 not in store and 1 not in store
+        assert 2 in store and 3 in store
+        # Both file passes ran: misses first, then the evicted casualties.
+        assert fs.stats.opens >= opens_before + 2
+
 
 class TestNonBlockingRequests:
     def test_isend_irecv_roundtrip(self):
