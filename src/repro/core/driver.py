@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -68,6 +69,15 @@ class History:
     tournaments: list[TournamentRecord] = field(default_factory=list)
     pairings: list[list[tuple[str, str]]] = field(default_factory=list)
     exchange_bytes: int = 0
+    #: Structured warnings from any attached
+    #: :class:`~repro.telemetry.health.HealthMonitor` (empty when no
+    #: monitor ran, or the run was healthy).
+    health_warnings: list = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        """True when no health monitor flagged anything."""
+        return not self.health_warnings
 
     def adoption_rate(self) -> float:
         """Fraction of tournament decisions that adopted the partner."""
@@ -150,16 +160,41 @@ class PopulationDriver:
         attached = list(callbacks)
         for cb in attached:
             self.telemetry.subscribe(cb)
+        # Span tracing is opt-in per run: enabled only when an attached
+        # callback asks for it (e.g. JsonlTraceWriter(spans=True)), so the
+        # permanent instrumentation stays a `tracer is None` branch
+        # everywhere else.
+        if any(getattr(cb, "wants_spans", False) for cb in attached):
+            self.telemetry.start_tracing()
+        tracer = self.telemetry.tracer
         for t in self.trainers:
             t.telemetry = self.telemetry
         self.backend.bind(self.trainers, self.telemetry)
         try:
             for cb in attached:
                 cb.on_run_begin(self)
-            for r in range(self.history.rounds_completed, self.config.rounds):
-                self.run_round(r)
-                if on_round is not None:
-                    on_round(r, self)
+            run_span = (
+                tracer.span(
+                    "run",
+                    cat="run",
+                    track="driver",
+                    driver=type(self).__name__,
+                    backend=self.backend.name,
+                    workers=self.backend.num_workers,
+                    trainers=len(self.trainers),
+                )
+                if tracer is not None
+                else nullcontext()
+            )
+            with run_span:
+                for r in range(self.history.rounds_completed, self.config.rounds):
+                    if tracer is not None:
+                        with tracer.span("round", cat="round", round=r):
+                            self.run_round(r)
+                    else:
+                        self.run_round(r)
+                    if on_round is not None:
+                        on_round(r, self)
         finally:
             self.backend.release()
             for cb in attached:
@@ -173,6 +208,14 @@ class PopulationDriver:
 
     # -- shared round phases --------------------------------------------------
 
+    def _phase_span(self, phase: str, **attrs):
+        """A ``phase:<name>`` span on the driver track, or a no-op context
+        when tracing is off (the common case)."""
+        tracer = self.telemetry.tracer
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(f"phase:{phase}", cat="phase", **attrs)
+
     def _train_phase(self, round_index: int) -> float:
         """Train every trainer for one interval; returns elapsed seconds.
 
@@ -182,9 +225,10 @@ class PopulationDriver:
         directly (serial) or relayed in population order (thread/process).
         """
         t0 = time.perf_counter()
-        losses = self.backend.train_round(
-            round_index, self.config.steps_per_round
-        )
+        with self._phase_span("train", round=round_index):
+            losses = self.backend.train_round(
+                round_index, self.config.steps_per_round
+            )
         self.history.train_losses.append(losses)
         return time.perf_counter() - t0
 
@@ -193,7 +237,8 @@ class PopulationDriver:
         if self.eval_batch is None:
             return 0.0
         t0 = time.perf_counter()
-        snap = {t.name: t.evaluate(self.eval_batch) for t in self.trainers}
+        with self._phase_span("eval", round=round_index):
+            snap = {t.name: t.evaluate(self.eval_batch) for t in self.trainers}
         self.history.eval_series.append(snap)
         elapsed = time.perf_counter() - t0
         self.telemetry.emit(

@@ -134,53 +134,61 @@ class LtfbDriver(PopulationDriver):
             [(self.trainers[a].name, self.trainers[b].name) for a, b in pairs]
         )
         scope = self.config.exchange
-        for a_idx, b_idx in pairs:
-            a, b = self.trainers[a_idx], self.trainers[b_idx]
-            # Exchange models (the only inter-trainer communication).
-            x0 = time.perf_counter()
-            pkg_a = a.exchange_package(scope)
-            pkg_b = b.exchange_package(scope)
-            nbytes = nbytes_of(pkg_a["weights"]) + nbytes_of(pkg_b["weights"])
-            exchange_s += time.perf_counter() - x0
-            self.history.exchange_bytes += nbytes
-            self.telemetry.emit(
-                EXCHANGE,
-                round=round_index,
-                trainer_a=a.name,
-                trainer_b=b.name,
-                scope=scope.value,
-                nbytes=nbytes,
-            )
-            for me, theirs, partner in ((a, pkg_b, b), (b, pkg_a, a)):
-                own_score = me.tournament_score()
-                partner_score = me.score_candidate(theirs["weights"], scope)
-                adopt = partner_score < own_score
-                if adopt:
-                    me.adopt_package(theirs)
-                    me.tournaments_lost += 1
-                    partner.tournaments_won += 1
-                    # Remote replicas must re-sync before the next train
-                    # interval (no-op for in-process backends).
-                    self.backend.mark_dirty(me.name)
-                self.history.tournaments.append(
-                    TournamentRecord(
-                        round_index=round_index,
+        tracer = self.telemetry.tracer
+        with self._phase_span("tournament", round=round_index, pairs=len(pairs)):
+            for a_idx, b_idx in pairs:
+                a, b = self.trainers[a_idx], self.trainers[b_idx]
+                # Exchange models (the only inter-trainer communication).
+                x0 = time.perf_counter()
+                pkg_a = a.exchange_package(scope)
+                pkg_b = b.exchange_package(scope)
+                nbytes = nbytes_of(pkg_a["weights"]) + nbytes_of(pkg_b["weights"])
+                x1 = time.perf_counter()
+                exchange_s += x1 - x0
+                if tracer is not None:
+                    tracer.record(
+                        "exchange", cat="exchange", t0=x0, end=x1,
+                        trainer_a=a.name, trainer_b=b.name, nbytes=nbytes,
+                    )
+                self.history.exchange_bytes += nbytes
+                self.telemetry.emit(
+                    EXCHANGE,
+                    round=round_index,
+                    trainer_a=a.name,
+                    trainer_b=b.name,
+                    scope=scope.value,
+                    nbytes=nbytes,
+                )
+                for me, theirs, partner in ((a, pkg_b, b), (b, pkg_a, a)):
+                    own_score = me.tournament_score()
+                    partner_score = me.score_candidate(theirs["weights"], scope)
+                    adopt = partner_score < own_score
+                    if adopt:
+                        me.adopt_package(theirs)
+                        me.tournaments_lost += 1
+                        partner.tournaments_won += 1
+                        # Remote replicas must re-sync before the next train
+                        # interval (no-op for in-process backends).
+                        self.backend.mark_dirty(me.name)
+                    self.history.tournaments.append(
+                        TournamentRecord(
+                            round_index=round_index,
+                            trainer=me.name,
+                            partner=partner.name,
+                            own_score=own_score,
+                            partner_score=partner_score,
+                            adopted_partner=adopt,
+                        )
+                    )
+                    self.telemetry.emit(
+                        TOURNAMENT,
+                        round=round_index,
                         trainer=me.name,
                         partner=partner.name,
                         own_score=own_score,
                         partner_score=partner_score,
-                        adopted_partner=adopt,
+                        adopted=adopt,
                     )
-                )
-                self.telemetry.emit(
-                    TOURNAMENT,
-                    round=round_index,
-                    trainer=me.name,
-                    partner=partner.name,
-                    own_score=own_score,
-                    partner_score=partner_score,
-                    adopted=adopt,
-                )
         tournament_s = time.perf_counter() - t0 - exchange_s
 
         eval_s = self._eval_phase(round_index)

@@ -182,23 +182,50 @@ class Trainer:
         self.suspend_data_pipeline()
         return self.__dict__.copy()
 
+    @property
+    def span_track(self) -> str:
+        """The timeline lane this trainer's spans render on."""
+        return f"{self.backend_name}:w{self.worker_index}/{self.name}"
+
     def train_steps(self, n_steps: int) -> dict[str, float]:
         """Run ``n_steps`` GAN steps; returns mean loss terms.
 
         Emits one ``step_end`` telemetry event per call when a hub is
-        attached (drivers attach theirs for the duration of a run).
+        attached (drivers attach theirs for the duration of a run).  When
+        the hub is tracing, the interval and every step within it become
+        spans on this trainer's :attr:`span_track` (with materialization
+        and store fetches nesting under the step that consumed them).
         """
         if n_steps <= 0:
             raise ValueError("n_steps must be positive")
         t0 = time.perf_counter()
         sums: dict[str, float] = {}
-        for _ in range(n_steps):
-            mb = self._next_batch()
-            terms = self.surrogate.train_step(
-                mb.feeds, self.disc_optimizer, self.gen_optimizer
-            )
-            for k, v in terms.items():
-                sums[k] = sums.get(k, 0.0) + v
+        tracer = getattr(self.telemetry, "tracer", None)
+        if tracer is None:
+            for _ in range(n_steps):
+                mb = self._next_batch()
+                terms = self.surrogate.train_step(
+                    mb.feeds, self.disc_optimizer, self.gen_optimizer
+                )
+                for k, v in terms.items():
+                    sums[k] = sums.get(k, 0.0) + v
+        else:
+            track = self.span_track
+            with tracer.span(
+                "train_interval", cat="train", track=track,
+                trainer=self.name, steps=n_steps,
+            ):
+                for i in range(n_steps):
+                    with tracer.span(
+                        "train_step", cat="step", track=track,
+                        step=self.steps_done + i,
+                    ):
+                        mb = self._next_batch()
+                        terms = self.surrogate.train_step(
+                            mb.feeds, self.disc_optimizer, self.gen_optimizer
+                        )
+                    for k, v in terms.items():
+                        sums[k] = sums.get(k, 0.0) + v
         self.steps_done += n_steps
         means = {k: v / n_steps for k, v in sums.items()}
         if self.telemetry is not None:

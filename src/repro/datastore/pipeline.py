@@ -103,8 +103,19 @@ class BatchPipeline:
             plan = self.reader.plan_epoch(self.batch_size, self.drop_last)
             step = 0
         bp = plan.batches[step]
+        tracer = getattr(self.telemetry, "tracer", None)
         t0 = time.perf_counter()
-        mb = self.reader.materialize(bp)
+        if tracer is not None:
+            # Inline materialization: nests under whatever span the
+            # consuming thread has open (the trainer's train_step), and
+            # store fetches nest under it in turn.
+            with tracer.span(
+                "materialize", cat="data",
+                epoch=bp.epoch_index, step=bp.step_index,
+            ):
+                mb = self.reader.materialize(bp)
+        else:
+            mb = self.reader.materialize(bp)
         return plan, bp, mb, time.perf_counter() - t0
 
     # -- checkpointing -------------------------------------------------------
@@ -215,6 +226,18 @@ class PrefetchingReader(BatchPipeline):
             )
             self._thread.start()
 
+    def _fill_track(self) -> str:
+        """The producer's timeline lane: the consumer's lane plus a
+        ``/prefetch`` suffix, so fills render right under the trainer
+        steps they overlap."""
+        ctx = self.context
+        if "trainer" in ctx:
+            return (
+                f"{ctx.get('backend', '?')}:w{ctx.get('worker', 0)}"
+                f"/{ctx['trainer']}/prefetch"
+            )
+        return "prefetch"
+
     def _produce(self) -> None:
         # Start from the consumer cursor (fresh pipeline or restored one);
         # from here on this thread owns the reader RNG and plan sequence.
@@ -225,8 +248,20 @@ class PrefetchingReader(BatchPipeline):
                     plan = self.reader.plan_epoch(self.batch_size, self.drop_last)
                     step = 0
                 bp = plan.batches[step]
+                tracer = getattr(self.telemetry, "tracer", None)
                 t0 = time.perf_counter()
-                mb = self.reader.materialize(bp)
+                if tracer is not None:
+                    # Producer-thread span: top-level on its own lane —
+                    # in a Chrome trace these visibly overlap the
+                    # consumer's train_step spans on the sibling track.
+                    with tracer.span(
+                        "prefetch_fill", cat="data",
+                        track=self._fill_track(),
+                        epoch=bp.epoch_index, step=bp.step_index,
+                    ):
+                        mb = self.reader.materialize(bp)
+                else:
+                    mb = self.reader.materialize(bp)
                 materialize_s = time.perf_counter() - t0
                 item = (plan, bp, mb, materialize_s)
                 while not self._stop.is_set():

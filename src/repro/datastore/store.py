@@ -264,7 +264,31 @@ class DistributedDataStore:
         into the ``datastore_fetch`` event so exchange accounting can be
         attributed per planned batch even when a prefetching pipeline
         fetches ahead of the training step that consumes it.
+
+        When the attached hub is tracing, the whole assembly is one
+        ``store_fetch`` span (nesting under the materialization span of
+        whichever thread — trainer or prefetch producer — ran it),
+        annotated with the batch's local/remote fetch split.
         """
+        tracer = getattr(self.telemetry, "tracer", None)
+        if tracer is None:
+            return self._fetch_batch(sample_ids, field_names, fallback, plan)
+        before = (self.stats.local_fetches, self.stats.remote_fetches)
+        with tracer.span(
+            "store_fetch", cat="data", batch_size=len(sample_ids)
+        ) as span:
+            batch = self._fetch_batch(sample_ids, field_names, fallback, plan)
+            span.attrs["local_fetches"] = self.stats.local_fetches - before[0]
+            span.attrs["remote_fetches"] = self.stats.remote_fetches - before[1]
+        return batch
+
+    def _fetch_batch(
+        self,
+        sample_ids: Sequence[int],
+        field_names: Sequence[str] | None = None,
+        fallback: Mapping[int, Mapping[str, np.ndarray]] | None = None,
+        plan: "object | None" = None,
+    ) -> dict[str, np.ndarray]:
         ids = np.asarray(sample_ids, dtype=np.int64)
         if ids.ndim != 1 or ids.size == 0:
             raise ValueError("sample_ids must be a non-empty 1-D sequence")

@@ -40,10 +40,18 @@ class EventRecorder:
     backend then replays the buffer into the real hub, in population
     order, restoring the serial trace ordering.  Payloads must stay
     picklable (they cross process boundaries under the process backend).
+
+    Recorders mirror the hub's :attr:`~repro.telemetry.events.
+    TelemetryHub.tracer` attribute: instrumented components look up
+    ``getattr(sink, "tracer", None)``, so a backend that wants spans from
+    worker-side code points a tracer at the recorder (thread backend: a
+    ``child()`` of the hub tracer sharing its clock; process backend: the
+    worker's own tracer, realigned at relay time).
     """
 
     def __init__(self) -> None:
         self.events: list[tuple[str, dict]] = []
+        self.tracer = None
 
     def emit(self, event_type: str, /, **payload) -> None:
         if event_type not in EVENT_TYPES:

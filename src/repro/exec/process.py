@@ -7,7 +7,14 @@ and services per-round commands over a pipe:
 - ``train`` — run the round's train interval on every local replica, in
   local population order, and reply with per-trainer losses, the buffered
   telemetry events, and a state snapshot
-  (:func:`~repro.core.checkpoint.capture_exec_state`, reader included);
+  (:func:`~repro.core.checkpoint.capture_exec_state`, reader included).
+  The command carries a *tracing* flag: when the driver's hub has a span
+  tracer, workers produce spans too (each replica's recorder gets a child
+  of one persistent worker tracer) and the reply includes the worker
+  tracer's wall-clock origin.  Worker monotonic clocks are unrelated to
+  the driver's, so at relay time the driver shifts every span's ``t0_s``
+  by the wall-clock offset between the two origins — aligning all worker
+  timelines onto the hub's axis (clock-offset alignment);
 - ``apply`` — load driver-pushed state deltas (tournament adoptions) into
   named replicas, leaving their in-flight data pipelines untouched;
 - ``stop`` — exit.
@@ -53,6 +60,11 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
     for t in trainers:
         t.backend_name = "process"
         t.worker_index = worker_index
+    # One persistent tracer per worker (lazily created on the first traced
+    # train command) so every span this process ever produces shares one
+    # epoch/wall-origin pair — the driver aligns them all with a single
+    # per-worker offset.
+    base_tracer = None
     try:
         while True:
             msg = conn.recv()
@@ -60,9 +72,16 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
             try:
                 if cmd == "train":
                     n_steps = msg[1]
+                    tracing = bool(msg[2]) if len(msg) > 2 else False
+                    if tracing and base_tracer is None:
+                        from repro.telemetry.spans import Tracer
+
+                        base_tracer = Tracer(None)
                     results = []
                     for t in trainers:
                         recorder = EventRecorder()
+                        if tracing:
+                            recorder.tracer = base_tracer.child(recorder)
                         t.telemetry = recorder
                         try:
                             losses = t.train_steps(n_steps)
@@ -78,7 +97,8 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
                                 capture_exec_state(t, include_reader=True),
                             )
                         )
-                    conn.send(("ok", results))
+                    wall_origin = base_tracer.wall_origin if tracing else None
+                    conn.send(("ok", (results, wall_origin)))
                 elif cmd == "apply":
                     for name, payload in msg[1]:
                         apply_exec_state(by_name[name], payload)
@@ -246,17 +266,35 @@ class ProcessBackend(ExecutionBackend):
     ) -> dict[str, dict[str, float]]:
         assert self._telemetry is not None
         from repro.core.checkpoint import apply_exec_state
+        from repro.telemetry.events import SPAN
 
         self._flush_dirty()
+        tracing = self._telemetry.tracer is not None
         for wid in range(len(self._conns)):
-            self._send(wid, ("train", n_steps))
+            self._send(wid, ("train", n_steps, tracing))
         losses_by_name: dict[str, dict[str, float]] = {}
         events_by_name: dict[str, list] = {}
         for wid in range(len(self._conns)):
-            for name, losses, events, state in self._recv(wid):
+            results, worker_wall = self._recv(wid)
+            # Clock-offset alignment: worker span timestamps are offsets
+            # from the *worker* tracer's epoch; shifting by the wall-clock
+            # delta between the worker's and the hub's origins places them
+            # on the hub's time axis (good to NTP-ish precision, which is
+            # plenty within one host).
+            offset = 0.0
+            if worker_wall is not None:
+                offset = worker_wall - self._telemetry.wall_origin
+            for name, losses, events, state in results:
                 trainer = next(t for t in self._trainers if t.name == name)
                 apply_exec_state(trainer, state)
                 losses_by_name[name] = losses
+                if offset:
+                    events = [
+                        (etype, {**payload, "t0_s": payload["t0_s"] + offset})
+                        if etype == SPAN
+                        else (etype, payload)
+                        for etype, payload in events
+                    ]
                 events_by_name[name] = events
         # Replay worker telemetry in population order, matching serial.
         for t in self._trainers:

@@ -13,7 +13,9 @@ class SerialBackend(ExecutionBackend):
     This is exactly the pre-backend behaviour of the drivers: trainers
     emit their telemetry directly into the driver's hub as they train,
     and the driver's trainer objects are the executing state, so
-    ``mark_dirty`` has nothing to do.
+    ``mark_dirty`` has nothing to do.  Span tracing needs no relay
+    plumbing either — trainers see the hub itself as their sink, so the
+    hub's tracer (and its clock) is used directly.
     """
 
     name = "serial"

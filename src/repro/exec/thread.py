@@ -80,10 +80,15 @@ class ThreadBackend(ExecutionBackend):
         self, round_index: int, n_steps: int
     ) -> dict[str, dict[str, float]]:
         assert self._pool is not None and self._telemetry is not None
+        hub_tracer = self._telemetry.tracer
         recorders = []
         saved_hubs = []
         for t in self._trainers:
             rec = EventRecorder()
+            if hub_tracer is not None:
+                # Same process, same monotonic clock: a child tracer
+                # sharing the hub's epoch needs no realignment at replay.
+                rec.tracer = hub_tracer.child(rec)
             recorders.append(rec)
             saved_hubs.append(t.telemetry)
             t.telemetry = rec

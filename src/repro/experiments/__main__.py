@@ -8,6 +8,9 @@ Usage::
     python -m repro.experiments fig12 --backend process  # parallel training
     python -m repro.experiments backends                 # backend scaling
     python -m repro.experiments trace-report trace.jsonl # summarize telemetry
+    python -m repro.experiments trace-export trace.jsonl # Chrome/Perfetto JSON
+    python -m repro.experiments fig12 --quick \\
+        --trace-out traces/fig12.jsonl --metrics-out metrics.prom
 
 Performance figures run in seconds (analytic models).  Quality figures
 train real networks: the default scale takes minutes per figure; pass
@@ -20,7 +23,16 @@ fetch stall changes).  ``backends`` is the backend-scaling report itself,
 run at depth 0 and the requested depth.  ``trace-report`` summarizes a
 JSONL telemetry trace written by :class:`repro.telemetry.JsonlTraceWriter`
 — per-phase wall-clock, adoption rate, exchange bytes, datastore fetch
-locality, data-pipeline stall vs. overlap, and per-worker train time.
+locality, data-pipeline stall vs. overlap, per-worker train time, and
+latency percentiles.  ``trace-export`` converts such a trace into Chrome
+``trace_event`` JSON loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+
+``--trace-out BASE.jsonl`` gives every training run a span-enabled JSONL
+trace (run tag folded into the filename); ``--metrics-out PATH`` writes
+the session's accumulated metrics registry (Prometheus text for ``.prom``
+/``.txt``, JSON otherwise).  Both apply uniformly to the quality figures
+and the ``backends`` report.
 """
 
 from __future__ import annotations
@@ -57,19 +69,29 @@ def _quality_bench(args):
             backend=args.backend,
             workers=args.workers,
             prefetch_depth=args.prefetch_depth,
+            trace_out=args.trace_out,
+            metrics=args._metrics,
+            trace_files=args._trace_files,
         )
     return args._bench
 
 
 def _backend_scaling(args):
     depth = 2 if args.prefetch_depth is None else args.prefetch_depth
+    observability = dict(
+        trace_out=args.trace_out,
+        metrics=args._metrics,
+        trace_files=args._trace_files,
+    )
     if args.quick:
         return backend_scaling.run(
             k=4, rounds=2, steps_per_round=4, workers=args.workers or 2,
             n_samples=768, seed=args.seed, prefetch_depth=depth,
+            **observability,
         )
     return backend_scaling.run(
-        workers=args.workers or 4, seed=args.seed, prefetch_depth=depth
+        workers=args.workers or 4, seed=args.seed, prefetch_depth=depth,
+        **observability,
     )
 
 
@@ -119,10 +141,44 @@ def _trace_report(argv: list[str]) -> int:
     return 0
 
 
+def _trace_export(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments trace-export",
+        description=(
+            "Convert a JSONL telemetry trace into Chrome trace_event "
+            "JSON, loadable in Perfetto (https://ui.perfetto.dev) or "
+            "chrome://tracing.  The trace must contain span records "
+            "(JsonlTraceWriter(spans=True) or --trace-out)."
+        ),
+    )
+    parser.add_argument("trace", help="path to a trace.jsonl file")
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output path (default: the trace path with a .json suffix)",
+    )
+    args = parser.parse_args(argv)
+    from pathlib import Path
+
+    from repro.telemetry.export import export_chrome_trace
+
+    out = args.out or str(Path(args.trace).with_suffix(".json"))
+    try:
+        doc = export_chrome_trace(args.trace, out)
+    except (OSError, ValueError) as exc:
+        print(f"trace-export: {exc}", file=sys.stderr)
+        return 1
+    print(f"trace-export: wrote {len(doc['traceEvents'])} events to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace-report":
         return _trace_report(argv[1:])
+    if argv and argv[0] == "trace-export":
+        return _trace_export(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
     )
@@ -163,8 +219,33 @@ def main(argv: list[str] | None = None) -> int:
             "bit-identical at any depth."
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="BASE.jsonl",
+        help=(
+            "write a span-enabled JSONL telemetry trace per training run "
+            "(run tag folded into the filename); summarize with "
+            "trace-report, convert with trace-export"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the session's accumulated metrics registry on exit "
+            "(Prometheus text for .prom/.txt, JSON otherwise)"
+        ),
+    )
     args = parser.parse_args(argv)
     args._bench = None
+    args._trace_files = []
+    args._metrics = None
+    if args.metrics_out is not None or args.trace_out is not None:
+        from repro.telemetry import MetricsCollector
+
+        args._metrics = MetricsCollector()
 
     names = list(args.figures)
     if args.all_perf:
@@ -179,6 +260,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if not report.all_checks_pass:
             failed.append(name)
+    for path in args._trace_files:
+        print(f"trace written: {path}")
+    if args.metrics_out is not None:
+        from repro.telemetry import write_metrics
+
+        write_metrics(args._metrics.registry, args.metrics_out)
+        print(f"metrics written: {args.metrics_out}")
     if failed:
         print(f"figures with diverging shape checks: {', '.join(failed)}")
         return 1

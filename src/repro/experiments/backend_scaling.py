@@ -36,7 +36,11 @@ import numpy as np
 from repro.core.ensemble import EnsembleSpec, build_population, pretrain_autoencoder
 from repro.core.ltfb import LtfbConfig, LtfbDriver
 from repro.exec import BACKEND_NAMES, resolve_backend
-from repro.experiments.common import ExperimentReport
+from repro.experiments.common import (
+    ExperimentReport,
+    note_health,
+    observability_callbacks,
+)
 from repro.jag.dataset import JagDatasetConfig, generate_dataset
 from repro.telemetry import CounterAggregator, WallClockTimer
 from repro.utils.rng import RngFactory
@@ -76,6 +80,10 @@ def run(
     seed: int = 2019,
     backends: tuple[str, ...] = BACKEND_NAMES,
     prefetch_depth: int = 2,
+    trace_out=None,
+    metrics=None,
+    monitor_health: bool = True,
+    trace_files: list | None = None,
 ) -> ExperimentReport:
     """Run one fixed-seed LTFB schedule under each backend x depth.
 
@@ -85,6 +93,11 @@ def run(
     pipeline's) fault, not initialization noise.  ``prefetch_depth`` is
     the overlapped depth each backend is additionally run at (alongside
     the synchronous depth 0).
+
+    ``trace_out``/``metrics``/``monitor_health``/``trace_files`` follow
+    :func:`~repro.experiments.common.observability_callbacks`: every
+    backend x depth run gets its own span-enabled trace file and a fresh
+    health monitor, while ``metrics`` accumulates across all of them.
     """
     cores = _available_cores()
     depths = sorted({0, int(prefetch_depth)})
@@ -143,10 +156,18 @@ def run(
             )
             timer = WallClockTimer()
             counters = CounterAggregator()
+            extra = observability_callbacks(
+                f"backends/{backend_name}-d{depth}",
+                trace_out=trace_out,
+                metrics=metrics,
+                monitor_health=monitor_health,
+                trace_files=trace_files,
+            )
             t0 = time.perf_counter()
-            history = driver.run(callbacks=[timer, counters])
+            history = driver.run(callbacks=[timer, counters, *extra])
             total_s = time.perf_counter() - t0
             train_s = timer.totals["train"]
+            note_health(report, history)
 
             if serial_history is None:
                 serial_train_s, serial_history = train_s, history

@@ -11,7 +11,9 @@ factor, where crossovers fall — not the authors' absolute testbed numbers.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -26,6 +28,8 @@ __all__ = [
     "ShapeCheck",
     "ExperimentReport",
     "QualityWorkbench",
+    "note_health",
+    "observability_callbacks",
 ]
 
 Row = Mapping[str, object]
@@ -123,6 +127,53 @@ def _fmt(v: object) -> str:
     return str(v)
 
 
+def note_health(report: ExperimentReport, history) -> None:
+    """Fold a run's :class:`~repro.telemetry.HealthMonitor` verdict into a
+    report's notes (one note per warning; silent for healthy runs)."""
+    for w in getattr(history, "health_warnings", ()):
+        report.notes.append(f"health: {w.render()}")
+
+
+def observability_callbacks(
+    tag: str,
+    trace_out: "str | Path | None" = None,
+    metrics=None,
+    monitor_health: bool = False,
+    trace_files: "list[Path] | None" = None,
+) -> list:
+    """Build the per-run observability callback set experiments share.
+
+    ``trace_out`` is the *base* trace path; each run gets its own file
+    with the sanitized ``tag`` folded into the stem (one JSONL trace per
+    training run, spans enabled).  ``metrics`` is a shared
+    :class:`~repro.telemetry.MetricsCollector` accumulating across every
+    run of a session.  ``monitor_health`` attaches a fresh
+    :class:`~repro.telemetry.HealthMonitor` so warnings land in the run's
+    :class:`~repro.core.driver.History`.  Opened trace paths are appended
+    to ``trace_files`` when given, so callers can report what they wrote.
+    """
+    from repro.telemetry import HealthMonitor, JsonlTraceWriter
+
+    callbacks: list = []
+    if trace_out is not None:
+        base = Path(trace_out)
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "-", tag).strip("-")
+        path = base.with_name(
+            f"{base.stem}-{safe}{base.suffix or '.jsonl'}"
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        callbacks.append(
+            JsonlTraceWriter(path, metadata={"tag": tag}, spans=True)
+        )
+        if trace_files is not None:
+            trace_files.append(path)
+    if metrics is not None:
+        callbacks.append(metrics)
+    if monitor_health:
+        callbacks.append(HealthMonitor())
+    return callbacks
+
+
 class QualityWorkbench:
     """Shared setup for the real-training experiments (Figs. 7, 8, 12, 13):
     one dataset, one train/val split, one pre-trained autoencoder.
@@ -143,6 +194,10 @@ class QualityWorkbench:
         backend: str = "serial",
         workers: int | None = None,
         prefetch_depth: int | None = None,
+        trace_out: "str | Path | None" = None,
+        metrics=None,
+        monitor_health: bool = True,
+        trace_files: "list[Path] | None" = None,
     ) -> None:
         self.seed = seed
         self.rngs = RngFactory(seed)
@@ -153,6 +208,19 @@ class QualityWorkbench:
         self.backend = backend
         self.workers = workers
         self.prefetch_depth = prefetch_depth
+        # Observability: when trace_out is set, every training run the
+        # workbench hosts writes its own span-enabled JSONL trace (tag
+        # folded into the filename); metrics is a shared
+        # MetricsCollector; monitor_health attaches a HealthMonitor per
+        # run so History.health_warnings is populated.
+        self.trace_out = trace_out
+        self.metrics = metrics
+        self.monitor_health = bool(monitor_health)
+        # Callers may hand in a shared list to collect trace paths across
+        # several workbenches/reports (the CLI does).
+        self.trace_files: list[Path] = (
+            trace_files if trace_files is not None else []
+        )
         # Memoized LTFB runs, keyed by (tag, schedule) — see train_ltfb.
         self._ltfb_cache: dict[tuple, object] = {}
         # The campaign enumeration order: "design" (low-discrepancy, the
@@ -201,6 +269,18 @@ class QualityWorkbench:
     def pairing_rng(self, tag: str) -> np.random.Generator:
         return self.rngs.generator(f"{tag}/pairing")
 
+    def run_callbacks(self, tag: str) -> list:
+        """Observability callbacks for one training run under ``tag``
+        (trace writer, shared metrics collector, health monitor — each
+        only when configured; see :func:`observability_callbacks`)."""
+        return observability_callbacks(
+            tag,
+            trace_out=self.trace_out,
+            metrics=self.metrics,
+            monitor_health=self.monitor_health,
+            trace_files=self.trace_files,
+        )
+
     def train_ltfb(
         self,
         tag: str,
@@ -221,7 +301,9 @@ class QualityWorkbench:
         the run that populates the cache; on a cache hit they are
         **silently dropped** — the training already happened, so there is
         no event stream left to observe.  Callers that need a trace must
-        use a fresh tag (or a fresh workbench).
+        use a fresh tag (or a fresh workbench).  The workbench's own
+        observability callbacks (:meth:`run_callbacks`) are attached the
+        same way, on the populating run only.
 
         The run executes under the workbench's configured execution
         backend (``backend``/``workers``); the backend is part of the memo
@@ -247,6 +329,8 @@ class QualityWorkbench:
                     prefetch_depth=self.prefetch_depth,
                 ),
             )
-            driver.run(callbacks=callbacks)
+            driver.run(
+                callbacks=[*callbacks, *self.run_callbacks(tag)]
+            )
             self._ltfb_cache[key] = driver
         return self._ltfb_cache[key]

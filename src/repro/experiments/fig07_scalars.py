@@ -12,7 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentReport, QualityWorkbench
+from repro.experiments.common import (
+    ExperimentReport,
+    QualityWorkbench,
+    note_health,
+)
 from repro.jag.postprocess import SCALAR_NAMES
 from repro.tensorlib.metrics import R2Score
 
@@ -71,4 +75,5 @@ def run(
         f"|error| = {worst16.mean():.4f}, max |error| = {worst16.max():.4f} "
         f"(z-scored units)"
     )
+    note_health(report, driver.history)
     return report

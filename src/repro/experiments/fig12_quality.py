@@ -17,7 +17,11 @@ same per-trainer iteration count.
 from __future__ import annotations
 
 from repro.core.ltfb import LtfbConfig, LtfbDriver
-from repro.experiments.common import ExperimentReport, QualityWorkbench
+from repro.experiments.common import (
+    ExperimentReport,
+    QualityWorkbench,
+    note_health,
+)
 
 __all__ = ["run"]
 
@@ -35,6 +39,7 @@ def run(
     config = LtfbConfig(steps_per_round=steps_per_round, rounds=rounds)
     series: dict[int, list[float]] = {}
     adoption: dict[int, float] = {}
+    histories = []
     for k in trainer_counts:
         jitter = 0.0 if k == 1 else hyperparam_jitter
         trainers = bench.population(k, tag="fig12", hyperparam_jitter=jitter)
@@ -44,7 +49,8 @@ def run(
             config,
             eval_batch=bench.val_batch,
         )
-        history = driver.run()
+        history = driver.run(callbacks=bench.run_callbacks(f"fig12/k{k}"))
+        histories.append(history)
         series[k] = history.best_val_series()
         adoption[k] = history.adoption_rate()
 
@@ -90,4 +96,6 @@ def run(
         "tournament adoption rates: "
         + ", ".join(f"k={k}: {adoption[k]:.2f}" for k in trainer_counts if k > 1)
     )
+    for history in histories:
+        note_health(report, history)
     return report

@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from repro.core.kindependent import KIndependentDriver
 from repro.core.ltfb import LtfbConfig, LtfbDriver
-from repro.experiments.common import ExperimentReport, QualityWorkbench
+from repro.experiments.common import (
+    ExperimentReport,
+    QualityWorkbench,
+    note_health,
+)
 
 __all__ = ["run"]
 
@@ -43,6 +47,7 @@ def run(
         raise ValueError("n_seeds must be >= 1")
     ltfb_series: dict[int, list[float]] = {}
     kind_series: dict[int, list[float]] = {}
+    histories = []
     for k in trainer_counts:
         # Population-construction seeds are averaged: at laptop scale a
         # single-seed LTFB-vs-K-independent comparison carries substantial
@@ -57,7 +62,11 @@ def run(
                 config,
                 eval_batch=bench.val_batch,
             )
-            ltfb_runs.append(ltfb.run().best_val_series())
+            ltfb_hist = ltfb.run(
+                callbacks=bench.run_callbacks(f"fig13_ltfb/k{k}/s{s}")
+            )
+            histories.append(ltfb_hist)
+            ltfb_runs.append(ltfb_hist.best_val_series())
 
             kind = KIndependentDriver(
                 bench.population(
@@ -67,7 +76,11 @@ def run(
                 eval_batch=bench.val_batch,
             )
             # Same run(...) -> History API as LtfbDriver: no branching.
-            kind_runs.append(kind.run().best_val_series())
+            kind_hist = kind.run(
+                callbacks=bench.run_callbacks(f"fig13_kind/k{k}/s{s}")
+            )
+            histories.append(kind_hist)
+            kind_runs.append(kind_hist.best_val_series())
         ltfb_series[k] = [
             sum(run[r] for run in ltfb_runs) / n_seeds for r in range(rounds)
         ]
@@ -117,4 +130,6 @@ def run(
         "final-loss gap (K-independent / LTFB): "
         + ", ".join(f"k={k}: {gaps[k]:.2f}x" for k in trainer_counts)
     )
+    for history in histories:
+        note_health(report, history)
     return report

@@ -8,21 +8,39 @@ population drivers, :class:`~repro.core.trainer.Trainer`,
 
 Shipped callbacks:
 
-- :class:`JsonlTraceWriter` — one JSON object per event to a trace file;
+- :class:`JsonlTraceWriter` — one JSON object per event to a trace file
+  (versioned header first; pass ``spans=True`` to enable span tracing);
 - :class:`WallClockTimer` — per-phase timings (train/tournament/exchange/eval);
 - :class:`CounterAggregator` — exchange bytes, adoption rate, datastore
   local/remote fetch counters, checkpoint traffic;
-- :class:`ProgressLogger` — one line per round.
+- :class:`ProgressLogger` — one line per round (plus in-line health
+  warnings);
+- :class:`MetricsCollector` — counters/gauges/histograms with p50/p95/p99
+  summaries, exportable as JSON or Prometheus text;
+- :class:`HealthMonitor` — NaN/divergence, win-rate collapse, and
+  stall-regression detection into ``History.health_warnings``.
+
+Profiling spans (:mod:`repro.telemetry.spans`) ride the same bus as
+``span`` events when tracing is enabled
+(:meth:`TelemetryHub.start_tracing`, requested by any callback with
+``wants_spans=True``); ``trace-export`` converts them to Chrome/Perfetto
+JSON.
 
 Typical use::
 
-    from repro.telemetry import JsonlTraceWriter, WallClockTimer
+    from repro.telemetry import (HealthMonitor, JsonlTraceWriter,
+                                 MetricsCollector, WallClockTimer)
 
-    timer = WallClockTimer()
-    history = driver.run(callbacks=[JsonlTraceWriter("trace.jsonl"), timer])
+    timer, metrics = WallClockTimer(), MetricsCollector()
+    history = driver.run(callbacks=[
+        JsonlTraceWriter("trace.jsonl", spans=True), timer, metrics,
+        HealthMonitor(),
+    ])
     print(timer.summary())
+    print(metrics.registry.render_prometheus())
 
-and afterwards ``python -m repro.experiments trace-report trace.jsonl``.
+and afterwards ``python -m repro.experiments trace-report trace.jsonl``
+/ ``trace-export trace.jsonl -o trace.json``.
 """
 
 from repro.telemetry.callbacks import (
@@ -39,14 +57,33 @@ from repro.telemetry.events import (
     EVENT_TYPES,
     EXCHANGE,
     FETCH_STALL,
+    HEALTH,
     PREFETCH_FILL,
     ROUND_END,
+    SPAN,
     STEP_END,
     TOURNAMENT,
     TelemetryEvent,
     TelemetryHub,
 )
-from repro.telemetry.report import load_trace, render_trace_report, summarize_trace
+from repro.telemetry.export import chrome_trace, export_chrome_trace
+from repro.telemetry.health import HealthMonitor, HealthWarning
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    collect_metrics,
+    write_metrics,
+)
+from repro.telemetry.report import (
+    load_trace,
+    load_trace_header,
+    render_trace_report,
+    summarize_trace,
+)
+from repro.telemetry.spans import Span, Tracer
 
 __all__ = [
     "TelemetryEvent",
@@ -61,12 +98,28 @@ __all__ = [
     "FETCH_STALL",
     "PREFETCH_FILL",
     "CHECKPOINT",
+    "SPAN",
+    "HEALTH",
     "Callback",
     "JsonlTraceWriter",
     "WallClockTimer",
     "CounterAggregator",
     "ProgressLogger",
+    "Tracer",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "collect_metrics",
+    "write_metrics",
+    "HealthMonitor",
+    "HealthWarning",
+    "chrome_trace",
+    "export_chrome_trace",
     "load_trace",
+    "load_trace_header",
     "summarize_trace",
     "render_trace_report",
 ]

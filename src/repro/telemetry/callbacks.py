@@ -36,6 +36,12 @@ class Callback:
     called for every event, per-type hook first.
     """
 
+    #: Set True (class- or instance-level) to request span tracing: a
+    #: driver calls ``telemetry.start_tracing()`` when any attached
+    #: callback wants spans.  Off by default — span instrumentation is
+    #: a no-op branch in an untraced run.
+    wants_spans = False
+
     def handle(self, event: TelemetryEvent) -> None:
         hook = getattr(self, f"on_{event.type}", None)
         if hook is not None:
@@ -74,29 +80,78 @@ def _jsonify(value):
 class JsonlTraceWriter(Callback):
     """Writes one JSON object per event to a trace file.
 
-    The output is the interchange format of the subsystem: every line is
-    ``{"type": ..., "time_s": ..., "sequence": ..., **payload}``, parseable
-    with one ``json.loads`` per line and summarized by
-    ``python -m repro.experiments trace-report <trace.jsonl>``.
+    The output is the interchange format of the subsystem.  The first
+    line is a versioned **header record** —
+    ``{"type": "trace_header", "version": ..., "created_unix": ...,
+    "clock_origin_unix": ..., "run": {...}}`` — carrying the schema
+    version, the wall-clock instant of the trace's ``time_s == 0``, and
+    run metadata (driver class, population, backend, plus anything passed
+    as ``metadata``).  Every following line is one event:
+    ``{"type": ..., "time_s": ..., "sequence": ..., **payload}``,
+    parseable with one ``json.loads`` per line; ``trace-report`` and
+    ``trace-export`` validate the header and summarize the rest.
 
-    The file opens lazily on the first event and closes on
-    :meth:`on_run_end` (or an explicit :meth:`close`); the writer can also
-    be used as a context manager.
+    Pass ``spans=True`` to request span tracing for the run the writer is
+    attached to (sets :attr:`~Callback.wants_spans`; drivers enable the
+    hub tracer when any attached callback asks).
+
+    The file opens lazily on the first event and closes — with a
+    guaranteed flush — on :meth:`on_run_end` (or an explicit
+    :meth:`close`); the writer can also be used as a context manager.
+    Closing a writer that never saw an event still produces a valid
+    header-only trace.
     """
 
-    def __init__(self, path) -> None:
+    #: Trace schema version; bumped when record shapes change
+    #: incompatibly.  Version 1 traces (pre-header) are still readable —
+    #: the header is optional on load — but new traces always carry one.
+    SCHEMA_VERSION = 2
+
+    def __init__(self, path, metadata: Mapping | None = None,
+                 spans: bool = False) -> None:
         self.path = path
+        self.metadata = dict(metadata) if metadata else {}
+        self.wants_spans = bool(spans)
         self._fh: IO[str] | None = None
         self.events_written = 0
         self._mode = "w"
+        self._run_meta: dict = {}
+
+    def on_run_begin(self, driver) -> None:
+        # Captured for the header; harmless if the file already opened
+        # (events before run_begin only happen outside driver runs).
+        self._run_meta = {
+            "driver": type(driver).__name__,
+            "rounds": getattr(driver.config, "rounds", None),
+            "population": [t.name for t in driver.trainers],
+            "backend": driver.backend.name,
+            "workers": driver.backend.num_workers,
+            "clock_origin_unix": driver.telemetry.wall_origin,
+        }
 
     def _file(self) -> IO[str]:
         if self._fh is None:
+            fresh = self._mode == "w"
             self._fh = open(self.path, self._mode, encoding="utf-8")
             # A straggler event after close() (e.g. from a still-running
             # prefetch thread) must append, not truncate the trace.
             self._mode = "a"
+            if fresh:
+                self._write_header()
         return self._fh
+
+    def _write_header(self) -> None:
+        import time as _time
+
+        meta = dict(self._run_meta)
+        header = {
+            "type": "trace_header",
+            "version": self.SCHEMA_VERSION,
+            "created_unix": _time.time(),
+            "clock_origin_unix": meta.pop("clock_origin_unix", None),
+            "run": {**meta, **_jsonify(self.metadata)},
+        }
+        self._fh.write(json.dumps(header) + "\n")
 
     def on_event(self, event: TelemetryEvent) -> None:
         record = {
@@ -112,7 +167,12 @@ class JsonlTraceWriter(Callback):
         self.close()
 
     def close(self) -> None:
+        """Flush and close; guarantees the header exists even for a run
+        that produced no events."""
+        if self._fh is None and self._mode == "w":
+            self._file()
         if self._fh is not None:
+            self._fh.flush()
             self._fh.close()
             self._fh = None
 
@@ -337,6 +397,11 @@ class ProgressLogger(Callback):
 
     Shows the round index, the train-phase time, and — when the driver
     evaluates on a global batch — the population-best value of ``metric``.
+    ``health`` events (from a :class:`~repro.telemetry.health.
+    HealthMonitor` subscribed alongside) print as indented ``health:``
+    lines under the round they surfaced in; any still pending at run end
+    (e.g. raised by the final round's own ``round_end`` processing) are
+    flushed then.
     """
 
     def __init__(self, stream: IO[str] | None = None, metric: str = "val_loss") -> None:
@@ -344,12 +409,20 @@ class ProgressLogger(Callback):
         self.metric = metric
         self._last_eval: Mapping | None = None
         self._total_rounds: int | None = None
+        self._pending_health: list[str] = []
 
     def on_run_begin(self, driver) -> None:
         self._total_rounds = driver.config.rounds
 
     def on_eval(self, event: TelemetryEvent) -> None:
         self._last_eval = event.payload["metrics"]
+
+    def on_health(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        self._pending_health.append(
+            f"  health[{p.get('severity', 'warning')}] "
+            f"{p.get('kind', '?')}: {p.get('message', '')}"
+        )
 
     def on_round_end(self, event: TelemetryEvent) -> None:
         r = event.payload["round"]
@@ -362,3 +435,12 @@ class ProgressLogger(Callback):
             line += f", best {self.metric} {best:.4f}"
             self._last_eval = None
         print(line, file=self.stream)
+        self._flush_health()
+
+    def on_run_end(self, driver, history) -> None:
+        self._flush_health()
+
+    def _flush_health(self) -> None:
+        for line in self._pending_health:
+            print(line, file=self.stream)
+        self._pending_health.clear()

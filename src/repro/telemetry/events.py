@@ -32,6 +32,8 @@ __all__ = [
     "FETCH_STALL",
     "PREFETCH_FILL",
     "CHECKPOINT",
+    "SPAN",
+    "HEALTH",
     "EVENT_TYPES",
     "TelemetryEvent",
     "TelemetryHub",
@@ -87,6 +89,22 @@ PREFETCH_FILL = "prefetch_fill"
 #: (``"save"`` or ``"restore"``), ``trainer``, ``nbytes``.
 CHECKPOINT = "checkpoint"
 
+#: One closed profiling span from a :class:`~repro.telemetry.spans.Tracer`
+#: (only present when tracing is enabled — see :meth:`TelemetryHub.
+#: start_tracing`).  Payload: ``name``, ``cat`` (coarse category:
+#: run/round/phase/train/step/data/exchange), ``track`` (the timeline lane
+#: the span renders on), ``t0_s`` (start, seconds since the hub epoch),
+#: ``dur_s``, ``id``, optional ``parent`` (enclosing span id) and
+#: ``attrs`` (site-specific annotations).
+SPAN = "span"
+
+#: A :class:`~repro.telemetry.health.HealthMonitor` flagged a run-health
+#: problem.  Payload: ``kind`` (``nan_loss``/``divergence``/
+#: ``winrate_collapse``/``stall_regression``), ``severity``
+#: (``"warning"``/``"critical"``), ``round``, ``trainer`` (may be
+#: ``None``), ``message``.
+HEALTH = "health"
+
 EVENT_TYPES = frozenset(
     {
         STEP_END,
@@ -98,6 +116,8 @@ EVENT_TYPES = frozenset(
         FETCH_STALL,
         PREFETCH_FILL,
         CHECKPOINT,
+        SPAN,
+        HEALTH,
     }
 )
 
@@ -129,6 +149,15 @@ class TelemetryHub:
         self.callbacks: list = []
         self._sequence = 0
         self._t0 = time.perf_counter()
+        # The wall-clock reading at the hub epoch (the instant time_s == 0).
+        # Tracers inherit it so span timelines from other processes can be
+        # aligned to this hub's axis (monotonic clocks are per-process).
+        self.wall_origin = time.time()
+        # Span production is opt-in: None until start_tracing() is called
+        # (drivers call it when an attached callback wants_spans), so the
+        # permanent instrumentation's `tracer is None` check is all an
+        # untraced run ever pays.
+        self.tracer = None
         # A prefetching pipeline emits from its background thread while the
         # consumer emits from the training thread; serialize dispatch so
         # callbacks never observe interleaved partial updates.  Reentrant:
@@ -149,6 +178,21 @@ class TelemetryHub:
     def active(self) -> bool:
         """True when at least one callback is subscribed."""
         return bool(self.callbacks)
+
+    def start_tracing(self):
+        """Enable span production into this hub (idempotent).
+
+        Returns the hub's :class:`~repro.telemetry.spans.Tracer`, created
+        on first call with the hub's own clock epoch so span ``t0_s``
+        values share the axis of :attr:`TelemetryEvent.time_s`.
+        """
+        if self.tracer is None:
+            from repro.telemetry.spans import Tracer
+
+            self.tracer = Tracer(
+                self, epoch=self._t0, wall_origin=self.wall_origin
+            )
+        return self.tracer
 
     def emit(self, event_type: str, /, **payload) -> TelemetryEvent | None:
         """Dispatch one event to every subscriber.

@@ -1,0 +1,219 @@
+"""Run-health monitoring: detect the known failure modes of population
+GAN training before a campaign burns its allocation.
+
+Population training at the paper's scale fails in characteristic ways:
+
+- **NaN / diverging losses** — a GAN trainer's adversarial loss blows up
+  (bad hyperparameter draw, optimizer state adopted across models);
+- **win-rate collapse** — one generator sweeps every tournament, so the
+  population degenerates to redundant copies and LTFB's diversity
+  advantage (Fig. 13) is gone;
+- **stall regressions** — the data path dominates step time (store
+  misconfiguration, prefetch depth 0 on a slow reader), i.e. the exact
+  condition the paper's data store exists to prevent.
+
+:class:`HealthMonitor` is a :class:`~repro.telemetry.callbacks.Callback`
+that watches the event stream for all three, records structured
+:class:`HealthWarning` rows, re-emits them as ``health`` telemetry events
+(so :class:`~repro.telemetry.callbacks.ProgressLogger` can print them
+in-line and traces keep them), and copies them into
+``History.health_warnings`` at run end for offline analysis and the
+experiments reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.telemetry.callbacks import Callback
+from repro.telemetry.events import HEALTH, TelemetryEvent
+
+__all__ = ["HealthWarning", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class HealthWarning:
+    """One flagged run-health problem."""
+
+    kind: str  # "nan_loss" | "divergence" | "winrate_collapse" | "stall_regression"
+    round_index: int
+    trainer: str | None
+    message: str
+    severity: str = "warning"  # or "critical"
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.kind}: {self.message}"
+
+
+class HealthMonitor(Callback):
+    """Flags NaN/diverging losses, tournament win-rate collapse, and
+    stall-fraction regressions.
+
+    Parameters
+    ----------
+    divergence_factor:
+        A trainer's loss term counts as diverging when it exceeds this
+        multiple of the best (lowest) value that term has reached at that
+        trainer.  Generous by design: GAN losses oscillate.
+    collapse_window:
+        How many recent rounds of tournament decisions the win-rate check
+        looks at.
+    collapse_share:
+        Flag when a single trainer won at least this fraction of all
+        adoptions in the window (and adoption happened at all).
+    collapse_min_adoptions:
+        Minimum adoptions in the window before the share is meaningful.
+    stall_fraction_threshold:
+        Flag a round whose summed fetch stall exceeds this fraction of the
+        train phase (the data path dominates compute).
+    warmup_rounds:
+        Rounds exempt from the stall check (first-epoch ingest is
+        expected to stall — that is the paper's Fig. 10 initial epoch).
+
+    Each (kind, trainer) pair is flagged at most once per run, so a sick
+    trainer does not flood the log.
+    """
+
+    def __init__(
+        self,
+        divergence_factor: float = 20.0,
+        collapse_window: int = 5,
+        collapse_share: float = 0.9,
+        collapse_min_adoptions: int = 6,
+        stall_fraction_threshold: float = 0.5,
+        warmup_rounds: int = 1,
+    ) -> None:
+        self.divergence_factor = float(divergence_factor)
+        self.collapse_window = int(collapse_window)
+        self.collapse_share = float(collapse_share)
+        self.collapse_min_adoptions = int(collapse_min_adoptions)
+        self.stall_fraction_threshold = float(stall_fraction_threshold)
+        self.warmup_rounds = int(warmup_rounds)
+        self.warnings: list[HealthWarning] = []
+        self._hub = None
+        self._flagged: set[tuple[str, str | None]] = set()
+        # Best (lowest finite) value seen per (trainer, loss term).
+        self._loss_floor: dict[tuple[str, str], float] = {}
+        self._round = 0
+        # Win-rate window: per-round {winner: adoptions} maps.
+        self._win_rounds: deque[dict[str, int]] = deque(
+            maxlen=self.collapse_window
+        )
+        self._round_wins: dict[str, int] = {}
+        self._round_stall_s = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_run_begin(self, driver) -> None:
+        self._hub = driver.telemetry
+
+    def on_run_end(self, driver, history) -> None:
+        if hasattr(history, "health_warnings"):
+            history.health_warnings.extend(self.warnings)
+        self._hub = None
+
+    # -- event folds ---------------------------------------------------------
+
+    def on_step_end(self, event: TelemetryEvent) -> None:
+        trainer = event.payload.get("trainer")
+        losses = event.payload.get("losses") or {}
+        for term, value in losses.items():
+            value = float(value)
+            if not math.isfinite(value):
+                self._warn(
+                    "nan_loss",
+                    trainer,
+                    f"trainer {trainer}: loss term {term!r} is {value}",
+                    severity="critical",
+                )
+                continue
+            key = (str(trainer), str(term))
+            floor = self._loss_floor.get(key)
+            if floor is None or value < floor:
+                self._loss_floor[key] = value
+            elif floor > 0 and value > self.divergence_factor * floor:
+                self._warn(
+                    "divergence",
+                    trainer,
+                    f"trainer {trainer}: loss term {term!r} at {value:.4g}, "
+                    f"{value / floor:.0f}x its best {floor:.4g}",
+                )
+
+    def on_tournament(self, event: TelemetryEvent) -> None:
+        if event.payload.get("adopted"):
+            winner = str(event.payload.get("partner"))
+            self._round_wins[winner] = self._round_wins.get(winner, 0) + 1
+
+    def on_fetch_stall(self, event: TelemetryEvent) -> None:
+        self._round_stall_s += float(event.payload.get("stall_s", 0.0))
+
+    def on_round_end(self, event: TelemetryEvent) -> None:
+        round_index = int(event.payload.get("round", self._round))
+        self._round = round_index
+        self._win_rounds.append(self._round_wins)
+        self._round_wins = {}
+        self._check_collapse(round_index)
+        train_s = float(event.payload.get("train_s", 0.0))
+        if round_index >= self.warmup_rounds and train_s > 0:
+            fraction = self._round_stall_s / train_s
+            if fraction > self.stall_fraction_threshold:
+                self._warn(
+                    "stall_regression",
+                    None,
+                    f"round {round_index}: fetch stall "
+                    f"{self._round_stall_s:.3f}s is {fraction:.0%} of the "
+                    f"{train_s:.3f}s train phase",
+                )
+        self._round_stall_s = 0.0
+
+    def _check_collapse(self, round_index: int) -> None:
+        totals: dict[str, int] = {}
+        for wins in self._win_rounds:
+            for name, n in wins.items():
+                totals[name] = totals.get(name, 0) + n
+        adoptions = sum(totals.values())
+        if adoptions < self.collapse_min_adoptions:
+            return
+        top, top_wins = max(totals.items(), key=lambda kv: kv[1])
+        share = top_wins / adoptions
+        if share >= self.collapse_share:
+            self._warn(
+                "winrate_collapse",
+                top,
+                f"trainer {top} won {top_wins}/{adoptions} adoptions "
+                f"({share:.0%}) over the last {len(self._win_rounds)} "
+                f"round(s); the population is collapsing onto one model",
+            )
+
+    # -- warning plumbing ----------------------------------------------------
+
+    def _warn(
+        self,
+        kind: str,
+        trainer: str | None,
+        message: str,
+        severity: str = "warning",
+    ) -> None:
+        dedupe = (kind, str(trainer) if trainer is not None else None)
+        if dedupe in self._flagged:
+            return
+        self._flagged.add(dedupe)
+        warning = HealthWarning(
+            kind=kind,
+            round_index=self._round,
+            trainer=dedupe[1],
+            message=message,
+            severity=severity,
+        )
+        self.warnings.append(warning)
+        if self._hub is not None:
+            self._hub.emit(
+                HEALTH,
+                kind=kind,
+                severity=severity,
+                round=warning.round_index,
+                trainer=warning.trainer,
+                message=message,
+            )

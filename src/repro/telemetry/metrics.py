@@ -1,0 +1,402 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Aggregates (PR 1's :class:`~repro.telemetry.callbacks.CounterAggregator`)
+answer "how much, in total"; this module answers "how is it
+*distributed*" — the p50/p95/p99 of step time, fetch latency, stall
+duration, and exchange bytes that the paper's scaling analysis turns on.
+Histograms use fixed buckets (Prometheus-style): observation is O(log
+buckets) with bounded memory, percentiles are linearly interpolated
+within the bucket that crosses the target rank and clamped to the
+observed min/max, so tails are never reported outside the data.
+
+Two consumers:
+
+- :class:`MetricsCollector` — a live :class:`~repro.telemetry.callbacks.
+  Callback` folding the event stream into a :class:`MetricsRegistry`
+  (attach to ``driver.run``; export with :meth:`MetricsRegistry.to_json`
+  or :meth:`MetricsRegistry.render_prometheus`);
+- :func:`collect_metrics` — the offline equivalent over a loaded trace,
+  used by ``trace-report`` for its percentile tables.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.telemetry.callbacks import Callback
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "collect_metrics",
+    "TIME_BUCKETS",
+    "BYTE_BUCKETS",
+]
+
+#: Default latency buckets (seconds): geometric 1-2.5-5 ladder from 10 µs
+#: to 60 s — wide enough for both in-memory materialization (tens of µs)
+#: and real multi-second train intervals.
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default size buckets (bytes): powers of four from 1 KiB to 1 GiB.
+BYTE_BUCKETS: tuple[float, ...] = tuple(
+    float(4**i * 1024) for i in range(10)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r} (must match {_NAME_RE.pattern})"
+        )
+    return name
+
+
+def _fmt_num(value: float) -> str:
+    """Prometheus sample value formatting (ints stay integral)."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_json(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_json(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``buckets`` are strictly increasing upper bounds; an implicit +Inf
+    bucket catches overflow.  :meth:`quantile` finds the bucket whose
+    cumulative count crosses ``q * count`` and interpolates linearly
+    within its bounds, clamped to the observed min/max — exact at the
+    extremes, bucket-resolution in between.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = TIME_BUCKETS) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram {name}: buckets must be non-empty and strictly "
+                f"increasing, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Interpolated q-quantile (``q`` in [0, 1]); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = (
+                    self.buckets[i] if i < len(self.buckets) else self._max
+                )
+                within = (target - (cumulative - bucket_count)) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, within))
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 summary."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_json(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self._min,
+            "max": None if self.count == 0 else self._max,
+            "mean": None if self.count == 0 else self.mean,
+            "buckets": [
+                {"le": le, "count": c}
+                for le, c in zip(
+                    [*self.buckets, math.inf], _cumulative(self.counts)
+                )
+            ],
+            **{
+                k: (None if math.isnan(v) else v)
+                for k, v in self.percentiles().items()
+            },
+        }
+
+
+def _cumulative(counts: Iterable[int]) -> list[int]:
+    out, total = [], 0
+    for c in counts:
+        total += c
+        out.append(total)
+    return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics, exportable as JSON and
+    Prometheus text exposition format."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = TIME_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def to_json(self) -> dict:
+        """``{kind: {name: value-or-summary}}``, JSON-encodable."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for metric in self:
+            out[metric.kind + "s"][metric.name] = metric.to_json()
+        return out
+
+    def render_prometheus(self) -> str:
+        """The text exposition format (one HELP/TYPE block per metric)."""
+        lines: list[str] = []
+        for metric in self:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = _cumulative(metric.counts)
+                for le, c in zip([*metric.buckets, math.inf], cumulative):
+                    lines.append(
+                        f'{metric.name}_bucket{{le="{_fmt_num(le)}"}} {c}'
+                    )
+                lines.append(f"{metric.name}_sum {_fmt_num(metric.sum)}")
+                lines.append(f"{metric.name}_count {metric.count}")
+            else:
+                lines.append(f"{metric.name} {_fmt_num(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+class MetricsCollector(Callback):
+    """A callback folding the event stream into a :class:`MetricsRegistry`.
+
+    Registers the subsystem's standard metrics up front (so exports have
+    stable shape even before events arrive): step-time / fetch-latency /
+    stall-duration / exchange-bytes histograms plus run counters.  One
+    collector can observe several runs — the experiments CLI shares one
+    across every figure it trains for a campaign-level snapshot.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.step_time = r.histogram(
+            "repro_step_time_seconds",
+            "per-step train time (interval elapsed / steps)",
+        )
+        self.fetch_latency = r.histogram(
+            "repro_fetch_latency_seconds",
+            "per-batch materialization latency",
+        )
+        self.stall = r.histogram(
+            "repro_fetch_stall_seconds",
+            "consumer wait per delivered batch",
+        )
+        self.exchange_size = r.histogram(
+            "repro_exchange_bytes",
+            "bytes moved per pairwise model exchange",
+            buckets=BYTE_BUCKETS,
+        )
+        self.steps = r.counter("repro_steps_total", "optimizer steps taken")
+        self.rounds = r.counter("repro_rounds_total", "rounds completed")
+        self.tournaments = r.counter(
+            "repro_tournaments_total", "pairwise tournament judgements"
+        )
+        self.adoptions = r.counter(
+            "repro_adoptions_total", "tournaments that adopted the partner"
+        )
+        self.exchange_bytes = r.counter(
+            "repro_exchange_bytes_total", "total model-exchange traffic"
+        )
+        self.local_fetches = r.counter(
+            "repro_datastore_local_fetches_total",
+            "store fetches served from the local shard",
+        )
+        self.remote_fetches = r.counter(
+            "repro_datastore_remote_fetches_total",
+            "store fetches served from a remote shard",
+        )
+        self.health_warnings = r.counter(
+            "repro_health_warnings_total", "health-monitor warnings raised"
+        )
+        self.prefetch_fill = r.gauge(
+            "repro_prefetch_queue_fill",
+            "prefetch queue occupancy at the last background fill",
+        )
+
+    # -- per-type folds ------------------------------------------------------
+
+    def on_step_end(self, event) -> None:
+        p = event.payload
+        steps = int(p.get("steps", 1)) or 1
+        self.steps.inc(steps)
+        elapsed = p.get("elapsed_s")
+        if elapsed is not None:
+            # One observation per interval: the mean per-step time.  Per-step
+            # clocks would perturb the thing being measured.
+            self.step_time.observe(float(elapsed) / steps)
+
+    def on_round_end(self, event) -> None:
+        self.rounds.inc()
+
+    def on_tournament(self, event) -> None:
+        self.tournaments.inc()
+        if event.payload.get("adopted"):
+            self.adoptions.inc()
+
+    def on_exchange(self, event) -> None:
+        nbytes = int(event.payload.get("nbytes", 0))
+        self.exchange_bytes.inc(nbytes)
+        self.exchange_size.observe(nbytes)
+
+    def on_fetch_stall(self, event) -> None:
+        p = event.payload
+        self.stall.observe(float(p.get("stall_s", 0.0)))
+        materialize = p.get("materialize_s")
+        if materialize is not None:
+            self.fetch_latency.observe(float(materialize))
+
+    def on_prefetch_fill(self, event) -> None:
+        self.prefetch_fill.set(int(event.payload.get("fill", 0)))
+
+    def on_datastore_fetch(self, event) -> None:
+        p = event.payload
+        self.local_fetches.inc(int(p.get("local_fetches", 0)))
+        self.remote_fetches.inc(int(p.get("remote_fetches", 0)))
+
+    def on_health(self, event) -> None:
+        self.health_warnings.inc()
+
+
+def collect_metrics(events: Iterable) -> MetricsRegistry:
+    """Fold loaded trace events into a fresh registry (offline path)."""
+    collector = MetricsCollector()
+    for event in events:
+        collector.handle(event)
+    return collector.registry
+
+
+def write_metrics(registry: MetricsRegistry, path) -> None:
+    """Write a registry snapshot to ``path``.
+
+    The format follows the suffix: ``.prom``/``.txt`` get the Prometheus
+    text exposition format, anything else JSON.
+    """
+    import json
+
+    text_format = str(path).endswith((".prom", ".txt"))
+    with open(path, "w", encoding="utf-8") as fh:
+        if text_format:
+            fh.write(registry.render_prometheus())
+        else:
+            json.dump(registry.to_json(), fh, indent=2)
+            fh.write("\n")
+
+
+__all__.append("write_metrics")

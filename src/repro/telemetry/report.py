@@ -18,20 +18,34 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.telemetry.callbacks import CounterAggregator, WallClockTimer
-from repro.telemetry.events import EVENT_TYPES, TelemetryEvent
+from repro.telemetry.callbacks import CounterAggregator, JsonlTraceWriter, WallClockTimer
+from repro.telemetry.events import EVENT_TYPES, SPAN, TelemetryEvent
 
-__all__ = ["load_trace", "summarize_trace", "render_trace_report", "trace_report"]
+__all__ = [
+    "load_trace",
+    "load_trace_header",
+    "summarize_trace",
+    "render_trace_report",
+    "trace_report",
+]
+
+#: Trace schema versions this reader understands.
+SUPPORTED_TRACE_VERSIONS = frozenset({JsonlTraceWriter.SCHEMA_VERSION})
 
 
-def load_trace(path) -> list[TelemetryEvent]:
-    """Parse a JSONL trace file back into events.
+def _parse_trace(path) -> tuple[dict | None, list[TelemetryEvent]]:
+    """Parse a JSONL trace into its (optional) header and events.
 
-    Blank lines are skipped; malformed JSON or unknown event types raise
+    The header record — ``{"type": "trace_header", ...}`` — is valid only
+    as the first non-blank line and must carry a supported ``version``;
+    headerless (version-1) traces load fine.  Blank lines are skipped;
+    malformed JSON, misplaced headers, and unknown event types raise
     ``ValueError`` with the offending line number.
     """
+    header: dict | None = None
     events: list[TelemetryEvent] = []
     with open(path, "r", encoding="utf-8") as fh:
+        first = True
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
@@ -41,6 +55,23 @@ def load_trace(path) -> list[TelemetryEvent]:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
             event_type = record.pop("type", None)
+            if event_type == "trace_header":
+                if not first:
+                    raise ValueError(
+                        f"{path}:{lineno}: trace_header is only valid as "
+                        f"the first record"
+                    )
+                version = record.get("version")
+                if version not in SUPPORTED_TRACE_VERSIONS:
+                    raise ValueError(
+                        f"{path}:{lineno}: unsupported trace schema version "
+                        f"{version!r} (supported: "
+                        f"{sorted(SUPPORTED_TRACE_VERSIONS)})"
+                    )
+                header = record
+                first = False
+                continue
+            first = False
             if event_type not in EVENT_TYPES:
                 raise ValueError(
                     f"{path}:{lineno}: unknown event type {event_type!r}"
@@ -53,7 +84,19 @@ def load_trace(path) -> list[TelemetryEvent]:
                     payload=record,
                 )
             )
-    return events
+    return header, events
+
+
+def load_trace(path) -> list[TelemetryEvent]:
+    """Parse a JSONL trace file back into events (header validated and
+    skipped; see :func:`load_trace_header` to read it)."""
+    return _parse_trace(path)[1]
+
+
+def load_trace_header(path) -> dict | None:
+    """The validated ``trace_header`` record of a trace, or ``None`` for
+    headerless (pre-version-2) traces."""
+    return _parse_trace(path)[0]
 
 
 def summarize_trace(
@@ -76,9 +119,22 @@ def summarize_trace(
 
 def render_trace_report(path) -> str:
     """Load a trace and render the plain-text summary."""
-    events = load_trace(path)
+    header, events = _parse_trace(path)
     timer, counters, census = summarize_trace(events)
     out = [f"== telemetry trace report: {path} =="]
+    if header is not None:
+        run = header.get("run") or {}
+        bits = [f"schema v{header.get('version')}"]
+        if run.get("driver"):
+            bits.append(str(run["driver"]))
+        if run.get("backend"):
+            bits.append(
+                f"backend {run['backend']}"
+                + (f" x{run['workers']}" if run.get("workers") else "")
+            )
+        if run.get("population"):
+            bits.append(f"{len(run['population'])} trainers")
+        out.append("header: " + ", ".join(bits))
     out.append(f"events: {len(events)}")
     for event_type in sorted(census):
         out.append(f"  {event_type}: {census[event_type]}")
@@ -139,7 +195,50 @@ def render_trace_report(path) -> str:
                     f"{counters.worker_stall_s.get(key, 0.0):.3f}s / overlap "
                     f"{counters.worker_overlap_s.get(key, 0.0):.3f}s"
                 )
+    out.extend(_render_percentiles(events))
+    health = [e for e in events if e.type == "health"]
+    if health:
+        out.append("health warnings:")
+        for e in health:
+            p = e.payload
+            out.append(
+                f"  [{p.get('severity', 'warning')}] {p.get('kind', '?')} "
+                f"(round {p.get('round')}): {p.get('message', '')}"
+            )
+    if census.get(SPAN):
+        tracks = {e.payload.get("track") for e in events if e.type == SPAN}
+        out.append(
+            f"spans: {census[SPAN]} over {len(tracks)} track(s) "
+            f"(convert with: python -m repro.experiments trace-export {path})"
+        )
     return "\n".join(out)
+
+
+def _render_percentiles(events) -> list[str]:
+    """Latency-percentile table lines from the metrics registry."""
+    from repro.telemetry.metrics import collect_metrics
+
+    registry = collect_metrics(events)
+    rows = [
+        ("step time", "repro_step_time_seconds", "s"),
+        ("fetch latency", "repro_fetch_latency_seconds", "s"),
+        ("fetch stall", "repro_fetch_stall_seconds", "s"),
+        ("exchange size", "repro_exchange_bytes", "B"),
+    ]
+    lines: list[str] = []
+    for label, name, unit in rows:
+        hist = registry[name]
+        if hist.count == 0:
+            continue
+        pct = hist.percentiles()
+        lines.append(
+            f"  {label}: n={hist.count} mean={hist.mean:.4g}{unit} "
+            f"p50={pct['p50']:.4g}{unit} p95={pct['p95']:.4g}{unit} "
+            f"p99={pct['p99']:.4g}{unit}"
+        )
+    if lines:
+        lines.insert(0, "latency/size percentiles:")
+    return lines
 
 
 # Back-compat-friendly short alias used by the CLI.

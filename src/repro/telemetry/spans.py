@@ -1,0 +1,194 @@
+"""Hierarchical span tracing over the telemetry event bus.
+
+A *span* is one timed interval of work — a run, a round, a phase, one
+trainer step, one store fetch, one background prefetch fill — carrying a
+unique id, an optional parent id, and a *track* (the timeline it renders
+on: the driver, a ``backend:worker/trainer`` lane, or that lane's
+``/prefetch`` sibling).  Spans are ordinary telemetry events of type
+:data:`~repro.telemetry.events.SPAN`, so they flow through the existing
+machinery unchanged: hubs dispatch them, :class:`~repro.telemetry.
+callbacks.JsonlTraceWriter` persists them, :class:`~repro.exec.base.
+EventRecorder` buffers them across thread/process boundaries, and
+``trace-export`` converts them to Chrome/Perfetto ``trace_event`` JSON.
+
+Design constraints:
+
+- **Off by default, free when off.**  Instrumented components fetch
+  ``tracer = getattr(self.telemetry, "tracer", None)`` and take a plain
+  branch when it is ``None``; no span objects, no clock reads.  A driver
+  enables tracing only when an attached callback declares
+  ``wants_spans = True`` (see :meth:`~repro.telemetry.events.TelemetryHub.
+  start_tracing`).
+- **One timeline across processes.**  Span timestamps (``t0_s``) are
+  seconds since the tracer's *epoch* on the monotonic clock.  Each tracer
+  also remembers the wall-clock time of its epoch (``wall_origin``);
+  process workers report theirs with each reply, and the driver shifts
+  relayed span timestamps by the wall-clock offset so cross-process
+  timelines line up (monotonic clocks are per-process and unalignable
+  directly; wall clocks agree to well under typical span durations on one
+  host).
+- **Parents are per thread.**  Each thread keeps its own stack of open
+  spans; a new span's parent is the innermost open span *on that thread*,
+  and its track defaults to the parent's (or ``"main"`` at top level).
+  Background threads (prefetch producers) therefore get parentless spans
+  on their own track instead of accidentally nesting under the consumer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Mapping
+
+from repro.telemetry.events import SPAN
+
+__all__ = ["Tracer", "Span"]
+
+#: Process-wide span-id counter; combined with the pid so ids stay unique
+#: when process workers relay spans into the driver's trace.
+_ids = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    return f"{os.getpid():x}.{next(_ids)}"
+
+
+class Span:
+    """One open span: a context manager that emits on exit.
+
+    Created via :meth:`Tracer.span`; ``attrs`` stays mutable while the
+    span is open, so code can annotate outcomes discovered mid-span::
+
+        with tracer.span("store_fetch", cat="data") as sp:
+            batch = fetch()
+            sp.attrs["remote_fetches"] = ...
+    """
+
+    __slots__ = ("tracer", "name", "cat", "track", "attrs", "id", "parent", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, track, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.attrs = attrs
+        self.id: str | None = None
+        self.parent: str | None = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        parent = stack[-1] if stack else None
+        if self.track is None:
+            self.track = parent.track if parent is not None else "main"
+        self.parent = parent.id if parent is not None else None
+        self.id = _new_span_id()
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = time.perf_counter()
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.tracer._emit(
+            self.name, self.cat, self.track, self._t0, end, self.parent,
+            self.id, self.attrs,
+        )
+
+
+class Tracer:
+    """Produces hierarchical spans into a telemetry sink.
+
+    Parameters
+    ----------
+    sink:
+        Anything with ``emit(type, /, **payload)`` — a
+        :class:`~repro.telemetry.events.TelemetryHub` or an
+        :class:`~repro.exec.base.EventRecorder`.  May be swapped (process
+        workers point one persistent tracer at a fresh recorder per train
+        command) or ``None`` (spans are timed but dropped).
+    epoch:
+        The ``time.perf_counter()`` instant that is ``t0_s == 0``;
+        defaults to now.  Hubs pass their own creation instant so span
+        timestamps share the axis of ``TelemetryEvent.time_s``.
+    wall_origin:
+        The wall-clock (``time.time()``) reading at ``epoch``, used for
+        cross-process alignment; derived automatically when omitted.
+    """
+
+    def __init__(self, sink, epoch: float | None = None,
+                 wall_origin: float | None = None) -> None:
+        self.sink = sink
+        now_perf, now_wall = time.perf_counter(), time.time()
+        self.epoch = now_perf if epoch is None else float(epoch)
+        if wall_origin is None:
+            wall_origin = now_wall - (now_perf - self.epoch)
+        self.wall_origin = float(wall_origin)
+        self._local = threading.local()
+
+    # -- span creation -------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", track: str | None = None,
+             **attrs) -> Span:
+        """Open a span as a context manager.
+
+        ``track=None`` inherits the innermost enclosing span's track on
+        this thread (``"main"`` at top level); pass an explicit track to
+        start a new timeline lane (per-trainer, per-worker, ...).
+        """
+        return Span(self, name, cat, track, attrs)
+
+    def record(self, name: str, cat: str = "", track: str | None = None,
+               t0: float = 0.0, end: float = 0.0, **attrs) -> None:
+        """Emit a span from already-measured ``time.perf_counter()`` values.
+
+        For call sites that time an interval anyway (pipelines, exchange
+        accounting): no extra clock reads, no stack manipulation.  The
+        parent is the innermost open span on this thread, if any.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if track is None:
+            track = parent.track if parent is not None else "main"
+        self._emit(name, cat, track, t0, end,
+                   parent.id if parent is not None else None,
+                   _new_span_id(), attrs)
+
+    def child(self, sink) -> "Tracer":
+        """A tracer over another sink sharing this tracer's clock origin
+        (same-process relay: thread-backend recorders)."""
+        return Tracer(sink, epoch=self.epoch, wall_origin=self.wall_origin)
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, name, cat, track, t0, end, parent, span_id,
+              attrs: Mapping) -> None:
+        sink = self.sink
+        if sink is None:
+            return
+        payload = {
+            "name": name,
+            "cat": cat,
+            "track": track,
+            "t0_s": round(t0 - self.epoch, 9),
+            "dur_s": round(max(0.0, end - t0), 9),
+            "id": span_id,
+        }
+        if parent is not None:
+            payload["parent"] = parent
+        if attrs:
+            payload["attrs"] = dict(attrs)
+        sink.emit(SPAN, **payload)
+
+    def __repr__(self) -> str:
+        return f"Tracer(sink={type(self.sink).__name__ if self.sink else None})"

@@ -310,6 +310,30 @@ class TestTelemetryAttribution:
         summary = counters.summary()
         assert "train_s[thread/worker0]" in summary
 
+    def test_counter_aggregator_per_worker_seconds_process(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        # Worker attribution must survive the multiprocessing relay: step
+        # events recorded in worker processes still carry backend/worker
+        # fields when replayed on the driver's hub.
+        from repro.telemetry import CounterAggregator
+
+        trainers = _population(tiny_dataset, tiny_spec, tiny_autoencoder)
+        counters = CounterAggregator()
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(7),
+            LtfbConfig(steps_per_round=2, rounds=1),
+            backend=ProcessBackend(max_workers=2),
+        )
+        driver.run(callbacks=[counters])
+        assert set(counters.worker_train_s) == {
+            "process/worker0", "process/worker1",
+        }
+        assert all(s > 0 for s in counters.worker_train_s.values())
+        summary = counters.summary()
+        assert "train_s[process/worker0]" in summary
+
     def test_counter_aggregator_skips_unattributed_steps(self):
         from repro.telemetry import CounterAggregator
 

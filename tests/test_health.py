@@ -1,0 +1,334 @@
+"""Tests for run-health monitoring (:mod:`repro.telemetry.health`):
+the four detectors driven with synthetic events, warning dedupe and
+re-emission, ProgressLogger's in-line health lines, History integration
+through a real (NaN-forced) run, and the experiments report plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import LtfbConfig, LtfbDriver, build_population
+from repro.telemetry import (
+    HealthMonitor,
+    HealthWarning,
+    ProgressLogger,
+    TelemetryHub,
+)
+from repro.telemetry.events import HEALTH
+from repro.utils.rng import RngFactory
+
+
+def _monitor(hub: TelemetryHub, **kwargs) -> HealthMonitor:
+    """A HealthMonitor subscribed to ``hub`` with its re-emit path live."""
+    monitor = HealthMonitor(**kwargs)
+    hub.subscribe(monitor)
+    monitor.on_run_begin(SimpleNamespace(telemetry=hub))
+    return monitor
+
+
+class _Recorder:
+    """Minimal hub subscriber collecting raw events."""
+
+    def __init__(self):
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(event)
+
+    def on_run_begin(self, driver):
+        pass
+
+    def on_run_end(self, driver, history):
+        pass
+
+
+class TestDetectors:
+    def test_nan_loss_is_critical_and_deduped(self):
+        hub = TelemetryHub()
+        monitor = _monitor(hub)
+        for _ in range(3):
+            hub.emit(
+                "step_end", trainer="t0", steps=1, elapsed_s=0.1,
+                losses={"gan": math.nan},
+            )
+        assert len(monitor.warnings) == 1
+        w = monitor.warnings[0]
+        assert w.kind == "nan_loss"
+        assert w.severity == "critical"
+        assert w.trainer == "t0"
+        # A different trainer is a separate dedupe key.
+        hub.emit(
+            "step_end", trainer="t1", steps=1, elapsed_s=0.1,
+            losses={"gan": math.inf},
+        )
+        assert {w.trainer for w in monitor.warnings} == {"t0", "t1"}
+
+    def test_divergence_against_running_floor(self):
+        hub = TelemetryHub()
+        monitor = _monitor(hub)
+        step = lambda v: hub.emit(  # noqa: E731
+            "step_end", trainer="t0", steps=1, elapsed_s=0.1,
+            losses={"gan": v},
+        )
+        step(1.0)
+        step(5.0)  # oscillation within 20x: fine
+        assert monitor.warnings == []
+        step(25.0)  # > 20 * floor(1.0)
+        assert [w.kind for w in monitor.warnings] == ["divergence"]
+        assert "25" in monitor.warnings[0].message
+
+    def test_winrate_collapse_over_window(self):
+        hub = TelemetryHub()
+        monitor = _monitor(hub)
+        for r in range(3):
+            for _ in range(3):
+                hub.emit(
+                    "tournament", round=r, trainer="loser", partner="t7",
+                    own_score=0.0, partner_score=1.0, adopted=True,
+                )
+            hub.emit("round_end", round=r, train_s=1.0)
+        assert [w.kind for w in monitor.warnings] == ["winrate_collapse"]
+        assert monitor.warnings[0].trainer == "t7"
+
+    def test_no_collapse_below_min_adoptions(self):
+        hub = TelemetryHub()
+        monitor = _monitor(hub)
+        for r in range(2):
+            hub.emit(
+                "tournament", round=r, trainer="a", partner="b",
+                own_score=0.0, partner_score=1.0, adopted=True,
+            )
+            hub.emit("round_end", round=r, train_s=1.0)
+        assert monitor.warnings == []
+
+    def test_stall_regression_after_warmup(self):
+        hub = TelemetryHub()
+        monitor = _monitor(hub)
+        # Round 0 is warmup: the first-epoch ingest stall is expected.
+        hub.emit("fetch_stall", stall_s=0.9, materialize_s=0.9)
+        hub.emit("round_end", round=0, train_s=1.0)
+        assert monitor.warnings == []
+        hub.emit("fetch_stall", stall_s=0.9, materialize_s=0.9)
+        hub.emit("round_end", round=1, train_s=1.0)
+        assert [w.kind for w in monitor.warnings] == ["stall_regression"]
+        # Stall accounting resets per round: a quiet round 2 stays quiet
+        # (and the kind is deduped anyway).
+        hub.emit("round_end", round=2, train_s=1.0)
+        assert len(monitor.warnings) == 1
+
+    def test_warnings_reemitted_as_health_events(self):
+        hub = TelemetryHub()
+        recorder = _Recorder()
+        hub.subscribe(recorder)
+        monitor = _monitor(hub)
+        hub.emit(
+            "step_end", trainer="t0", steps=1, elapsed_s=0.1,
+            losses={"gan": math.nan},
+        )
+        health = [e for e in recorder.events if e.type == HEALTH]
+        assert len(health) == 1
+        assert health[0].payload["kind"] == "nan_loss"
+        assert health[0].payload["severity"] == "critical"
+        assert monitor.warnings[0].render() == (
+            "[critical] nan_loss: " + health[0].payload["message"]
+        )
+
+
+class TestProgressLoggerHealth:
+    def _run(self, tiny_dataset, tiny_spec, tiny_autoencoder, callbacks):
+        spec = dataclasses.replace(tiny_spec, k=2)
+        trainers = build_population(
+            tiny_dataset,
+            np.arange(tiny_dataset.n_samples - 64),
+            RngFactory(11).child("health"),
+            spec,
+            tiny_autoencoder,
+        )
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=2, rounds=2),
+        )
+        return driver.run(callbacks=callbacks)
+
+    def test_health_lines_print_under_their_round(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        stream = io.StringIO()
+        # stall_fraction_threshold=-1 flags every post-warmup round, so a
+        # healthy tiny run still produces a deterministic warning.
+        monitor = HealthMonitor(stall_fraction_threshold=-1.0)
+        self._run(
+            tiny_dataset, tiny_spec, tiny_autoencoder,
+            [monitor, ProgressLogger(stream=stream)],
+        )
+        lines = stream.getvalue().splitlines()
+        round_lines = [
+            i for i, line in enumerate(lines) if line.startswith("[round")
+        ]
+        assert len(round_lines) == 2
+        health_lines = [s for s in lines if s.startswith("  health[")]
+        assert health_lines == [s for s in lines if "stall_regression" in s]
+        assert len(health_lines) == 1
+        # The warning surfaced in round 1 and prints under that round line.
+        assert lines.index(health_lines[0]) > round_lines[1]
+
+    def test_pending_health_flushes_at_run_end(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        stream = io.StringIO()
+        # Logger subscribed *before* the monitor: the final round's warning
+        # arrives after the logger already printed that round's line, so it
+        # can only appear via the on_run_end flush.
+        self._run(
+            tiny_dataset, tiny_spec, tiny_autoencoder,
+            [
+                ProgressLogger(stream=stream),
+                HealthMonitor(stall_fraction_threshold=-1.0),
+            ],
+        )
+        lines = stream.getvalue().splitlines()
+        assert lines[-1].startswith("  health[warning] stall_regression:")
+
+
+class TestHistoryIntegration:
+    def test_nan_loss_lands_in_history(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        """Acceptance: force a NaN loss mid-run; the HealthMonitor must
+        raise a critical warning into ``History.health_warnings``."""
+        spec = dataclasses.replace(tiny_spec, k=2)
+        trainers = build_population(
+            tiny_dataset,
+            np.arange(tiny_dataset.n_samples - 64),
+            RngFactory(13).child("nan"),
+            spec,
+            tiny_autoencoder,
+        )
+
+        class Saboteur:
+            """Poisons one generator after round 0's training."""
+
+            def handle(self, event):
+                if event.type == "round_end" and event.payload["round"] == 0:
+                    victim = trainers[0]
+                    state = victim.surrogate.get_generator_state()
+                    victim.surrogate.set_generator_state(
+                        {k: v * math.nan for k, v in state.items()}
+                    )
+
+            def on_run_begin(self, driver):
+                pass
+
+            def on_run_end(self, driver, history):
+                pass
+
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=2, rounds=2),
+        )
+        history = driver.run(callbacks=[Saboteur(), HealthMonitor()])
+        assert not history.healthy
+        kinds = {w.kind for w in history.health_warnings}
+        assert "nan_loss" in kinds
+        critical = [w for w in history.health_warnings if w.kind == "nan_loss"]
+        assert all(w.severity == "critical" for w in critical)
+        assert any(w.trainer == trainers[0].name for w in critical)
+
+    def test_clean_run_is_healthy(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        spec = dataclasses.replace(tiny_spec, k=2)
+        trainers = build_population(
+            tiny_dataset,
+            np.arange(tiny_dataset.n_samples - 64),
+            RngFactory(17).child("clean"),
+            spec,
+            tiny_autoencoder,
+        )
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=2, rounds=2),
+        )
+        history = driver.run(callbacks=[HealthMonitor()])
+        assert history.healthy
+        assert history.health_warnings == []
+
+    def test_history_without_monitor_is_trivially_healthy(
+        self, tiny_dataset, tiny_spec, tiny_autoencoder
+    ):
+        spec = dataclasses.replace(tiny_spec, k=2)
+        trainers = build_population(
+            tiny_dataset,
+            np.arange(tiny_dataset.n_samples - 64),
+            RngFactory(19).child("plain"),
+            spec,
+            tiny_autoencoder,
+        )
+        driver = LtfbDriver(
+            trainers,
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=1, rounds=1),
+        )
+        history = driver.run()
+        assert history.healthy
+
+
+class TestExperimentsPlumbing:
+    def test_note_health_appends_report_notes(self):
+        from repro.experiments.common import ExperimentReport, note_health
+
+        report = ExperimentReport(
+            experiment="x", description="d", columns=("a",)
+        )
+        history = SimpleNamespace(
+            health_warnings=[
+                HealthWarning(
+                    kind="nan_loss", round_index=1, trainer="t0",
+                    message="boom", severity="critical",
+                )
+            ]
+        )
+        note_health(report, history)
+        assert report.notes == ["health: [critical] nan_loss: boom"]
+        # Histories without the attribute (older pickles) are a no-op.
+        note_health(report, SimpleNamespace())
+        assert len(report.notes) == 1
+
+    def test_observability_callbacks_assembly(self, tmp_path):
+        from repro.experiments.common import observability_callbacks
+        from repro.telemetry import JsonlTraceWriter, MetricsCollector
+
+        metrics = MetricsCollector()
+        files: list = []
+        callbacks = observability_callbacks(
+            "fig12/k4",
+            trace_out=tmp_path / "t.jsonl",
+            metrics=metrics,
+            monitor_health=True,
+            trace_files=files,
+        )
+        kinds = [type(c).__name__ for c in callbacks]
+        assert kinds == ["JsonlTraceWriter", "MetricsCollector", "HealthMonitor"]
+        assert callbacks[1] is metrics
+        writer = callbacks[0]
+        assert isinstance(writer, JsonlTraceWriter)
+        assert files == [tmp_path / "t-fig12-k4.jsonl"]
+
+    def test_observability_callbacks_default_empty(self):
+        from repro.experiments.common import observability_callbacks
+
+        assert observability_callbacks("tag", monitor_health=False) == []
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

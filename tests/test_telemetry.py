@@ -193,9 +193,14 @@ class TestLtfbTelemetry:
 
     def test_jsonl_trace_round_trip(self, traced_run):
         _, history, trace_path, rec, _, _, _ = traced_run
-        # Every line is one JSON object with a known type.
+        # Every line is one JSON object; line 1 is the versioned header,
+        # the rest are events with known types.
         with open(trace_path, encoding="utf-8") as fh:
             records = [json.loads(line) for line in fh]
+        header, records = records[0], records[1:]
+        assert header["type"] == "trace_header"
+        assert header["version"] == JsonlTraceWriter.SCHEMA_VERSION
+        assert header["run"]["driver"] == "LtfbDriver"
         assert len(records) == len(rec.events)
         assert {r["type"] for r in records} <= EVENT_TYPES
         assert {"step_end", "tournament", "eval", "exchange", "round_end"} <= {
