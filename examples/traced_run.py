@@ -44,6 +44,7 @@ from repro.telemetry import (
     JsonlTraceWriter,
     MetricsCollector,
     ProgressLogger,
+    ResourceSampler,
     write_metrics,
 )
 from repro.utils.rng import RngFactory
@@ -91,7 +92,9 @@ def main(out_dir: str = "traced-run") -> None:
         trace_path, metadata={"example": "traced_run"}, spans=True
     ) as tracer:
         history = driver.run(
-            callbacks=[tracer, metrics, health, ProgressLogger()]
+            callbacks=[
+                tracer, metrics, health, ProgressLogger(), ResourceSampler(),
+            ]
         )
 
     metrics_path = out / "metrics.prom"

@@ -1,0 +1,77 @@
+"""Benchmark harness: perf scenarios, regression gating, trajectory.
+
+The paper's contribution is performance engineering, so this repo treats
+its own wall-clock behaviour as a tested artifact: ``python -m
+repro.bench run`` executes a registry of subsystem scenarios (reader
+materialization, store fetch, prefetch pipeline, per-backend train step,
+LTFB round, checkpoint round-trip) under a warmup-then-measure protocol,
+summarizes each metric with noise-robust statistics (median/IQR/CV), and
+writes a versioned, schema-validated ``BENCH_<n>.json`` stamped with a
+machine fingerprint.  ``compare`` turns two documents into per-metric
+verdicts — a regression is a median worsening beyond
+``max(threshold * baseline, k * baseline IQR)`` — and ``report`` renders
+the repo's committed trajectory.
+
+See :mod:`repro.bench.harness` for the registry/protocol,
+:mod:`repro.bench.scenarios` for the workloads,
+:mod:`repro.bench.schema` for the document contract, and
+:mod:`repro.telemetry.resources` for the resource-telemetry counterpart
+(peak RSS / CPU series recorded alongside perf numbers).
+"""
+
+from repro.bench.compare import (
+    DEFAULT_IQR_K,
+    DEFAULT_THRESHOLD,
+    compare_docs,
+    render_comparison,
+)
+from repro.bench.fingerprint import fingerprints_differ, machine_fingerprint
+from repro.bench.harness import (
+    MODES,
+    SCENARIOS,
+    BenchConfig,
+    BenchContext,
+    Scenario,
+    metric,
+    run_bench,
+    scenario,
+)
+from repro.bench.report import (
+    find_bench_files,
+    next_bench_path,
+    render_trajectory,
+)
+from repro.bench.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    load_bench_doc,
+    validate_bench_doc,
+    write_bench_doc,
+)
+from repro.bench.stats import summarize_samples
+
+__all__ = [
+    "MODES",
+    "SCENARIOS",
+    "BenchConfig",
+    "BenchContext",
+    "Scenario",
+    "scenario",
+    "metric",
+    "run_bench",
+    "summarize_samples",
+    "machine_fingerprint",
+    "fingerprints_differ",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "validate_bench_doc",
+    "load_bench_doc",
+    "write_bench_doc",
+    "compare_docs",
+    "render_comparison",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_IQR_K",
+    "find_bench_files",
+    "next_bench_path",
+    "render_trajectory",
+]

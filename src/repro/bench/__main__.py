@@ -1,0 +1,146 @@
+"""Command-line interface of the benchmark harness.
+
+::
+
+    python -m repro.bench run [--quick|--full] [--out PATH]
+                              [--scenario NAME ...] [--repeats N]
+                              [--warmup N] [--seed N] [--list]
+    python -m repro.bench compare BASELINE CANDIDATE
+                              [--threshold F] [--iqr-k F]
+    python -m repro.bench report [--dir DIR]
+
+``run`` executes the scenario suite and writes one schema-valid
+``BENCH_<n>.json`` (next free index in ``--dir``, or exactly ``--out``).
+``compare`` prints per-metric verdicts between two documents and exits
+nonzero when any metric regressed — the CI perf gate.  ``report`` renders
+the trajectory table across every committed ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.compare import (
+    DEFAULT_IQR_K,
+    DEFAULT_THRESHOLD,
+    compare_docs,
+    render_comparison,
+)
+from repro.bench.harness import SCENARIOS, BenchConfig, run_bench, _selected
+from repro.bench.report import next_bench_path, render_trajectory
+from repro.bench.schema import load_bench_doc, write_bench_doc
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = BenchConfig(
+        mode="full" if args.full else "quick",
+        warmup=args.warmup,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.list:
+        for sc in _selected(config, args.scenario or None):
+            print(f"{sc.name}: {sc.description} (modes: {', '.join(sc.modes)})")
+        return 0
+    out = Path(args.out) if args.out else next_bench_path(args.dir)
+    print(
+        f"running {config.mode} benchmarks "
+        f"(warmup={config.resolved_warmup}, repeats={config.resolved_repeats}, "
+        f"seed={config.seed}) ..."
+    )
+    doc = run_bench(config, only=args.scenario or None, progress=print)
+    write_bench_doc(doc, out)
+    print(f"wrote {out} ({len(doc['results'])} metric(s))")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_bench_doc(args.baseline)
+    candidate = load_bench_doc(args.candidate)
+    comparison = compare_docs(
+        baseline, candidate, threshold=args.threshold, iqr_k=args.iqr_k
+    )
+    print(f"== bench compare: {args.baseline} -> {args.candidate} ==")
+    print(render_comparison(comparison))
+    return 1 if comparison["regressions"] else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_trajectory(args.dir))
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="benchmark harness: run scenarios, gate regressions, "
+        "render the perf trajectory",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run the scenario suite, write BENCH_<n>.json")
+    mode = run_p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--quick", action="store_true", help="CI smoke mode (default)"
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="baseline mode: all scenarios, more trials"
+    )
+    run_p.add_argument(
+        "--scenario",
+        action="append",
+        choices=None,
+        metavar="NAME",
+        help="run only the named scenario (repeatable; overrides mode gating)",
+    )
+    run_p.add_argument("--out", help="output path (default: next free BENCH_<n>.json)")
+    run_p.add_argument(
+        "--dir", default=".", help="directory for auto-numbered output (default: .)"
+    )
+    run_p.add_argument("--warmup", type=int, help="override warmup trials")
+    run_p.add_argument("--repeats", type=int, help="override timed trials")
+    run_p.add_argument("--seed", type=int, default=2024, help="workload RNG seed")
+    run_p.add_argument(
+        "--list", action="store_true", help="list selected scenarios and exit"
+    )
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser(
+        "compare", help="gate a candidate document against a baseline"
+    )
+    cmp_p.add_argument("baseline")
+    cmp_p.add_argument("candidate")
+    cmp_p.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"relative worsening tolerated (default {DEFAULT_THRESHOLD})",
+    )
+    cmp_p.add_argument(
+        "--iqr-k",
+        type=float,
+        default=DEFAULT_IQR_K,
+        help=f"baseline-IQR multiples tolerated (default {DEFAULT_IQR_K})",
+    )
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    rep_p = sub.add_parser(
+        "report", help="trajectory table across committed BENCH_*.json"
+    )
+    rep_p.add_argument(
+        "--dir", default=".", help="directory holding BENCH_*.json (default: .)"
+    )
+    rep_p.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

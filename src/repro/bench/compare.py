@@ -1,0 +1,132 @@
+"""Noise-aware regression verdicts between two benchmark documents.
+
+The gate's job is to flag real slowdowns without crying wolf on machine
+noise, so the decision combines a relative threshold with the baseline's
+own measured spread: metric ``m`` regresses iff its median *worsened* —
+grew for ``direction: lower`` metrics, shrank for ``direction: higher``
+— by more than
+
+    ``max(threshold * |baseline median|, iqr_k * baseline IQR)``
+
+i.e. a change must be both relatively large *and* outside the noise band
+the baseline itself exhibited.  Improvements beyond the same margin are
+labelled, metrics present on only one side are non-fatal notes (scenario
+sets evolve), and differing machine fingerprints are surfaced next to
+the verdicts because a host change explains away most "regressions".
+"""
+
+from __future__ import annotations
+
+from repro.bench.fingerprint import fingerprints_differ
+from repro.bench.schema import validate_bench_doc
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_IQR_K",
+    "compare_docs",
+    "render_comparison",
+]
+
+DEFAULT_THRESHOLD = 0.10
+DEFAULT_IQR_K = 3.0
+
+
+def _verdict(base: dict, cand: dict, threshold: float, iqr_k: float) -> dict:
+    sign = 1.0 if base["direction"] == "lower" else -1.0
+    worsening = sign * (cand["median"] - base["median"])
+    margin = max(threshold * abs(base["median"]), iqr_k * base["iqr"])
+    if worsening > margin:
+        status = "regression"
+    elif -worsening > margin:
+        status = "improved"
+    else:
+        status = "ok"
+    delta = (
+        (cand["median"] - base["median"]) / abs(base["median"])
+        if base["median"]
+        else 0.0
+    )
+    return {
+        "scenario": base["scenario"],
+        "metric": base["metric"],
+        "unit": base["unit"],
+        "direction": base["direction"],
+        "status": status,
+        "baseline_median": base["median"],
+        "candidate_median": cand["median"],
+        "delta_fraction": delta,
+        "margin": margin,
+    }
+
+
+def compare_docs(
+    baseline: dict,
+    candidate: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    iqr_k: float = DEFAULT_IQR_K,
+) -> dict:
+    """Compare two validated documents metric-by-metric.
+
+    Returns ``{"verdicts": [...], "notes": [...], "regressions": n}``;
+    a nonzero ``regressions`` count is the CI-failure condition.
+    """
+    validate_bench_doc(baseline)
+    validate_bench_doc(candidate)
+    if threshold < 0 or iqr_k < 0:
+        raise ValueError("threshold and iqr_k must be >= 0")
+    base_by_key = {(r["scenario"], r["metric"]): r for r in baseline["results"]}
+    cand_by_key = {(r["scenario"], r["metric"]): r for r in candidate["results"]}
+    verdicts: list[dict] = []
+    notes: list[str] = []
+    for key in sorted(base_by_key):
+        if key not in cand_by_key:
+            notes.append(f"{key[0]}/{key[1]}: in baseline only (not gated)")
+            continue
+        base, cand = base_by_key[key], cand_by_key[key]
+        if base["direction"] != cand["direction"]:
+            raise ValueError(
+                f"{key[0]}/{key[1]}: direction changed "
+                f"({base['direction']} -> {cand['direction']}); "
+                f"re-baseline instead of comparing"
+            )
+        verdicts.append(_verdict(base, cand, threshold, iqr_k))
+    for key in sorted(set(cand_by_key) - set(base_by_key)):
+        notes.append(f"{key[0]}/{key[1]}: new metric (no baseline, not gated)")
+    notes.extend(
+        f"fingerprint changed: {line}"
+        for line in fingerprints_differ(
+            baseline.get("machine", {}), candidate.get("machine", {})
+        )
+    )
+    return {
+        "verdicts": verdicts,
+        "notes": notes,
+        "regressions": sum(v["status"] == "regression" for v in verdicts),
+    }
+
+
+def render_comparison(comparison: dict) -> str:
+    """Plain-text rendering of a :func:`compare_docs` result."""
+    out: list[str] = []
+    width = max(
+        (len(f"{v['scenario']}/{v['metric']}") for v in comparison["verdicts"]),
+        default=0,
+    )
+    for v in comparison["verdicts"]:
+        name = f"{v['scenario']}/{v['metric']}".ljust(width)
+        tag = {"ok": "ok        ", "improved": "improved  ", "regression": "REGRESSION"}[
+            v["status"]
+        ]
+        out.append(
+            f"  [{tag}] {name}  {v['baseline_median']:.4g} -> "
+            f"{v['candidate_median']:.4g} {v['unit']} "
+            f"({v['delta_fraction']:+.1%}, margin ±{v['margin']:.4g})"
+        )
+    for note in comparison["notes"]:
+        out.append(f"  note: {note}")
+    n = comparison["regressions"]
+    out.append(
+        f"verdict: {n} regression(s) across {len(comparison['verdicts'])} "
+        f"gated metric(s)"
+    )
+    return "\n".join(out)

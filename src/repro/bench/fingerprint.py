@@ -1,0 +1,69 @@
+"""Machine fingerprinting for benchmark provenance.
+
+A benchmark number is meaningless without knowing what produced it: the
+``compare`` gate warns when baseline and candidate fingerprints differ,
+and the trajectory report prints the fingerprint of every ``BENCH_*``
+document it folds in.  Two halves:
+
+- *host*: the physical machine the harness ran on — platform string,
+  Python/NumPy versions, CPU count and the scheduler affinity actually
+  granted (CI containers often get fewer cores than the host has).
+- *simulated machine*: the identity of the
+  :class:`~repro.cluster.machine.MachineSpec` the performance-model
+  scenarios price against (the Lassen-like default), so recalibrating the
+  simulated cluster reads as a fingerprint change, not silent drift.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+import numpy as np
+
+from repro.cluster.machine import lassen
+
+__all__ = ["machine_fingerprint", "fingerprints_differ"]
+
+
+def machine_fingerprint() -> dict:
+    """The provenance record stamped into every benchmark document."""
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-linux
+        affinity = os.cpu_count() or 1
+    spec = lassen()
+    return {
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count() or 1,
+            "cpu_affinity": affinity,
+        },
+        "simulated_machine": {
+            "name": spec.name,
+            "num_nodes": spec.num_nodes,
+            "gpus_per_node": spec.node.gpus_per_node,
+            "gpu": spec.gpu.name,
+        },
+    }
+
+
+def fingerprints_differ(a: dict, b: dict) -> list[str]:
+    """Human-readable notes for every fingerprint field that differs.
+
+    Host wall-clock-irrelevant fields (nothing here is) are not filtered:
+    any difference is worth a note next to a perf verdict.
+    """
+    notes: list[str] = []
+    for section in ("host", "simulated_machine"):
+        sa, sb = a.get(section, {}), b.get(section, {})
+        for key in sorted(set(sa) | set(sb)):
+            if sa.get(key) != sb.get(key):
+                notes.append(
+                    f"{section}.{key}: {sa.get(key)!r} -> {sb.get(key)!r}"
+                )
+    return notes

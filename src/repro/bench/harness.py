@@ -1,0 +1,282 @@
+"""The benchmark harness: scenario registry, trial loop, document builder.
+
+Machinery only — the actual workloads live in
+:mod:`repro.bench.scenarios`.  A *scenario* is a named function that
+exercises one subsystem (reader, store, pipeline, backend, driver,
+checkpoint) and returns one or more *metrics*, each a list of repeated
+trial samples; the harness wraps every scenario in the same
+warmup-then-measure protocol, folds samples through
+:func:`~repro.bench.stats.summarize_samples`, stamps the
+:func:`~repro.bench.fingerprint.machine_fingerprint`, and emits one
+schema-valid document (:mod:`repro.bench.schema`).
+
+Two modes trade fidelity for wall clock: ``quick`` (CI smoke: 1 warmup,
+3 trials, the cheap scenario subset) and ``full`` (committed baselines:
+2 warmups, 7 trials, every scenario including the parallel backends).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.bench.fingerprint import machine_fingerprint
+from repro.bench.schema import SCHEMA_NAME, SCHEMA_VERSION, validate_bench_doc
+from repro.bench.stats import summarize_samples
+
+__all__ = [
+    "MODES",
+    "BenchConfig",
+    "BenchContext",
+    "Scenario",
+    "SCENARIOS",
+    "scenario",
+    "metric",
+    "run_bench",
+]
+
+MODES = ("quick", "full")
+
+#: (warmup, repeats) per mode, overridable per run via BenchConfig.
+_MODE_DEFAULTS = {"quick": (1, 3), "full": (2, 7)}
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One benchmark run's knobs (mode, trial counts, seed)."""
+
+    mode: str = "quick"
+    warmup: int | None = None  # None: the mode default
+    repeats: int | None = None  # None: the mode default
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.warmup is not None and self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.repeats is not None and self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    @property
+    def resolved_warmup(self) -> int:
+        return self.warmup if self.warmup is not None else _MODE_DEFAULTS[self.mode][0]
+
+    @property
+    def resolved_repeats(self) -> int:
+        return (
+            self.repeats if self.repeats is not None else _MODE_DEFAULTS[self.mode][1]
+        )
+
+
+class BenchContext:
+    """Shared fixtures scenarios draw from, built lazily and memoized.
+
+    The expensive artifacts — the synthetic JAG dataset and the
+    pre-trained autoencoder — are built once per run, mirroring how the
+    test suite session-scopes them; populations are built fresh per
+    scenario (under distinct RNG scopes) so scenarios stay independent.
+    """
+
+    #: Dataset/model scale of every scenario workload: big enough that a
+    #: trial measures real work, small enough for CI smoke runs.
+    N_SAMPLES = 512
+    BATCH_SIZE = 32
+
+    def __init__(self, config: BenchConfig) -> None:
+        from repro.utils.rng import RngFactory
+
+        self.config = config
+        self._rngs = RngFactory(config.seed)
+        self._dataset = None
+        self._spec = None
+        self._autoencoder = None
+
+    @property
+    def dataset(self):
+        if self._dataset is None:
+            from repro.jag import JagDatasetConfig, generate_dataset, small_schema
+
+            self._dataset = generate_dataset(
+                JagDatasetConfig(
+                    n_samples=self.N_SAMPLES,
+                    schema=small_schema(8),
+                    seed=self.config.seed,
+                )
+            )
+        return self._dataset
+
+    @property
+    def spec(self):
+        if self._spec is None:
+            from repro.core import EnsembleSpec, TrainerConfig
+            from repro.models import small_config
+
+            self._spec = EnsembleSpec(
+                k=2,
+                surrogate=small_config(
+                    self.dataset.schema, batch_size=self.BATCH_SIZE
+                ),
+                trainer=TrainerConfig(batch_size=self.BATCH_SIZE),
+                ae_epochs=2,
+                ae_max_samples=256,
+            )
+        return self._spec
+
+    @property
+    def train_ids(self) -> np.ndarray:
+        return np.arange(self.dataset.n_samples)
+
+    @property
+    def autoencoder(self):
+        if self._autoencoder is None:
+            from repro.core import pretrain_autoencoder
+
+            self._autoencoder = pretrain_autoencoder(
+                self.dataset, self.train_ids, self._rngs.child("bench-ae"), self.spec
+            )
+        return self._autoencoder
+
+    def population(self, tag: str, k: int = 2):
+        """A fresh k-trainer population under its own RNG scope."""
+        import dataclasses
+
+        from repro.core import build_population
+
+        spec = dataclasses.replace(self.spec, k=k)
+        return build_population(
+            self.dataset,
+            self.train_ids,
+            self._rngs.child(f"bench/{tag}"),
+            spec,
+            self.autoencoder,
+        )
+
+    def eval_batch(self, n: int = 64) -> dict[str, np.ndarray]:
+        return {k: v[:n] for k, v in self.dataset.fields.items()}
+
+    def rng(self, tag: str) -> np.random.Generator:
+        return self._rngs.generator(f"bench/{tag}")
+
+    def repeat(self, fn: Callable[[], object]) -> list[float]:
+        """The trial protocol: run ``fn`` warmup times untimed, then
+        ``repeats`` times wall-timed.  Returns per-trial seconds."""
+        for _ in range(self.config.resolved_warmup):
+            fn()
+        samples: list[float] = []
+        for _ in range(self.config.resolved_repeats):
+            t0 = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - t0)
+        return samples
+
+
+def metric(
+    samples: Sequence[float], unit: str, direction: str = "lower"
+) -> dict:
+    """Package one metric's trial samples for the document builder."""
+    if direction not in ("lower", "higher"):
+        raise ValueError(f"direction must be 'lower' or 'higher', got {direction!r}")
+    return {
+        "unit": unit,
+        "direction": direction,
+        "samples": [float(s) for s in samples],
+    }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload: metadata plus the measurement function."""
+
+    name: str
+    description: str
+    modes: tuple[str, ...]
+    fn: Callable[[BenchContext], Mapping[str, dict]]
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def scenario(name: str, description: str, modes: Iterable[str] = MODES):
+    """Register a scenario function: ``fn(ctx) -> {metric: metric(...)}``."""
+
+    modes = tuple(modes)
+    if not modes or any(m not in MODES for m in modes):
+        raise ValueError(f"modes must be drawn from {MODES}, got {modes}")
+
+    def register(fn):
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate scenario {name!r}")
+        SCENARIOS[name] = Scenario(name, description, modes, fn)
+        return fn
+
+    return register
+
+
+def _selected(config: BenchConfig, only: Sequence[str] | None) -> list[Scenario]:
+    import repro.bench.scenarios  # noqa: F401  (populates SCENARIOS)
+
+    if only:
+        unknown = sorted(set(only) - set(SCENARIOS))
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {unknown}; known: {sorted(SCENARIOS)}"
+            )
+        names = [n for n in SCENARIOS if n in set(only)]
+    else:
+        names = [n for n in SCENARIOS if config.mode in SCENARIOS[n].modes]
+    return [SCENARIOS[n] for n in names]
+
+
+def run_bench(
+    config: BenchConfig,
+    only: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the selected scenarios and build one validated document.
+
+    ``only`` restricts to explicitly named scenarios (ignoring their mode
+    gating — naming a full-only scenario runs it even in quick mode);
+    ``progress`` receives one line per scenario as it completes.
+    """
+    ctx = BenchContext(config)
+    say = progress or (lambda _line: None)
+    results: list[dict] = []
+    for sc in _selected(config, only):
+        t0 = time.perf_counter()
+        metrics = sc.fn(ctx)
+        if not metrics:
+            raise ValueError(f"scenario {sc.name!r} produced no metrics")
+        for metric_name in sorted(metrics):
+            m = metrics[metric_name]
+            results.append(
+                {
+                    "scenario": sc.name,
+                    "metric": metric_name,
+                    "unit": m["unit"],
+                    "direction": m["direction"],
+                    "samples": m["samples"],
+                    **summarize_samples(m["samples"]),
+                }
+            )
+        say(
+            f"  {sc.name}: {len(metrics)} metric(s) in "
+            f"{time.perf_counter() - t0:.1f}s"
+        )
+    doc = {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "mode": config.mode,
+        "created_unix": time.time(),
+        "machine": machine_fingerprint(),
+        "config": {
+            "warmup": config.resolved_warmup,
+            "repeats": config.resolved_repeats,
+            "seed": config.seed,
+        },
+        "results": results,
+    }
+    return validate_bench_doc(doc)

@@ -1,0 +1,89 @@
+"""Trajectory reporting across the repo's committed ``BENCH_*.json`` runs.
+
+Each PR that materially moves performance commits a new ``BENCH_<n>.json``
+at the repo root; this module lines them up — columns in index order,
+one row per scenario/metric — so the performance history reads like the
+CHANGES file does.  Values are humanized with
+:mod:`repro.utils.units` (seconds via ``format_time``, bytes via
+``format_bytes``, rates as ``<value>/s``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.bench.schema import load_bench_doc
+from repro.utils.units import format_bytes, format_time
+
+__all__ = ["find_bench_files", "next_bench_path", "render_trajectory"]
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def find_bench_files(directory) -> list[tuple[int, Path]]:
+    """All ``BENCH_<n>.json`` files in a directory, sorted by index."""
+    found = []
+    for path in Path(directory).iterdir():
+        m = _BENCH_RE.match(path.name)
+        if m:
+            found.append((int(m.group(1)), path))
+    return sorted(found)
+
+
+def next_bench_path(directory) -> Path:
+    """The first unused ``BENCH_<n>.json`` path in a directory."""
+    taken = {idx for idx, _ in find_bench_files(directory)}
+    n = 0
+    while n in taken:
+        n += 1
+    return Path(directory) / f"BENCH_{n}.json"
+
+
+def _format_value(value: float, unit: str) -> str:
+    if unit == "s":
+        return format_time(value)
+    if unit in ("B", "bytes"):
+        return format_bytes(value)
+    if unit.endswith("/s"):
+        return f"{value:,.0f} {unit}"
+    return f"{value:.4g} {unit}"
+
+
+def render_trajectory(directory) -> str:
+    """One table: metrics as rows, committed benchmark runs as columns."""
+    files = find_bench_files(directory)
+    if not files:
+        return f"no BENCH_<n>.json files under {directory}"
+    docs = [(idx, load_bench_doc(path)) for idx, path in files]
+    keys: list[tuple[str, str]] = []
+    per_doc: list[dict[tuple[str, str], dict]] = []
+    for _idx, doc in docs:
+        rows = {(r["scenario"], r["metric"]): r for r in doc["results"]}
+        per_doc.append(rows)
+        for key in rows:
+            if key not in keys:
+                keys.append(key)
+    headers = ["scenario/metric"] + [f"BENCH_{idx}" for idx, _ in docs]
+    table: list[list[str]] = [headers]
+    for key in keys:
+        row = [f"{key[0]}/{key[1]}"]
+        for rows in per_doc:
+            r = rows.get(key)
+            row.append("-" if r is None else _format_value(r["median"], r["unit"]))
+        table.append(row)
+    widths = [max(len(row[c]) for row in table) for c in range(len(headers))]
+    out = [f"== benchmark trajectory: {len(docs)} run(s) under {directory} =="]
+    for i, row in enumerate(table):
+        out.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if i == 0:
+            out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for idx, doc in docs:
+        host = doc["machine"]["host"]
+        out.append(
+            f"BENCH_{idx}: mode={doc['mode']} "
+            f"warmup={doc['config']['warmup']} repeats={doc['config']['repeats']} "
+            f"host={host.get('platform', '?')} "
+            f"(python {host.get('python', '?')}, numpy {host.get('numpy', '?')})"
+        )
+    return "\n".join(out)

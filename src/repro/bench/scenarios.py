@@ -1,0 +1,208 @@
+"""The registered benchmark scenarios.
+
+Each scenario exercises one subsystem along the paper's critical path,
+sized against :class:`~repro.bench.harness.BenchContext`'s shared
+fixtures (512-sample synthetic JAG dataset, 8x8 images, batch 32):
+
+- ``reader_materialize`` — plan + materialize one ArrayReader epoch
+  (data-plane throughput with no store or pipeline in the way);
+- ``store_fetch`` — assemble shuffled mini-batches from a 4-rank
+  :class:`~repro.datastore.store.DistributedDataStore` (owner lookup +
+  inter-rank exchange accounting);
+- ``prefetch_pipeline`` — consume one epoch through
+  :func:`~repro.datastore.pipeline.build_pipeline` at depths 0/2/4
+  (pipeline overhead and background-thread overlap);
+- ``train_step_serial`` (+ ``_thread``/``_process``, full mode) — one
+  population train step under each execution backend, the quantity the
+  paper's Figure 9/10 scaling curves are built from;
+- ``ltfb_round`` — one complete LTFB round (train + tournament +
+  exchange + eval) through :class:`~repro.core.ltfb.LtfbDriver`;
+- ``checkpoint`` — trainer checkpoint save and restore round-trip.
+
+Metrics are wall-clock seconds (direction ``lower``) except the reader's
+``samples_per_s`` throughput (direction ``higher``), which keeps the
+regression gate's direction handling honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench.harness import BenchContext, metric, scenario
+
+__all__: list[str] = []
+
+
+@scenario(
+    "reader_materialize",
+    "plan + materialize one ArrayReader epoch (batch 32, 512 samples)",
+)
+def _reader_materialize(ctx: BenchContext) -> dict:
+    from repro.datastore.reader import ArrayReader
+
+    reader = ArrayReader(
+        ctx.dataset.fields, ctx.train_ids, ctx.rng("reader-materialize")
+    )
+    batch = ctx.BATCH_SIZE
+    steps = reader.steps_per_epoch(batch)
+
+    def trial() -> None:
+        plan = reader.plan_epoch(batch)
+        for bp in plan:
+            reader.materialize(bp)
+
+    times = ctx.repeat(trial)
+    delivered = steps * batch
+    return {
+        "epoch_s": metric(times, "s"),
+        "samples_per_s": metric(
+            [delivered / t for t in times], "samples/s", direction="higher"
+        ),
+    }
+
+
+@scenario(
+    "store_fetch",
+    "assemble shuffled mini-batches from a 4-rank distributed data store",
+)
+def _store_fetch(ctx: BenchContext) -> dict:
+    from repro.datastore.store import DistributedDataStore
+
+    fields = ctx.dataset.fields
+    n = ctx.dataset.n_samples
+    store = DistributedDataStore(num_ranks=4, bytes_per_rank=10**8)
+    for sid in range(n):
+        store.cache_sample(sid % 4, sid, {k: v[sid] for k, v in fields.items()})
+    rng = ctx.rng("store-fetch")
+    batch = ctx.BATCH_SIZE
+    batches = [
+        rng.permutation(n)[:batch].astype(np.int64)
+        for _ in range(n // batch)
+    ]
+
+    def trial() -> None:
+        for ids in batches:
+            store.fetch_batch(ids)
+
+    return {"epoch_fetch_s": metric(ctx.repeat(trial), "s")}
+
+
+@scenario(
+    "prefetch_pipeline",
+    "consume one epoch through the batch pipeline at prefetch depths 0/2/4",
+)
+def _prefetch_pipeline(ctx: BenchContext) -> dict:
+    from repro.datastore.pipeline import build_pipeline
+    from repro.datastore.reader import ArrayReader
+
+    batch = ctx.BATCH_SIZE
+    out: dict[str, dict] = {}
+    for depth in (0, 2, 4):
+        # A fresh reader per trial keeps every trial's work identical
+        # (same epoch index, same planning state) across depths.
+        seed_rng = ctx.rng(f"prefetch-{depth}")
+        seeds = iter(seed_rng.integers(0, 2**31, size=1024).tolist())
+
+        def trial(depth: int = depth) -> None:
+            reader = ArrayReader(
+                ctx.dataset.fields,
+                ctx.train_ids,
+                np.random.default_rng(next(seeds)),
+            )
+            pipeline = build_pipeline(reader, batch, prefetch_depth=depth)
+            try:
+                for _ in range(reader.steps_per_epoch(batch)):
+                    pipeline.next_batch()
+            finally:
+                pipeline.close()
+
+        out[f"depth{depth}_epoch_s"] = metric(ctx.repeat(trial), "s")
+    return out
+
+
+def _train_step_metrics(ctx: BenchContext, backend_name: str) -> dict:
+    from repro.exec import resolve_backend
+    from repro.telemetry import TelemetryHub
+
+    trainers = ctx.population(f"train-step-{backend_name}")
+    backend = resolve_backend(
+        backend_name, max_workers=None if backend_name == "serial" else 2
+    )
+    backend.bind(trainers, TelemetryHub())
+    counter = iter(range(10**6))
+    n_steps = 2
+
+    def trial() -> None:
+        backend.train_round(next(counter), n_steps)
+
+    try:
+        times = ctx.repeat(trial)
+    finally:
+        backend.release()
+    # Per population-step time: how long the whole population takes to
+    # advance one training step under this backend.
+    return {"step_s": metric([t / n_steps for t in times], "s")}
+
+
+@scenario("train_step_serial", "population train step, serial backend")
+def _train_step_serial(ctx: BenchContext) -> dict:
+    return _train_step_metrics(ctx, "serial")
+
+
+@scenario(
+    "train_step_thread",
+    "population train step, thread backend (2 workers)",
+    modes=("full",),
+)
+def _train_step_thread(ctx: BenchContext) -> dict:
+    return _train_step_metrics(ctx, "thread")
+
+
+@scenario(
+    "train_step_process",
+    "population train step, process backend (2 workers)",
+    modes=("full",),
+)
+def _train_step_process(ctx: BenchContext) -> dict:
+    return _train_step_metrics(ctx, "process")
+
+
+@scenario(
+    "ltfb_round",
+    "one full LTFB round: train + tournament + exchange + eval",
+)
+def _ltfb_round(ctx: BenchContext) -> dict:
+    from repro.core import LtfbConfig, LtfbDriver
+
+    driver = LtfbDriver(
+        ctx.population("ltfb-round"),
+        ctx.rng("ltfb-pairing"),
+        LtfbConfig(steps_per_round=2, rounds=1),
+        eval_batch=ctx.eval_batch(64),
+    )
+
+    def trial() -> None:
+        # Each trial extends the campaign by exactly one round; run()
+        # resumes from history.rounds_completed.
+        driver.config = dataclasses.replace(
+            driver.config, rounds=driver.history.rounds_completed + 1
+        )
+        driver.run()
+
+    return {"round_s": metric(ctx.repeat(trial), "s")}
+
+
+@scenario("checkpoint", "trainer checkpoint save and restore round-trip")
+def _checkpoint(ctx: BenchContext) -> dict:
+    from repro.core.checkpoint import restore_trainer, trainer_checkpoint
+
+    trainer = ctx.population("checkpoint")[0]
+    payload = trainer_checkpoint(trainer)
+    save_s = ctx.repeat(lambda: trainer_checkpoint(trainer))
+    restore_s = ctx.repeat(lambda: restore_trainer(trainer, payload))
+    return {
+        "save_s": metric(save_s, "s"),
+        "restore_s": metric(restore_s, "s"),
+    }

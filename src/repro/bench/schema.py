@@ -1,0 +1,133 @@
+"""The versioned on-disk schema of benchmark documents.
+
+``BENCH_<n>.json`` files are the repo's performance trajectory: one
+document per committed benchmark run, validated on write *and* on read so
+a malformed document fails at the tool boundary instead of producing a
+nonsense verdict.  Validation is hand-rolled (the toolchain carries no
+JSON-Schema dependency) but the shape below is the contract:
+
+.. code-block:: text
+
+    {
+      "schema": "repro.bench/v1",
+      "version": 1,
+      "mode": "quick" | "full",
+      "created_unix": <float>,         # wall-clock stamp of the run
+      "machine": {"host": {...}, "simulated_machine": {...}},
+      "config": {"warmup": <int>, "repeats": <int>, "seed": <int>},
+      "results": [
+        {
+          "scenario": <str>, "metric": <str>,
+          "unit": "s" | "samples/s" | ...,
+          "direction": "lower" | "higher",   # which way is better
+          "n": <int>, "median": <float>, "iqr": <float>, "cv": <float>,
+          "q25": ..., "q75": ..., "mean": ..., "min": ..., "max": ...,
+          "samples": [<float>, ...]          # the raw trials
+        }, ...
+      ]
+    }
+
+Compatibility policy: adding optional fields keeps ``version`` at 1;
+renaming/removing fields or changing semantics bumps it, and ``compare``
+refuses to gate across versions.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "validate_bench_doc",
+    "load_bench_doc",
+    "write_bench_doc",
+]
+
+SCHEMA_NAME = "repro.bench/v1"
+SCHEMA_VERSION = 1
+
+_RESULT_FLOATS = ("median", "iqr", "cv", "q25", "q75", "mean", "min", "max")
+
+
+def _fail(where: str, msg: str) -> None:
+    raise ValueError(f"invalid bench document ({where}): {msg}")
+
+
+def validate_bench_doc(doc: dict) -> dict:
+    """Validate a benchmark document against the v1 schema.
+
+    Returns the document (for call chaining); raises ``ValueError`` with
+    the offending location on any violation.
+    """
+    if not isinstance(doc, dict):
+        _fail("root", f"expected an object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA_NAME:
+        _fail("schema", f"expected {SCHEMA_NAME!r}, got {doc.get('schema')!r}")
+    if doc.get("version") != SCHEMA_VERSION:
+        _fail("version", f"expected {SCHEMA_VERSION}, got {doc.get('version')!r}")
+    if doc.get("mode") not in ("quick", "full"):
+        _fail("mode", f"expected 'quick' or 'full', got {doc.get('mode')!r}")
+    if not isinstance(doc.get("created_unix"), (int, float)):
+        _fail("created_unix", "expected a number")
+    machine = doc.get("machine")
+    if not isinstance(machine, dict) or not isinstance(
+        machine.get("host"), dict
+    ):
+        _fail("machine", "expected an object with a 'host' section")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        _fail("config", "expected an object")
+    for key in ("warmup", "repeats"):
+        if not isinstance(config.get(key), int) or config[key] < 0:
+            _fail(f"config.{key}", "expected a non-negative integer")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        _fail("results", "expected a non-empty list")
+    seen: set[tuple[str, str]] = set()
+    for i, row in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(row, dict):
+            _fail(where, "expected an object")
+        for key in ("scenario", "metric", "unit"):
+            if not isinstance(row.get(key), str) or not row[key]:
+                _fail(f"{where}.{key}", "expected a non-empty string")
+        if row.get("direction") not in ("lower", "higher"):
+            _fail(f"{where}.direction", "expected 'lower' or 'higher'")
+        key = (row["scenario"], row["metric"])
+        if key in seen:
+            _fail(where, f"duplicate scenario/metric {key}")
+        seen.add(key)
+        samples = row.get("samples")
+        if not isinstance(samples, list) or not samples:
+            _fail(f"{where}.samples", "expected a non-empty list")
+        if not all(isinstance(s, (int, float)) for s in samples):
+            _fail(f"{where}.samples", "expected numbers")
+        if row.get("n") != len(samples):
+            _fail(f"{where}.n", "does not match len(samples)")
+        for field in _RESULT_FLOATS:
+            if not isinstance(row.get(field), (int, float)):
+                _fail(f"{where}.{field}", "expected a number")
+    return doc
+
+
+def load_bench_doc(path) -> dict:
+    """Read and validate one ``BENCH_*.json`` document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    try:
+        return validate_bench_doc(doc)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def write_bench_doc(doc: dict, path) -> None:
+    """Validate and write one benchmark document (sorted keys, stable
+    formatting, trailing newline — diff-friendly for committed baselines)."""
+    validate_bench_doc(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

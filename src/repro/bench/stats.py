@@ -1,0 +1,49 @@
+"""Robust summary statistics for benchmark trial samples.
+
+Benchmark trials on shared machines are contaminated by scheduler noise,
+cache state, and GC pauses, so the harness characterizes each metric with
+order statistics instead of the mean: the *median* is the headline value,
+the *IQR* (interquartile range) is the noise scale the regression gate is
+calibrated against, and the *CV* (coefficient of variation) flags trials
+too noisy to trust at all.  The mean/min/max ride along for context.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["summarize_samples"]
+
+
+def summarize_samples(samples: Sequence[float]) -> dict:
+    """Summary statistics of one metric's trial samples.
+
+    Returns ``n``, ``median``, ``q25``/``q75``, ``iqr`` (``q75 - q25``),
+    ``mean``, ``min``/``max``, and ``cv`` (sample standard deviation over
+    mean; 0 for a single trial or a zero mean).
+
+    >>> s = summarize_samples([1.0, 2.0, 3.0, 4.0])
+    >>> s["median"], s["iqr"]
+    (2.5, 1.5)
+    """
+    x = np.asarray(list(samples), dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("samples must be a non-empty 1-D sequence")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("samples must be finite")
+    q25, q50, q75 = np.quantile(x, [0.25, 0.5, 0.75])
+    mean = float(x.mean())
+    std = float(x.std(ddof=1)) if x.size > 1 else 0.0
+    return {
+        "n": int(x.size),
+        "median": float(q50),
+        "q25": float(q25),
+        "q75": float(q75),
+        "iqr": float(q75 - q25),
+        "mean": mean,
+        "min": float(x.min()),
+        "max": float(x.max()),
+        "cv": (std / abs(mean)) if mean else 0.0,
+    }

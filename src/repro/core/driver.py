@@ -27,10 +27,9 @@ population checkpoint mid-campaign) continues where the history stops.
 from __future__ import annotations
 
 import time
-import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -138,25 +137,13 @@ class PopulationDriver:
 
     # -- the one run signature ------------------------------------------------
 
-    def run(
-        self,
-        callbacks: Iterable[Callback] = (),
-        on_round: Callable[[int, "PopulationDriver"], None] | None = None,
-    ) -> History:
+    def run(self, callbacks: Iterable[Callback] = ()) -> History:
         """Run the remaining rounds; returns the (shared-shape) history.
 
         ``callbacks`` subscribe to the driver's telemetry hub for the
         duration of the run and get the ``on_run_begin``/``on_run_end``
-        lifecycle calls.  ``on_round`` is the deprecated pre-callback hook,
-        kept as a thin shim.
+        lifecycle calls.
         """
-        if on_round is not None:
-            warnings.warn(
-                "run(on_round=...) is deprecated; pass run(callbacks=[...]) "
-                "with a repro.telemetry.Callback instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         attached = list(callbacks)
         for cb in attached:
             self.telemetry.subscribe(cb)
@@ -193,12 +180,14 @@ class PopulationDriver:
                             self.run_round(r)
                     else:
                         self.run_round(r)
-                    if on_round is not None:
-                        on_round(r, self)
         finally:
             self.backend.release()
+            # Two passes: events emitted from one callback's on_run_end
+            # (e.g. ResourceSampler's final sample) must still reach every
+            # other callback, so nobody unsubscribes until all have ended.
             for cb in attached:
                 cb.on_run_end(self, self.history)
+            for cb in attached:
                 self.telemetry.unsubscribe(cb)
         return self.history
 

@@ -16,7 +16,6 @@ real 16-GPU version would take.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -303,41 +302,6 @@ class Trainer:
             if scope is ExchangeScope.FULL:
                 package["disc_optimizer"] = self.disc_optimizer.get_state()
         return package
-
-    def generator_package(self) -> dict:
-        """Deprecated alias for ``exchange_package("generator")``."""
-        warnings.warn(
-            "Trainer.generator_package() is deprecated; use "
-            "Trainer.exchange_package('generator') instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.exchange_package(ExchangeScope.GENERATOR)
-
-    def adopt_generator(
-        self,
-        generator_state: Mapping[str, np.ndarray],
-        optimizer_state: Mapping | None = None,
-    ) -> None:
-        """Deprecated alias for :meth:`adopt_package`.
-
-        Replaces the local generator with a tournament winner's; the local
-        discriminator and its optimizer state stay (the "multiple
-        teachers" property of LTFB-GAN).
-        """
-        warnings.warn(
-            "Trainer.adopt_generator() is deprecated; use "
-            "Trainer.adopt_package() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.adopt_package(
-            {
-                "scope": "generator",
-                "weights": generator_state,
-                "gen_optimizer": optimizer_state,
-            }
-        )
 
     def adopt_package(self, package: Mapping) -> None:
         """Adopt an :meth:`exchange_package` payload."""

@@ -6,8 +6,11 @@ and services per-round commands over a pipe:
 
 - ``train`` — run the round's train interval on every local replica, in
   local population order, and reply with per-trainer losses, the buffered
-  telemetry events, and a state snapshot
-  (:func:`~repro.core.checkpoint.capture_exec_state`, reader included).
+  telemetry events, a state snapshot
+  (:func:`~repro.core.checkpoint.capture_exec_state`, reader included),
+  and one ``resource_sample`` payload of the *worker process itself*
+  (peak RSS / CPU; see :mod:`repro.telemetry.resources`) which the driver
+  re-emits into its hub after the trainer events.
   The command carries a *tracing* flag: when the driver's hub has a span
   tracer, workers produce spans too (each replica's recorder gets a child
   of one persistent worker tracer) and the reply includes the worker
@@ -54,6 +57,7 @@ _JOIN_TIMEOUT_S = 10.0
 def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
     """Entry point of one worker process: replicas + command loop."""
     from repro.core.checkpoint import apply_exec_state, capture_exec_state
+    from repro.telemetry.resources import sample_resources
 
     trainers = pickle.loads(trainers_payload)
     by_name = {t.name: t for t in trainers}
@@ -98,7 +102,15 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
                             )
                         )
                     wall_origin = base_tracer.wall_origin if tracing else None
-                    conn.send(("ok", (results, wall_origin)))
+                    # Sample *this* worker process after the interval; the
+                    # driver re-emits it like it replays trainer events.
+                    resource_payload = {
+                        "source": f"worker{worker_index}",
+                        "backend": "process",
+                        "worker": worker_index,
+                        **sample_resources(),
+                    }
+                    conn.send(("ok", (results, wall_origin, resource_payload)))
                 elif cmd == "apply":
                     for name, payload in msg[1]:
                         apply_exec_state(by_name[name], payload)
@@ -266,7 +278,7 @@ class ProcessBackend(ExecutionBackend):
     ) -> dict[str, dict[str, float]]:
         assert self._telemetry is not None
         from repro.core.checkpoint import apply_exec_state
-        from repro.telemetry.events import SPAN
+        from repro.telemetry.events import RESOURCE_SAMPLE, SPAN
 
         self._flush_dirty()
         tracing = self._telemetry.tracer is not None
@@ -274,8 +286,10 @@ class ProcessBackend(ExecutionBackend):
             self._send(wid, ("train", n_steps, tracing))
         losses_by_name: dict[str, dict[str, float]] = {}
         events_by_name: dict[str, list] = {}
+        worker_samples: list[dict] = []
         for wid in range(len(self._conns)):
-            results, worker_wall = self._recv(wid)
+            results, worker_wall, resource_payload = self._recv(wid)
+            worker_samples.append(resource_payload)
             # Clock-offset alignment: worker span timestamps are offsets
             # from the *worker* tracer's epoch; shifting by the wall-clock
             # delta between the worker's and the hub's origins places them
@@ -300,4 +314,8 @@ class ProcessBackend(ExecutionBackend):
         for t in self._trainers:
             for event_type, payload in events_by_name.get(t.name, ()):
                 self._telemetry.emit(event_type, **payload)
+        # Then one resource series entry per worker process, worker order.
+        if self._telemetry.active:
+            for payload in worker_samples:
+                self._telemetry.emit(RESOURCE_SAMPLE, **payload)
         return {t.name: losses_by_name[t.name] for t in self._trainers}

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.exec.base import ExecutionBackend
+from repro.telemetry.resources import emit_resource_sample
 
 __all__ = ["SerialBackend"]
 
@@ -39,4 +40,10 @@ class SerialBackend(ExecutionBackend):
     def train_round(
         self, round_index: int, n_steps: int
     ) -> dict[str, dict[str, float]]:
-        return {t.name: t.train_steps(n_steps) for t in self._trainers}
+        results = {t.name: t.train_steps(n_steps) for t in self._trainers}
+        # All trainer work runs in the driver process, so one sample per
+        # train phase is the complete resource picture.
+        emit_resource_sample(
+            self._telemetry, source="driver", backend=self.name, worker=0
+        )
+        return results

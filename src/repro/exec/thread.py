@@ -19,6 +19,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.exec.base import EventRecorder, ExecutionBackend
+from repro.telemetry.resources import emit_resource_sample
 
 __all__ = ["ThreadBackend"]
 
@@ -103,4 +104,9 @@ class ThreadBackend(ExecutionBackend):
                 t.telemetry = hub
         for rec in recorders:
             rec.replay_into(self._telemetry)
+        # Threads share the driver's address space, so one driver-process
+        # sample per train phase covers every worker.
+        emit_resource_sample(
+            self._telemetry, source="driver", backend=self.name, worker=0
+        )
         return {t.name: loss for t, loss in zip(self._trainers, losses)}

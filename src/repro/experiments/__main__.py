@@ -38,6 +38,7 @@ and the ``backends`` report.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import (
@@ -130,11 +131,22 @@ def _trace_report(argv: list[str]) -> int:
         description="Summarize a JSONL telemetry trace.",
     )
     parser.add_argument("trace", help="path to a trace.jsonl file")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text: human-readable report (default); json: the full "
+        "machine-readable summary (phases, counters, percentiles, "
+        "resources, health) for the bench harness and CI",
+    )
     args = parser.parse_args(argv)
-    from repro.telemetry.report import render_trace_report
+    from repro.telemetry.report import render_trace_report, trace_summary
 
     try:
-        print(render_trace_report(args.trace))
+        if args.format == "json":
+            print(json.dumps(trace_summary(args.trace), indent=2, sort_keys=True))
+        else:
+            print(render_trace_report(args.trace))
     except (OSError, ValueError) as exc:
         print(f"trace-report: {exc}", file=sys.stderr)
         return 1

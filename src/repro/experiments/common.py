@@ -140,6 +140,7 @@ def observability_callbacks(
     metrics=None,
     monitor_health: bool = False,
     trace_files: "list[Path] | None" = None,
+    sample_resources: bool = True,
 ) -> list:
     """Build the per-run observability callback set experiments share.
 
@@ -149,10 +150,14 @@ def observability_callbacks(
     :class:`~repro.telemetry.MetricsCollector` accumulating across every
     run of a session.  ``monitor_health`` attaches a fresh
     :class:`~repro.telemetry.HealthMonitor` so warnings land in the run's
-    :class:`~repro.core.driver.History`.  Opened trace paths are appended
-    to ``trace_files`` when given, so callers can report what they wrote.
+    :class:`~repro.core.driver.History`.  ``sample_resources`` attaches a
+    :class:`~repro.telemetry.ResourceSampler` whenever a trace or metrics
+    consumer is configured, so peak-RSS/CPU readings land in the trace
+    (``trace-report`` resources section, Perfetto counter tracks) and the
+    metrics gauges.  Opened trace paths are appended to ``trace_files``
+    when given, so callers can report what they wrote.
     """
-    from repro.telemetry import HealthMonitor, JsonlTraceWriter
+    from repro.telemetry import HealthMonitor, JsonlTraceWriter, ResourceSampler
 
     callbacks: list = []
     if trace_out is not None:
@@ -171,6 +176,8 @@ def observability_callbacks(
         callbacks.append(metrics)
     if monitor_health:
         callbacks.append(HealthMonitor())
+    if sample_resources and (trace_out is not None or metrics is not None):
+        callbacks.append(ResourceSampler())
     return callbacks
 
 

@@ -18,7 +18,11 @@ Shipped callbacks:
 - :class:`MetricsCollector` — counters/gauges/histograms with p50/p95/p99
   summaries, exportable as JSON or Prometheus text;
 - :class:`HealthMonitor` — NaN/divergence, win-rate collapse, and
-  stall-regression detection into ``History.health_warnings``.
+  stall-regression detection into ``History.health_warnings``;
+- :class:`ResourceSampler` — periodic peak-RSS/CPU readings of the driver
+  process as ``resource_sample`` events (execution backends add worker
+  samples), surfaced in ``trace-report``, metrics gauges, and Perfetto
+  counter tracks.
 
 Profiling spans (:mod:`repro.telemetry.spans`) ride the same bus as
 ``span`` events when tracing is enabled
@@ -59,6 +63,7 @@ from repro.telemetry.events import (
     FETCH_STALL,
     HEALTH,
     PREFETCH_FILL,
+    RESOURCE_SAMPLE,
     ROUND_END,
     SPAN,
     STEP_END,
@@ -82,6 +87,13 @@ from repro.telemetry.report import (
     load_trace_header,
     render_trace_report,
     summarize_trace,
+    trace_summary,
+)
+from repro.telemetry.resources import (
+    ResourceSampler,
+    emit_resource_sample,
+    sample_resources,
+    summarize_resources,
 )
 from repro.telemetry.spans import Span, Tracer
 
@@ -100,6 +112,7 @@ __all__ = [
     "CHECKPOINT",
     "SPAN",
     "HEALTH",
+    "RESOURCE_SAMPLE",
     "Callback",
     "JsonlTraceWriter",
     "WallClockTimer",
@@ -116,10 +129,15 @@ __all__ = [
     "write_metrics",
     "HealthMonitor",
     "HealthWarning",
+    "ResourceSampler",
+    "sample_resources",
+    "emit_resource_sample",
+    "summarize_resources",
     "chrome_trace",
     "export_chrome_trace",
     "load_trace",
     "load_trace_header",
     "summarize_trace",
     "render_trace_report",
+    "trace_summary",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "CHECKPOINT",
     "SPAN",
     "HEALTH",
+    "RESOURCE_SAMPLE",
     "EVENT_TYPES",
     "TelemetryEvent",
     "TelemetryHub",
@@ -105,6 +106,16 @@ SPAN = "span"
 #: ``None``), ``message``.
 HEALTH = "health"
 
+#: A point-in-time resource reading of one process (see
+#: :mod:`repro.telemetry.resources`).  Payload: ``source`` (``"driver"``
+#: or ``"worker<k>"`` — which process was sampled), ``rss_bytes``
+#: (current resident set, 0 where the platform hides it),
+#: ``peak_rss_bytes`` (lifetime high-water mark), ``cpu_user_s`` /
+#: ``cpu_system_s`` (cumulative CPU seconds), plus ``backend``/``worker``
+#: when an execution backend produced the sample.  Worker-process samples
+#: are relayed to the driver's hub like spans are.
+RESOURCE_SAMPLE = "resource_sample"
+
 EVENT_TYPES = frozenset(
     {
         STEP_END,
@@ -118,6 +129,7 @@ EVENT_TYPES = frozenset(
         CHECKPOINT,
         SPAN,
         HEALTH,
+        RESOURCE_SAMPLE,
     }
 )
 

@@ -15,6 +15,9 @@ Mapping:
   parent ids ride in ``args``;
 - every ``health`` event becomes a global instant event (``"ph": "i"``)
   so failures are visible at the moment they were detected;
+- every ``resource_sample`` event becomes counter events (``"ph": "C"``)
+  — one RSS track and one CPU track per sampled process — so memory
+  growth and CPU accumulation render as graphs alongside the span lanes;
 - tracks map to thread ids under one synthetic process, named via
   ``thread_name`` metadata and ordered driver-first via
   ``thread_sort_index``.
@@ -29,7 +32,7 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.telemetry.events import HEALTH, SPAN, TelemetryEvent
+from repro.telemetry.events import HEALTH, RESOURCE_SAMPLE, SPAN, TelemetryEvent
 
 __all__ = ["chrome_trace", "export_chrome_trace"]
 
@@ -54,6 +57,7 @@ def chrome_trace(
     """
     spans = [e for e in events if e.type == SPAN]
     health = [e for e in events if e.type == HEALTH]
+    samples = [e for e in events if e.type == RESOURCE_SAMPLE]
     tids = _track_order(
         [str(e.payload.get("track", "main")) for e in spans]
         or ["driver"]
@@ -117,6 +121,38 @@ def chrome_trace(
                     "message": p.get("message"),
                     "severity": p.get("severity"),
                     "trainer": p.get("trainer"),
+                },
+            }
+        )
+    for e in samples:
+        p = e.payload
+        source = str(p.get("source", "process"))
+        ts = round(float(e.time_s) * 1e6, 3)
+        trace_events.append(
+            {
+                "name": f"rss[{source}]",
+                "cat": "resources",
+                "ph": "C",
+                "ts": ts,
+                "pid": _PID,
+                "args": {
+                    "rss_mb": round(float(p.get("rss_bytes", 0)) / 1e6, 3),
+                    "peak_mb": round(
+                        float(p.get("peak_rss_bytes", 0)) / 1e6, 3
+                    ),
+                },
+            }
+        )
+        trace_events.append(
+            {
+                "name": f"cpu[{source}]",
+                "cat": "resources",
+                "ph": "C",
+                "ts": ts,
+                "pid": _PID,
+                "args": {
+                    "user_s": round(float(p.get("cpu_user_s", 0.0)), 3),
+                    "system_s": round(float(p.get("cpu_system_s", 0.0)), 3),
                 },
             }
         )

@@ -329,6 +329,20 @@ class MetricsCollector(Callback):
             "repro_prefetch_queue_fill",
             "prefetch queue occupancy at the last background fill",
         )
+        # Resource gauges (fed by resource_sample events; see
+        # repro.telemetry.resources).  Peak RSS keeps max semantics across
+        # samples — a gauge because it can span several processes' peaks.
+        self.rss = r.gauge(
+            "repro_rss_bytes", "resident set size at the last sample"
+        )
+        self.peak_rss = r.gauge(
+            "repro_peak_rss_bytes",
+            "peak resident set size over all sampled processes",
+        )
+        self.cpu_seconds = r.gauge(
+            "repro_cpu_seconds",
+            "cumulative user+system CPU seconds at the last sample",
+        )
 
     # -- per-type folds ------------------------------------------------------
 
@@ -372,6 +386,16 @@ class MetricsCollector(Callback):
 
     def on_health(self, event) -> None:
         self.health_warnings.inc()
+
+    def on_resource_sample(self, event) -> None:
+        p = event.payload
+        self.rss.set(float(p.get("rss_bytes", 0)))
+        self.peak_rss.set(
+            max(self.peak_rss.value, float(p.get("peak_rss_bytes", 0)))
+        )
+        self.cpu_seconds.set(
+            float(p.get("cpu_user_s", 0.0)) + float(p.get("cpu_system_s", 0.0))
+        )
 
 
 def collect_metrics(events: Iterable) -> MetricsRegistry:

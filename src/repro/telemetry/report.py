@@ -19,12 +19,15 @@ import json
 from typing import Iterable
 
 from repro.telemetry.callbacks import CounterAggregator, JsonlTraceWriter, WallClockTimer
-from repro.telemetry.events import EVENT_TYPES, SPAN, TelemetryEvent
+from repro.telemetry.events import EVENT_TYPES, HEALTH, SPAN, TelemetryEvent
+from repro.telemetry.resources import summarize_resources
+from repro.utils.units import format_bytes, format_time
 
 __all__ = [
     "load_trace",
     "load_trace_header",
     "summarize_trace",
+    "trace_summary",
     "render_trace_report",
     "trace_report",
 ]
@@ -117,6 +120,54 @@ def summarize_trace(
     return timer, counters, census
 
 
+def trace_summary(path) -> dict:
+    """Machine-readable trace summary: every section of the text report
+    as one JSON-encodable dict (``trace-report --format json``).
+
+    Stable shape: ``header`` (the validated trace header or ``None``),
+    ``events`` (per-type census), ``phases`` (wall-clock totals plus
+    ``total``/``rounds``), ``counters`` (the full
+    :meth:`~repro.telemetry.callbacks.CounterAggregator.summary` dict,
+    per-worker keys included), ``percentiles`` (histogram summaries keyed
+    by metric name, only metrics that saw data), ``resources`` (per-source
+    peak-RSS/CPU rows from ``resource_sample`` events), ``health`` (the
+    raw warning payloads) and ``spans`` (count + track census, ``None``
+    for untraced runs).  The bench harness and CI consume this instead of
+    scraping the text rendering.
+    """
+    from repro.telemetry.metrics import collect_metrics
+
+    header, events = _parse_trace(path)
+    timer, counters, census = summarize_trace(events)
+    registry = collect_metrics(events)
+    percentiles = {
+        metric.name: metric.to_json()
+        for metric in registry
+        if metric.kind == "histogram" and metric.count > 0
+    }
+    spans = None
+    if census.get(SPAN):
+        tracks = sorted(
+            {str(e.payload.get("track", "main")) for e in events if e.type == SPAN}
+        )
+        spans = {"count": census[SPAN], "tracks": tracks}
+    return {
+        "trace": str(path),
+        "header": header,
+        "events": census,
+        "phases": {
+            **{phase: timer.totals[phase] for phase in timer.PHASES},
+            "total": timer.total_s,
+            "rounds": timer.rounds,
+        },
+        "counters": counters.summary(),
+        "percentiles": percentiles,
+        "resources": summarize_resources(events),
+        "health": [dict(e.payload) for e in events if e.type == HEALTH],
+        "spans": spans,
+    }
+
+
 def render_trace_report(path) -> str:
     """Load a trace and render the plain-text summary."""
     header, events = _parse_trace(path)
@@ -196,6 +247,17 @@ def render_trace_report(path) -> str:
                     f"{counters.worker_overlap_s.get(key, 0.0):.3f}s"
                 )
     out.extend(_render_percentiles(events))
+    resources = summarize_resources(events)
+    if resources:
+        out.append("resources:")
+        for source in sorted(resources):
+            row = resources[source]
+            cpu_s = row["cpu_user_s"] + row["cpu_system_s"]
+            out.append(
+                f"  {source}: peak rss {format_bytes(row['peak_rss_bytes'])}, "
+                f"cpu {format_time(cpu_s)} "
+                f"({row['samples']} sample{'s' if row['samples'] != 1 else ''})"
+            )
     health = [e for e in events if e.type == "health"]
     if health:
         out.append("health warnings:")

@@ -1,0 +1,360 @@
+"""Tests for repro.bench: stats, schema, harness, regression gate, CLI."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SCENARIOS,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    BenchConfig,
+    compare_docs,
+    find_bench_files,
+    fingerprints_differ,
+    load_bench_doc,
+    machine_fingerprint,
+    metric,
+    next_bench_path,
+    render_comparison,
+    render_trajectory,
+    run_bench,
+    summarize_samples,
+    validate_bench_doc,
+    write_bench_doc,
+)
+from repro.bench.harness import _selected
+
+
+def _row(scenario, name, samples, unit="s", direction="lower"):
+    return {
+        "scenario": scenario,
+        "metric": name,
+        "unit": unit,
+        "direction": direction,
+        "samples": [float(s) for s in samples],
+        **summarize_samples(samples),
+    }
+
+
+def _doc(results, mode="quick"):
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "mode": mode,
+        "created_unix": 1.0,
+        "machine": machine_fingerprint(),
+        "config": {"warmup": 0, "repeats": 3, "seed": 2024},
+        "results": results,
+    }
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    """One real (but minimal) harness run: cheapest scenario, 2 trials."""
+    config = BenchConfig(mode="quick", warmup=0, repeats=2)
+    return run_bench(config, only=["reader_materialize"])
+
+
+class TestStats:
+    def test_summary_values(self):
+        s = summarize_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s["n"] == 5
+        assert s["median"] == 3.0
+        assert s["min"] == 1.0 and s["max"] == 5.0
+        assert s["mean"] == 3.0
+        assert s["iqr"] == pytest.approx(s["q75"] - s["q25"])
+        assert s["cv"] > 0
+
+    def test_constant_samples_have_zero_spread(self):
+        s = summarize_samples([2.5, 2.5, 2.5])
+        assert s["iqr"] == 0.0
+        assert s["cv"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            summarize_samples([np.inf])
+
+
+class TestFingerprint:
+    def test_shape(self):
+        fp = machine_fingerprint()
+        assert {"platform", "python", "numpy", "cpu_count"} <= set(fp["host"])
+        assert fp["simulated_machine"]["name"]
+
+    def test_differ(self):
+        a = machine_fingerprint()
+        assert fingerprints_differ(a, copy.deepcopy(a)) == []
+        b = copy.deepcopy(a)
+        b["host"]["python"] = "0.0.0"
+        diffs = fingerprints_differ(a, b)
+        assert diffs and any("python" in d for d in diffs)
+
+
+class TestSchema:
+    def test_valid_doc_passes_and_chains(self):
+        doc = _doc([_row("sc", "m", [1.0, 2.0, 3.0])])
+        assert validate_bench_doc(doc) is doc
+
+    @pytest.mark.parametrize(
+        "mutate,where",
+        [
+            (lambda d: d.update(schema="other/v1"), "schema"),
+            (lambda d: d.update(version=99), "version"),
+            (lambda d: d.update(mode="turbo"), "mode"),
+            (lambda d: d.update(created_unix="yesterday"), "created_unix"),
+            (lambda d: d.update(machine={"no_host": {}}), "machine"),
+            (lambda d: d["config"].update(warmup=-1), "config.warmup"),
+            (lambda d: d.update(results=[]), "results"),
+            (lambda d: d["results"][0].update(direction="sideways"), "direction"),
+            (lambda d: d["results"][0].update(samples=[]), "samples"),
+            (lambda d: d["results"][0].update(n=99), ".n"),
+            (lambda d: d["results"][0].pop("median"), "median"),
+            (
+                lambda d: d["results"].append(dict(d["results"][0])),
+                "duplicate",
+            ),
+        ],
+    )
+    def test_violations_rejected_with_location(self, mutate, where):
+        doc = _doc([_row("sc", "m", [1.0, 2.0, 3.0])])
+        mutate(doc)
+        with pytest.raises(ValueError, match=where):
+            validate_bench_doc(doc)
+
+    def test_write_load_round_trip(self, tmp_path):
+        doc = _doc([_row("sc", "m", [1.0, 2.0, 3.0])])
+        path = tmp_path / "BENCH_0.json"
+        write_bench_doc(doc, path)
+        assert path.read_text().endswith("\n")
+        assert load_bench_doc(path)["results"][0]["median"] == 2.0
+
+    def test_load_rejects_bad_json_and_bad_doc(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_bench_doc(bad)
+        bad.write_text('{"schema": "wrong"}')
+        with pytest.raises(ValueError, match="schema"):
+            load_bench_doc(bad)
+
+
+class TestHarness:
+    def test_mode_defaults_and_overrides(self):
+        assert (BenchConfig().resolved_warmup, BenchConfig().resolved_repeats) == (1, 3)
+        full = BenchConfig(mode="full")
+        assert (full.resolved_warmup, full.resolved_repeats) == (2, 7)
+        custom = BenchConfig(warmup=0, repeats=9)
+        assert (custom.resolved_warmup, custom.resolved_repeats) == (0, 9)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            BenchConfig(mode="turbo")
+        with pytest.raises(ValueError):
+            BenchConfig(warmup=-1)
+        with pytest.raises(ValueError):
+            BenchConfig(repeats=0)
+
+    def test_metric_validates_direction(self):
+        m = metric([1.0, 2.0], "s")
+        assert m["direction"] == "lower" and m["samples"] == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            metric([1.0], "s", direction="sideways")
+
+    def test_registry_contents(self):
+        _selected(BenchConfig(), None)  # imports the scenario module
+        assert {
+            "reader_materialize",
+            "store_fetch",
+            "prefetch_pipeline",
+            "train_step_serial",
+            "train_step_thread",
+            "train_step_process",
+            "ltfb_round",
+            "checkpoint",
+        } <= set(SCENARIOS)
+
+    def test_selection_honours_mode_and_only(self):
+        quick = {s.name for s in _selected(BenchConfig(mode="quick"), None)}
+        full = {s.name for s in _selected(BenchConfig(mode="full"), None)}
+        assert "train_step_process" not in quick
+        assert "train_step_process" in full
+        # Naming a full-only scenario overrides the quick gating.
+        named = _selected(BenchConfig(mode="quick"), ["train_step_process"])
+        assert [s.name for s in named] == ["train_step_process"]
+        with pytest.raises(ValueError, match="unknown scenario"):
+            _selected(BenchConfig(), ["nope"])
+
+    def test_quick_run_emits_schema_valid_doc(self, quick_doc):
+        validate_bench_doc(quick_doc)
+        assert quick_doc["machine"]["host"]["python"]
+        assert quick_doc["config"] == {"warmup": 0, "repeats": 2, "seed": 2024}
+        by_metric = {r["metric"]: r for r in quick_doc["results"]}
+        assert "epoch_s" in by_metric and "samples_per_s" in by_metric
+        assert by_metric["samples_per_s"]["direction"] == "higher"
+        for r in quick_doc["results"]:
+            assert r["n"] == 2 == len(r["samples"])
+            assert r["min"] <= r["median"] <= r["max"]
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self, quick_doc):
+        comparison = compare_docs(quick_doc, quick_doc)
+        assert comparison["regressions"] == 0
+        assert all(v["status"] == "ok" for v in comparison["verdicts"])
+
+    def test_injected_regression_detected(self, quick_doc):
+        worse = copy.deepcopy(quick_doc)
+        for r in worse["results"]:
+            if r["metric"] == "epoch_s":
+                r["median"] *= 10.0
+        comparison = compare_docs(quick_doc, worse)
+        assert comparison["regressions"] == 1
+        (bad,) = [v for v in comparison["verdicts"] if v["status"] == "regression"]
+        assert bad["metric"] == "epoch_s"
+
+    def test_direction_aware_higher_is_better(self):
+        base = _doc([_row("sc", "rate", [100.0, 100.0, 100.0], "x/s", "higher")])
+        slower = _doc([_row("sc", "rate", [50.0, 50.0, 50.0], "x/s", "higher")])
+        faster = _doc([_row("sc", "rate", [200.0, 200.0, 200.0], "x/s", "higher")])
+        assert compare_docs(base, slower)["regressions"] == 1
+        up = compare_docs(base, faster)
+        assert up["regressions"] == 0
+        assert up["verdicts"][0]["status"] == "improved"
+
+    def test_noise_band_tolerates_small_shifts(self):
+        # 5% worse on a zero-IQR baseline: inside the 10% threshold.
+        base = _doc([_row("sc", "t", [1.0, 1.0, 1.0])])
+        near = _doc([_row("sc", "t", [1.05, 1.05, 1.05])])
+        assert compare_docs(base, near)["verdicts"][0]["status"] == "ok"
+        # 20% worse but the baseline itself is that noisy: IQR term wins.
+        noisy = _doc([_row("sc", "t", [0.8, 1.0, 1.2])])
+        drift = _doc([_row("sc", "t", [1.2, 1.2, 1.2])])
+        assert compare_docs(noisy, drift)["verdicts"][0]["status"] == "ok"
+
+    def test_one_sided_metrics_become_notes(self):
+        base = _doc([_row("a", "m", [1.0]), _row("b", "m", [1.0])])
+        cand = _doc([_row("a", "m", [1.0]), _row("c", "m", [1.0])])
+        comparison = compare_docs(base, cand)
+        assert len(comparison["verdicts"]) == 1
+        assert any("baseline only" in n for n in comparison["notes"])
+        assert any("new metric" in n for n in comparison["notes"])
+
+    def test_direction_change_refuses_to_gate(self):
+        base = _doc([_row("sc", "m", [1.0], direction="lower")])
+        cand = _doc([_row("sc", "m", [1.0], direction="higher")])
+        with pytest.raises(ValueError, match="re-baseline"):
+            compare_docs(base, cand)
+
+    def test_negative_knobs_rejected(self):
+        doc = _doc([_row("sc", "m", [1.0])])
+        with pytest.raises(ValueError):
+            compare_docs(doc, doc, threshold=-0.1)
+
+    def test_render_flags_regressions(self):
+        base = _doc([_row("sc", "m", [1.0, 1.0, 1.0])])
+        worse = _doc([_row("sc", "m", [5.0, 5.0, 5.0])])
+        text = render_comparison(compare_docs(base, worse))
+        assert "REGRESSION" in text
+        assert "verdict: 1 regression(s)" in text
+
+
+class TestTrajectory:
+    def test_bench_file_numbering(self, tmp_path):
+        assert find_bench_files(tmp_path) == []
+        assert next_bench_path(tmp_path).name == "BENCH_0.json"
+        doc = _doc([_row("sc", "m", [1.0])])
+        write_bench_doc(doc, tmp_path / "BENCH_0.json")
+        write_bench_doc(doc, tmp_path / "BENCH_2.json")
+        (tmp_path / "BENCH_x.json").write_text("{}")  # ignored: not numbered
+        assert [i for i, _ in find_bench_files(tmp_path)] == [0, 2]
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_render_trajectory_table(self, tmp_path):
+        assert "no BENCH_" in render_trajectory(tmp_path)
+        write_bench_doc(
+            _doc([_row("sc", "t", [2.0]), _row("sc", "rate", [9.0], "x/s", "higher")]),
+            tmp_path / "BENCH_0.json",
+        )
+        write_bench_doc(
+            _doc([_row("sc", "t", [3.0])]), tmp_path / "BENCH_1.json"
+        )
+        text = render_trajectory(tmp_path)
+        assert "BENCH_0" in text and "BENCH_1" in text
+        assert "sc/t" in text and "sc/rate" in text
+        assert "2.00 s" in text and "3.00 s" in text
+        assert "-" in text  # missing metric in BENCH_1 renders as a dash
+
+
+class TestCli:
+    def test_run_writes_valid_doc(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "BENCH_0.json"
+        rc = main(
+            [
+                "run",
+                "--quick",
+                "--scenario",
+                "reader_materialize",
+                "--warmup",
+                "0",
+                "--repeats",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = load_bench_doc(out)
+        assert doc["mode"] == "quick"
+
+    def test_run_list(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "reader_materialize" in out and "checkpoint" in out
+
+    def test_compare_exit_codes(self, tmp_path, quick_doc, capsys):
+        from repro.bench.__main__ import main
+
+        base = tmp_path / "BENCH_0.json"
+        write_bench_doc(quick_doc, base)
+        # Self-compare: clean exit.
+        assert main(["compare", str(base), str(base)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        # Injected regression: nonzero exit, the CI gate condition.
+        worse = copy.deepcopy(quick_doc)
+        for r in worse["results"]:
+            r["median"] *= 10.0 if r["direction"] == "lower" else 0.1
+        cand = tmp_path / "cand.json"
+        write_bench_doc(worse, cand)
+        assert main(["compare", str(base), str(cand)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_errors_exit_2(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        missing = str(tmp_path / "nope.json")
+        assert main(["compare", missing, missing]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["run", "--scenario", "nope", "--list"]) == 2
+
+    def test_report(self, tmp_path, quick_doc, capsys):
+        from repro.bench.__main__ import main
+
+        write_bench_doc(quick_doc, tmp_path / "BENCH_0.json")
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "benchmark trajectory" in capsys.readouterr().out

@@ -100,13 +100,12 @@ class TestTrainer:
         )
         assert a.gen_optimizer.step_count == 0
 
-    def test_deprecated_aliases_warn_and_still_work(self, population):
+    def test_deprecated_aliases_are_gone(self, population):
         a, b = population(k=2)
-        with pytest.warns(DeprecationWarning, match="generator_package"):
-            pkg = b.generator_package()
-        assert pkg["scope"] == "generator"
-        with pytest.warns(DeprecationWarning, match="adopt_generator"):
-            a.adopt_generator(b.generator_state())
+        assert not hasattr(b, "generator_package")
+        assert not hasattr(a, "adopt_generator")
+        # The replacement API covers the old behaviour.
+        a.adopt_package(b.exchange_package("generator"))
         for k, v in a.surrogate.get_generator_state().items():
             np.testing.assert_array_equal(v, b.generator_state()[k])
 

@@ -318,11 +318,25 @@ class TestExperimentsPlumbing:
             trace_files=files,
         )
         kinds = [type(c).__name__ for c in callbacks]
-        assert kinds == ["JsonlTraceWriter", "MetricsCollector", "HealthMonitor"]
+        assert kinds == [
+            "JsonlTraceWriter",
+            "MetricsCollector",
+            "HealthMonitor",
+            "ResourceSampler",
+        ]
         assert callbacks[1] is metrics
         writer = callbacks[0]
         assert isinstance(writer, JsonlTraceWriter)
         assert files == [tmp_path / "t-fig12-k4.jsonl"]
+        # Resource sampling is skippable; with nothing to observe the
+        # assembly stays empty either way.
+        kinds = [
+            type(c).__name__
+            for c in observability_callbacks(
+                "tag", metrics=metrics, sample_resources=False
+            )
+        ]
+        assert "ResourceSampler" not in kinds
 
     def test_observability_callbacks_default_empty(self):
         from repro.experiments.common import observability_callbacks

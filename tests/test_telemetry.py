@@ -1,9 +1,8 @@
 """Tests for the telemetry subsystem and the unified driver API.
 
 Covers the hub/event layer, the shipped callbacks (trace writer, timer,
-counter aggregator, progress logger), instrumentation of the data store
-and checkpointing, the trace-report CLI, and the deprecated ``on_round``
-shim.
+counter aggregator, progress logger, resource sampler), instrumentation
+of the data store and checkpointing, and the trace-report CLI.
 """
 
 from __future__ import annotations
@@ -27,10 +26,14 @@ from repro.telemetry import (
     CounterAggregator,
     JsonlTraceWriter,
     ProgressLogger,
+    ResourceSampler,
     TelemetryHub,
     WallClockTimer,
     load_trace,
+    sample_resources,
+    summarize_resources,
     summarize_trace,
+    trace_summary,
 )
 from repro.utils.rng import RngFactory
 
@@ -222,27 +225,28 @@ class TestLtfbTelemetry:
         assert len(rec.events) == n
 
 
-class TestDeprecatedOnRound:
-    def test_on_round_shim_warns_and_fires(self, population, val_batch):
+class TestOnRoundShimRemoved:
+    def test_run_rejects_on_round_keyword(self, population, val_batch):
         driver = LtfbDriver(
             population(k=2),
             np.random.default_rng(1),
             LtfbConfig(steps_per_round=1, rounds=3),
             eval_batch=val_batch,
         )
-        seen = []
-        with pytest.warns(DeprecationWarning, match="on_round"):
-            history = driver.run(on_round=lambda r, d: seen.append(r))
-        assert seen == [0, 1, 2]
-        assert history.rounds_completed == 3
+        with pytest.raises(TypeError):
+            driver.run(on_round=lambda r, d: None)
 
-    def test_on_round_shim_on_kindependent(self, population):
+    def test_callback_replaces_on_round(self, population):
+        seen = []
+
+        class Rounds(Callback):
+            def on_round_end(self, event):
+                seen.append(event.payload["round"])
+
         driver = KIndependentDriver(
             population(k=2), LtfbConfig(steps_per_round=1, rounds=2)
         )
-        seen = []
-        with pytest.warns(DeprecationWarning):
-            driver.run(on_round=lambda r, d: seen.append(r))
+        driver.run(callbacks=[Rounds()])
         assert seen == [0, 1]
 
 
@@ -370,3 +374,138 @@ class TestTraceReportCli:
         unknown.write_text('{"type": "mystery"}\n')
         with pytest.raises(ValueError, match="unknown event type"):
             load_trace(unknown)
+
+    def test_json_format_is_machine_readable(
+        self, population, val_batch, tmp_path, capsys
+    ):
+        from repro.experiments.__main__ import main
+
+        trace_path = tmp_path / "trace.jsonl"
+        driver = LtfbDriver(
+            population(k=2),
+            np.random.default_rng(3),
+            LtfbConfig(steps_per_round=1, rounds=2),
+            eval_batch=val_batch,
+        )
+        driver.run(callbacks=[JsonlTraceWriter(trace_path), ResourceSampler()])
+        assert main(["trace-report", str(trace_path), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["phases"]["rounds"] == 2
+        assert doc["counters"]["tournaments"] == 4  # k=2 trainers x 2 rounds
+        assert doc["events"]["round_end"] == 2
+        assert "repro_step_time_seconds" in doc["percentiles"]
+        # Sampler: begin + 2 rounds + end; serial backend: one per round.
+        assert doc["resources"]["driver"]["samples"] == 6
+        assert doc["health"] == [] and doc["spans"] is None
+        # The same dict is importable directly.
+        assert trace_summary(trace_path)["phases"]["rounds"] == 2
+
+
+class TestResourceTelemetry:
+    def test_sample_resources_shape(self):
+        s = sample_resources()
+        assert set(s) == {"rss_bytes", "peak_rss_bytes", "cpu_user_s", "cpu_system_s"}
+        assert s["peak_rss_bytes"] > 0 and s["cpu_user_s"] >= 0.0
+
+    def test_sampler_emits_per_round_and_lifecycle(self, population):
+        driver = KIndependentDriver(
+            population(k=2), LtfbConfig(steps_per_round=1, rounds=3)
+        )
+        rec = Recorder()
+        driver.run(callbacks=[rec, ResourceSampler(every_rounds=2)])
+        driver_samples = [
+            e for e in rec.of_type("resource_sample")
+            if e.payload["source"] == "driver" and "backend" not in e.payload
+        ]
+        # run begin + round 2 (every 2nd of 3 rounds) + run end.
+        assert len(driver_samples) == 3
+
+    def test_serial_backend_samples_per_train_phase(self, population):
+        driver = KIndependentDriver(
+            population(k=2), LtfbConfig(steps_per_round=1, rounds=2)
+        )
+        rec = Recorder()
+        driver.run(callbacks=[rec])
+        backend_samples = [
+            e for e in rec.of_type("resource_sample")
+            if e.payload.get("backend") == "serial"
+        ]
+        assert len(backend_samples) == 2
+        assert all(e.payload["source"] == "driver" for e in backend_samples)
+
+    def test_process_backend_relays_worker_samples(self, population, val_batch):
+        from repro.exec import resolve_backend
+
+        driver = LtfbDriver(
+            population(k=2),
+            np.random.default_rng(5),
+            LtfbConfig(steps_per_round=1, rounds=2),
+            eval_batch=val_batch,
+            backend=resolve_backend("process", max_workers=2),
+        )
+        rec = Recorder()
+        driver.run(callbacks=[rec])
+        summary = summarize_resources(rec.of_type("resource_sample"))
+        assert {"worker0", "worker1"} <= set(summary)
+        for worker in ("worker0", "worker1"):
+            row = summary[worker]
+            assert row["samples"] == 2  # one per train phase
+            assert row["peak_rss_bytes"] > 0
+
+    def test_export_renders_counter_tracks(self, population, val_batch, tmp_path):
+        from repro.telemetry import export_chrome_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        driver = LtfbDriver(
+            population(k=2),
+            np.random.default_rng(6),
+            LtfbConfig(steps_per_round=1, rounds=1),
+            eval_batch=val_batch,
+        )
+        driver.run(
+            callbacks=[
+                JsonlTraceWriter(trace_path, spans=True), ResourceSampler(),
+            ]
+        )
+        doc = export_chrome_trace(trace_path, tmp_path / "trace.json")
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert {"rss[driver]", "cpu[driver]"} <= {e["name"] for e in counters}
+        rss = next(e for e in counters if e["name"] == "rss[driver]")
+        assert rss["args"]["peak_mb"] > 0
+
+    def test_metrics_collector_folds_samples_into_gauges(self):
+        from repro.telemetry import MetricsCollector
+
+        hub = TelemetryHub()
+        collector = MetricsCollector()
+        hub.subscribe(collector)
+        hub.emit(
+            "resource_sample", source="driver",
+            rss_bytes=100, peak_rss_bytes=500,
+            cpu_user_s=1.0, cpu_system_s=0.5,
+        )
+        hub.emit(
+            "resource_sample", source="worker0",
+            rss_bytes=50, peak_rss_bytes=300,
+            cpu_user_s=2.0, cpu_system_s=0.25,
+        )
+        r = collector.registry
+        assert r["repro_rss_bytes"].value == 50.0  # last sample
+        assert r["repro_peak_rss_bytes"].value == 500.0  # max across sources
+        assert r["repro_cpu_seconds"].value == pytest.approx(2.25)
+
+    def test_report_renders_resources_section(self, population, tmp_path):
+        from repro.telemetry import render_trace_report
+
+        trace_path = tmp_path / "trace.jsonl"
+        driver = KIndependentDriver(
+            population(k=2), LtfbConfig(steps_per_round=1, rounds=1)
+        )
+        driver.run(callbacks=[JsonlTraceWriter(trace_path), ResourceSampler()])
+        out = render_trace_report(trace_path)
+        assert "resources:" in out
+        assert "driver: peak rss" in out
+
+    def test_sampler_rejects_bad_cadence(self):
+        with pytest.raises(ValueError, match="every_rounds"):
+            ResourceSampler(every_rounds=0)

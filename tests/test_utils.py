@@ -107,6 +107,56 @@ class TestUnits:
         with pytest.raises(ValueError):
             format_time(-0.1)
 
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            # Exact unit boundaries pick the larger unit.
+            (999, "999 B"),
+            (KB, "1.00 KB"),
+            (MB - 1, "1000.00 KB"),
+            (MB, "1.00 MB"),
+            (GB, "1.00 GB"),
+            (10**12, "1.00 TB"),
+            (0.4, "0 B"),  # sub-byte floats round down to whole bytes
+        ],
+    )
+    def test_format_bytes_boundaries(self, n, expected):
+        assert format_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "s,expected",
+        [
+            (0.0, "0.0 us"),
+            (1e-3, "1.0 ms"),  # us -> ms boundary
+            (1.0, "1.00 s"),  # ms -> s boundary
+            (119.99, "119.99 s"),
+            (120.0, "2.0 min"),  # s -> min boundary
+            (7200.0, "2.00 h"),  # min -> h boundary
+        ],
+    )
+    def test_format_time_boundaries(self, s, expected):
+        assert format_time(s) == expected
+
+    _BYTE_UNITS = {"B": 1, "KB": KB, "MB": MB, "GB": GB, "TB": 10**12}
+    _TIME_UNITS = {"us": 1e-6, "ms": 1e-3, "s": 1.0, "min": 60.0, "h": 3600.0}
+
+    @given(st.floats(min_value=0, max_value=1e14))
+    @settings(max_examples=200)
+    def test_format_bytes_round_trip(self, n):
+        value, unit = format_bytes(n).split()
+        scale = self._BYTE_UNITS[unit]
+        # Parsing the rendering back recovers the input to within the
+        # printed precision (2 decimals above 1 unit, whole bytes below).
+        tolerance = max(0.005 * scale, 0.5)
+        assert abs(float(value) * scale - n) <= tolerance
+
+    @given(st.floats(min_value=0, max_value=1e5))
+    @settings(max_examples=200)
+    def test_format_time_round_trip(self, s):
+        value, unit = format_time(s).split()
+        scale = self._TIME_UNITS[unit]
+        assert abs(float(value) * scale - s) <= 0.05 * scale
+
 
 class TestSerialization:
     def test_roundtrip_preserves_dtype_shape_values(self):
