@@ -220,12 +220,25 @@ def _selected(config: BenchConfig, only: Sequence[str] | None) -> list[Scenario]
     import repro.bench.scenarios  # noqa: F401  (populates SCENARIOS)
 
     if only:
-        unknown = sorted(set(only) - set(SCENARIOS))
+        from fnmatch import fnmatchcase
+
+        # Each entry is an exact name or an fnmatch glob (serve_*); a
+        # pattern that matches nothing is an error either way, so typos
+        # fail loudly instead of silently benchmarking nothing.
+        unknown = sorted(
+            pattern
+            for pattern in set(only)
+            if not any(fnmatchcase(n, pattern) for n in SCENARIOS)
+        )
         if unknown:
             raise ValueError(
                 f"unknown scenario(s) {unknown}; known: {sorted(SCENARIOS)}"
             )
-        names = [n for n in SCENARIOS if n in set(only)]
+        names = [
+            n
+            for n in SCENARIOS
+            if any(fnmatchcase(n, pattern) for pattern in only)
+        ]
     else:
         names = [n for n in SCENARIOS if config.mode in SCENARIOS[n].modes]
     return [SCENARIOS[n] for n in names]

@@ -17,7 +17,11 @@ fixtures (512-sample synthetic JAG dataset, 8x8 images, batch 32):
   paper's Figure 9/10 scaling curves are built from;
 - ``ltfb_round`` — one complete LTFB round (train + tournament +
   exchange + eval) through :class:`~repro.core.ltfb.LtfbDriver`;
-- ``checkpoint`` — trainer checkpoint save and restore round-trip.
+- ``checkpoint`` — trainer checkpoint save and restore round-trip;
+- ``serve_closed_loop`` / ``serve_open_loop`` — request latency through
+  the full serving stack (admission, micro-batching, fixed-shape
+  forward) under closed-loop concurrency and stepped open-loop offered
+  QPS (cache disabled so every request pays the forward path).
 
 Metrics are wall-clock seconds (direction ``lower``) except the reader's
 ``samples_per_s`` throughput (direction ``higher``), which keeps the
@@ -206,3 +210,95 @@ def _checkpoint(ctx: BenchContext) -> dict:
         "save_s": metric(save_s, "s"),
         "restore_s": metric(restore_s, "s"),
     }
+
+
+def _serve_server(ctx: BenchContext, tag: str, store_dir: str):
+    """An in-process server over a freshly checkpointed 2-member ensemble.
+
+    The response cache is off and the assembly delay short: the scenario
+    measures the queue + batch + forward path, not cache hits.
+    """
+    from repro.core.checkpoint import CheckpointStore
+    from repro.serve import ModelRegistry, ServeConfig, SurrogateServer
+
+    trainers = ctx.population(tag)
+    store = CheckpointStore(store_dir)
+    store.save_population(trainers, tag, winner=trainers[0].name)
+    registry = ModelRegistry(store, autoencoder=ctx.autoencoder, max_batch=16)
+    registry.load(tag)
+    return SurrogateServer(
+        registry,
+        ServeConfig(max_batch=16, max_delay_s=0.001, cache_size=0),
+    )
+
+
+def _latency_metrics(reports) -> dict[str, list[float]]:
+    out: dict[str, list[float]] = {"p50_s": [], "p95_s": [], "p99_s": []}
+    for report in reports:
+        p = report.percentiles()
+        out["p50_s"].append(p["p50"])
+        out["p95_s"].append(p["p95"])
+        out["p99_s"].append(p["p99"])
+    return out
+
+
+@scenario(
+    "serve_closed_loop",
+    "served request latency, 4 closed-loop clients through the full stack",
+)
+def _serve_closed_loop(ctx: BenchContext) -> dict:
+    import tempfile
+
+    from repro.serve import closed_loop
+
+    rng = ctx.rng("serve-closed")
+    with tempfile.TemporaryDirectory() as tmp:
+        server = _serve_server(ctx, "serve-closed", tmp)
+        n_params = server.registry.current().runtime.input_dim
+        params = rng.random((128, n_params), dtype=np.float32)
+        reports = []
+        with server:
+            for i in range(
+                ctx.config.resolved_warmup + ctx.config.resolved_repeats
+            ):
+                report = closed_loop(
+                    server, params, clients=4, requests_per_client=24
+                )
+                if i >= ctx.config.resolved_warmup:
+                    reports.append(report)
+    return {
+        name: metric(samples, "s")
+        for name, samples in _latency_metrics(reports).items()
+    }
+
+
+@scenario(
+    "serve_open_loop",
+    "served request latency vs stepped offered QPS (open loop)",
+)
+def _serve_open_loop(ctx: BenchContext) -> dict:
+    import tempfile
+
+    from repro.serve import open_loop
+
+    rng = ctx.rng("serve-open")
+    qps_steps = (100.0, 200.0, 400.0)
+    out: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        server = _serve_server(ctx, "serve-open", tmp)
+        n_params = server.registry.current().runtime.input_dim
+        params = rng.random((128, n_params), dtype=np.float32)
+        with server:
+            for qps in qps_steps:
+                reports = []
+                for i in range(
+                    ctx.config.resolved_warmup + ctx.config.resolved_repeats
+                ):
+                    report = open_loop(
+                        server, params, qps=qps, n_requests=48
+                    )
+                    if i >= ctx.config.resolved_warmup:
+                        reports.append(report)
+                for name, samples in _latency_metrics(reports).items():
+                    out[f"qps{int(qps)}_{name}"] = metric(samples, "s")
+    return out

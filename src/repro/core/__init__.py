@@ -27,8 +27,17 @@ from repro.core.ltfb import LtfbConfig, LtfbDriver, LtfbHistory, TournamentRecor
 from repro.core.kindependent import KIndependentDriver
 from repro.core.ensemble import EnsembleSpec, build_population, pretrain_autoencoder
 from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    CheckpointStore,
+    CheckpointVersionError,
+    EnsembleSnapshot,
+    GeneratorSnapshot,
     apply_exec_state,
     capture_exec_state,
+    generator_snapshot,
     population_checkpoint,
     restore_population,
     restore_trainer,
@@ -70,4 +79,13 @@ __all__ = [
     "restore_population",
     "capture_exec_state",
     "apply_exec_state",
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "GeneratorSnapshot",
+    "EnsembleSnapshot",
+    "generator_snapshot",
 ]

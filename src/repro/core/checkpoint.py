@@ -23,12 +23,38 @@ weight names); mismatches raise instead of silently corrupting state.
 Both directions emit ``checkpoint`` telemetry events when a
 :class:`~repro.telemetry.TelemetryHub` is passed (or attached to the
 trainer by a running driver).
+
+Public surface
+--------------
+
+:class:`CheckpointStore` is the durable, tagged front door: ``save(trainer,
+tag)`` / ``load_trainer(tag, trainer)`` / ``load_generator(tag)`` /
+``list_tags()`` / ``latest()`` over a directory of atomic-rename-published
+payload files, plus population tags (one directory per tag with a manifest)
+and the shared frozen autoencoder.  The byte-level functions
+(:func:`trainer_checkpoint`, :func:`restore_trainer`,
+:func:`population_checkpoint`, :func:`restore_population`) remain public
+building blocks, and :func:`capture_exec_state` / :func:`apply_exec_state`
+stay the execution backends' replica-shipping codec.  Everything
+``_``-prefixed is internal — importing it from another module is an API
+violation (enforced by ``tests/test_api_boundaries.py``).
+
+Failures are typed: :class:`CheckpointNotFoundError` (unknown tag),
+:class:`CheckpointCorruptError` (truncated or mangled payload),
+:class:`CheckpointVersionError` (format-version mismatch), and
+:class:`CheckpointMismatchError` (payload applied to the wrong trainer or
+component).  All subclass :class:`CheckpointError`, itself a ``ValueError``
+so pre-existing ``except ValueError`` call sites keep working.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import json
+import os
+import re
+from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
@@ -36,9 +62,19 @@ import numpy as np
 from repro.core.trainer import Trainer
 
 if TYPE_CHECKING:
+    from repro.models.autoencoder import MultimodalAutoencoder
     from repro.telemetry import TelemetryHub
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointMismatchError",
+    "GeneratorSnapshot",
+    "EnsembleSnapshot",
+    "CheckpointStore",
+    "generator_snapshot",
     "trainer_checkpoint",
     "restore_trainer",
     "population_checkpoint",
@@ -49,6 +85,27 @@ __all__ = [
 
 _HEADER_KEY = "__checkpoint_header__"
 _FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Base class of every checkpoint failure (a ``ValueError`` so legacy
+    ``except ValueError`` call sites keep catching)."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No checkpoint exists under the requested tag."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The payload is truncated, not an npz archive, or missing parts."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The payload's format version is not the one this code writes."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A payload was applied to the wrong trainer or component kind."""
 
 
 def _flatten_optimizer(prefix: str, state: Mapping) -> tuple[dict, dict]:
@@ -141,16 +198,34 @@ def _pack(arrays: Mapping[str, np.ndarray], header: Mapping) -> bytes:
 
 
 def _unpack(payload: bytes) -> tuple[dict[str, np.ndarray], dict]:
-    with np.load(io.BytesIO(payload), allow_pickle=False) as data:
-        arrays = {
-            k.replace("\x1f", "/"): np.array(data[k])
-            for k in data.files
-            if k != _HEADER_KEY
-        }
-        header = json.loads(bytes(data[_HEADER_KEY]).decode("utf-8"))
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            if _HEADER_KEY not in data.files:
+                raise CheckpointCorruptError(
+                    "checkpoint payload has no header record"
+                )
+            arrays = {
+                k.replace("\x1f", "/"): np.array(data[k])
+                for k in data.files
+                if k != _HEADER_KEY
+            }
+            header = json.loads(bytes(data[_HEADER_KEY]).decode("utf-8"))
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        # np.load on a truncated/mangled buffer surfaces zipfile.BadZipFile,
+        # struct.error, OSError, or ValueError depending on where the
+        # corruption bites; json adds its own decode errors.  All of them
+        # mean the same thing to a caller: the payload is not a checkpoint.
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint payload: {type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise CheckpointCorruptError("checkpoint header is not an object")
     if header.get("version") != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint version {header.get('version')!r}"
+        raise CheckpointVersionError(
+            f"unsupported checkpoint version {header.get('version')!r} "
+            f"(this code reads version {_FORMAT_VERSION})"
         )
     return arrays, header
 
@@ -179,6 +254,7 @@ def trainer_checkpoint(
     arrays, gen_meta, disc_meta = _train_state_arrays(trainer)
     header = {
         "version": _FORMAT_VERSION,
+        "kind": "trainer",
         "name": trainer.name,
         "steps_done": trainer.steps_done,
         "tournaments_won": trainer.tournaments_won,
@@ -202,6 +278,7 @@ def restore_trainer(
 ) -> None:
     """Load a checkpoint into an architecturally identical trainer."""
     arrays, header = _unpack(payload)
+    _check_kind(header, "trainer")
     _apply_train_state(trainer, arrays, header)
     trainer.tournaments_won = int(header["tournaments_won"])
     trainer.tournaments_lost = int(header["tournaments_lost"])
@@ -231,6 +308,7 @@ def capture_exec_state(trainer: Trainer, include_reader: bool = True) -> bytes:
     arrays, gen_meta, disc_meta = _train_state_arrays(trainer)
     header = {
         "version": _FORMAT_VERSION,
+        "kind": "trainer",
         "name": trainer.name,
         "steps_done": trainer.steps_done,
         "surrogate_steps": trainer.surrogate.steps_trained,
@@ -251,8 +329,9 @@ def apply_exec_state(trainer: Trainer, payload: bytes) -> None:
     kept — depth is an execution-placement knob, not trained state.
     """
     arrays, header = _unpack(payload)
+    _check_kind(header, "trainer")
     if header["name"] != trainer.name:
-        raise ValueError(
+        raise CheckpointMismatchError(
             f"exec state for trainer {header['name']!r} applied to "
             f"{trainer.name!r}"
         )
@@ -283,3 +362,373 @@ def restore_population(
         raise ValueError(f"no checkpoint for trainers: {sorted(missing)}")
     for t in trainers:
         restore_trainer(t, checkpoints[t.name], telemetry)
+
+
+def _check_kind(header: Mapping, expected: str) -> None:
+    # Headers written before the store existed carry no kind; they are all
+    # trainer checkpoints, so absence only satisfies expected="trainer".
+    kind = header.get("kind", "trainer")
+    if kind != expected:
+        raise CheckpointMismatchError(
+            f"expected a {expected!r} checkpoint, got {kind!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Inference-side snapshots
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorSnapshot:
+    """The deployable slice of one trainer checkpoint.
+
+    Exactly what a surrogate server needs to answer forward queries:
+    the generator weight tensors (``forward/*`` and ``inverse/*``; the
+    discriminator and optimizer state stay behind) plus provenance.
+    Immutable by convention — the serve registry shares one snapshot
+    across threads without copying.
+    """
+
+    tag: str
+    trainer_name: str
+    steps_trained: int
+    weights: Mapping[str, np.ndarray]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(int(v.nbytes) for v in self.weights.values())
+
+
+@dataclasses.dataclass(frozen=True)
+class EnsembleSnapshot:
+    """A population's deployable generators, in manifest order.
+
+    ``winner`` names the tournament winner when the saver recorded one
+    (:meth:`CheckpointStore.save_population`); single-trainer tags load as
+    one-member ensembles whose sole member is the winner.
+    """
+
+    tag: str
+    members: tuple[GeneratorSnapshot, ...]
+    winner: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise CheckpointCorruptError(f"ensemble {self.tag!r} has no members")
+        names = [m.trainer_name for m in self.members]
+        if self.winner is not None and self.winner not in names:
+            raise CheckpointMismatchError(
+                f"winner {self.winner!r} is not an ensemble member of "
+                f"{self.tag!r} ({names})"
+            )
+
+    @property
+    def winner_member(self) -> GeneratorSnapshot:
+        """The winner's snapshot (first member when none was recorded)."""
+        if self.winner is None:
+            return self.members[0]
+        return next(
+            m for m in self.members if m.trainer_name == self.winner
+        )
+
+
+def generator_snapshot(payload: bytes, tag: str = "") -> GeneratorSnapshot:
+    """Extract the deployable generator slice from a checkpoint payload."""
+    arrays, header = _unpack(payload)
+    _check_kind(header, "trainer")
+    weights = {
+        k.removeprefix("model/"): v
+        for k, v in arrays.items()
+        if k.startswith(("model/forward/", "model/inverse/"))
+    }
+    if not weights:
+        raise CheckpointCorruptError(
+            f"checkpoint {tag or header.get('name')!r} carries no "
+            f"generator weights"
+        )
+    return GeneratorSnapshot(
+        tag=tag,
+        trainer_name=str(header["name"]),
+        steps_trained=int(header["surrogate_steps"]),
+        weights=weights,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The tagged, directory-backed store
+# ---------------------------------------------------------------------------
+
+#: Tags are slash-separated path-safe segments; no traversal, no hidden
+#: files, no empty segments.
+_TAG_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._@-]*(/[A-Za-z0-9][A-Za-z0-9._@-]*)*$")
+
+
+class CheckpointStore:
+    """Durable, tagged checkpoint storage over one directory.
+
+    Every tag is published with write-to-temp + ``os.replace`` so a
+    concurrent reader (a serving process polling :meth:`latest` for a new
+    tournament winner) sees either the previous complete payload or the
+    new one, never a torn write.  Two tag shapes exist:
+
+    - **trainer tags** — one ``<tag>.ckpt`` file holding one
+      :func:`trainer_checkpoint` payload;
+    - **population tags** — a ``<tag>/`` directory of per-trainer payloads
+      plus a ``MANIFEST.json`` naming the member order and (optionally)
+      the tournament winner.  The manifest is written last, so the tag is
+      invisible until every member is durable.
+
+    ``latest()`` orders tags by publish time (file mtime of the payload or
+    manifest), which is the contract the serve registry's hot-reload poll
+    is built on: save a better model under a fresh tag and every watcher
+    picks it up.
+    """
+
+    SUFFIX = ".ckpt"
+    MANIFEST = "MANIFEST.json"
+
+    def __init__(self, root, telemetry: "TelemetryHub | None" = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry
+
+    # -- tag bookkeeping -----------------------------------------------------
+
+    @staticmethod
+    def _check_tag(tag: str) -> str:
+        if not isinstance(tag, str) or not _TAG_RE.match(tag):
+            raise ValueError(
+                f"invalid checkpoint tag {tag!r}: use path-safe segments "
+                f"([A-Za-z0-9._@-], '/'-separated, no leading dots)"
+            )
+        return tag
+
+    def _file(self, tag: str) -> Path:
+        return self.root / (self._check_tag(tag) + self.SUFFIX)
+
+    def _dir(self, tag: str) -> Path:
+        return self.root / self._check_tag(tag)
+
+    def _publish(self, path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    def _stamp(self, tag: str) -> int:
+        """Publish instant of a tag in mtime ns (manifest for populations)."""
+        path = self._file(tag)
+        if not path.is_file():
+            path = self._dir(tag) / self.MANIFEST
+        return path.stat().st_mtime_ns
+
+    def list_tags(self) -> list[str]:
+        """Every published tag (trainer and population), sorted by name."""
+        tags: list[str] = []
+        for path in self.root.rglob(f"*{self.SUFFIX}"):
+            if path.name.startswith("."):
+                continue
+            rel = path.relative_to(self.root)
+            # Files inside a population directory are members, not tags.
+            if (path.parent / self.MANIFEST).is_file():
+                continue
+            tags.append(str(rel)[: -len(self.SUFFIX)])
+        for manifest in self.root.rglob(self.MANIFEST):
+            tags.append(str(manifest.parent.relative_to(self.root)))
+        return sorted(tags)
+
+    def latest(self, exclude: Sequence[str] = ()) -> str | None:
+        """The most recently published tag, or ``None`` on an empty store.
+
+        ``exclude`` skips tags that are not deployment candidates (the
+        serve registry passes its autoencoder tag so saving the frozen
+        decoder never looks like a new model version).
+        """
+        tags = [t for t in self.list_tags() if t not in set(exclude)]
+        if not tags:
+            return None
+        return max(tags, key=lambda t: (self._stamp(t), t))
+
+    def __contains__(self, tag: str) -> bool:
+        return self._file(tag).is_file() or (
+            self._dir(tag) / self.MANIFEST
+        ).is_file()
+
+    # -- trainer tags --------------------------------------------------------
+
+    def save(self, trainer: Trainer, tag: str | None = None) -> str:
+        """Checkpoint one trainer under ``tag`` (default:
+        ``<name>-s<steps>``); returns the tag."""
+        if tag is None:
+            tag = f"{trainer.name}-s{trainer.steps_done:08d}"
+        path = self._file(tag)
+        self._publish(path, trainer_checkpoint(trainer, self.telemetry))
+        return tag
+
+    def payload(self, tag: str) -> bytes:
+        """The raw checkpoint bytes of a trainer tag."""
+        path = self._file(tag)
+        if not path.is_file():
+            raise CheckpointNotFoundError(
+                f"no checkpoint tagged {tag!r} under {self.root}"
+            )
+        return path.read_bytes()
+
+    def load_trainer(self, tag: str, trainer: Trainer) -> Trainer:
+        """Restore a trainer tag into an architecturally identical trainer."""
+        restore_trainer(trainer, self.payload(tag), self.telemetry)
+        return trainer
+
+    def load_generator(self, tag: str) -> GeneratorSnapshot:
+        """The deployable generator slice of a trainer tag."""
+        return generator_snapshot(self.payload(tag), tag=tag)
+
+    # -- population tags -----------------------------------------------------
+
+    def save_population(
+        self,
+        trainers: Sequence[Trainer],
+        tag: str,
+        winner: str | None = None,
+    ) -> str:
+        """Checkpoint a whole population under one tag.
+
+        ``winner`` (a member trainer name) records the tournament verdict
+        so servers in winner-only mode know which member to serve.  The
+        manifest publishes last: a concurrently polling reader never sees
+        a partial population.
+        """
+        names = [t.name for t in trainers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"trainer names must be unique, got {names}")
+        if winner is not None and winner not in names:
+            raise ValueError(f"winner {winner!r} is not in {names}")
+        directory = self._dir(tag)
+        for t in trainers:
+            self._publish(
+                directory / f"{t.name}{self.SUFFIX}",
+                trainer_checkpoint(t, self.telemetry),
+            )
+        manifest = {
+            "members": names,
+            "winner": winner,
+            "version": _FORMAT_VERSION,
+        }
+        self._publish(
+            directory / self.MANIFEST,
+            json.dumps(manifest, indent=2).encode("utf-8"),
+        )
+        return tag
+
+    def _manifest(self, tag: str) -> dict:
+        path = self._dir(tag) / self.MANIFEST
+        if not path.is_file():
+            raise CheckpointNotFoundError(
+                f"no population checkpoint tagged {tag!r} under {self.root}"
+            )
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointCorruptError(
+                f"population manifest for {tag!r} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("members"), list
+        ):
+            raise CheckpointCorruptError(
+                f"population manifest for {tag!r} has no member list"
+            )
+        return manifest
+
+    def load_population(
+        self, tag: str, trainers: Sequence[Trainer]
+    ) -> Sequence[Trainer]:
+        """Restore a population tag into identically named trainers."""
+        manifest = self._manifest(tag)
+        directory = self._dir(tag)
+        checkpoints: dict[str, bytes] = {}
+        for name in manifest["members"]:
+            member = directory / f"{name}{self.SUFFIX}"
+            if not member.is_file():
+                raise CheckpointCorruptError(
+                    f"population {tag!r} manifest names {name!r} but the "
+                    f"member payload is missing"
+                )
+            checkpoints[name] = member.read_bytes()
+        restore_population(trainers, checkpoints, self.telemetry)
+        return trainers
+
+    def load_ensemble(self, tag: str) -> EnsembleSnapshot:
+        """Deployable generators of a tag — population or single trainer.
+
+        A trainer tag yields a one-member ensemble whose member is the
+        winner; a population tag yields members in manifest order with the
+        recorded winner (if any).
+        """
+        if self._file(tag).is_file():
+            member = self.load_generator(tag)
+            return EnsembleSnapshot(
+                tag=tag, members=(member,), winner=member.trainer_name
+            )
+        manifest = self._manifest(tag)
+        directory = self._dir(tag)
+        members = []
+        for name in manifest["members"]:
+            member = directory / f"{name}{self.SUFFIX}"
+            if not member.is_file():
+                raise CheckpointCorruptError(
+                    f"population {tag!r} manifest names {name!r} but the "
+                    f"member payload is missing"
+                )
+            members.append(
+                generator_snapshot(member.read_bytes(), tag=f"{tag}/{name}")
+            )
+        return EnsembleSnapshot(
+            tag=tag, members=tuple(members), winner=manifest.get("winner")
+        )
+
+    # -- the shared frozen autoencoder ---------------------------------------
+
+    def save_autoencoder(
+        self, autoencoder: "MultimodalAutoencoder", tag: str = "autoencoder"
+    ) -> str:
+        """Persist the frozen multimodal autoencoder under ``tag``.
+
+        Generator checkpoints alone cannot answer a surrogate query — the
+        decoder half of the latent space lives here.  Serving loads this
+        once and every generator snapshot against it.
+        """
+        header = {
+            "version": _FORMAT_VERSION,
+            "kind": "autoencoder",
+            "schema": dataclasses.asdict(autoencoder.schema),
+            "hidden": [int(h) for h in autoencoder.hidden],
+            "latent_dim": autoencoder.latent_dim,
+            "image_loss_weight": autoencoder.image_loss_weight,
+        }
+        arrays = {
+            f"model/{k}": v for k, v in autoencoder.get_state().items()
+        }
+        self._publish(self._file(tag), _pack(arrays, header))
+        return tag
+
+    def load_autoencoder(self, tag: str = "autoencoder") -> "MultimodalAutoencoder":
+        """Rebuild the frozen autoencoder saved under ``tag``."""
+        from repro.jag.dataset import JagSchema
+        from repro.models.autoencoder import MultimodalAutoencoder
+        from repro.utils.rng import RngFactory
+
+        arrays, header = _unpack(self.payload(tag))
+        _check_kind(header, "autoencoder")
+        autoencoder = MultimodalAutoencoder(
+            RngFactory(0),  # init is immediately overwritten by set_state
+            JagSchema(**header["schema"]),
+            hidden=tuple(header["hidden"]),
+            latent_dim=int(header["latent_dim"]),
+            image_loss_weight=float(header.get("image_loss_weight", 1.0)),
+        )
+        autoencoder.set_state(
+            {k.removeprefix("model/"): v for k, v in arrays.items()}
+        )
+        return autoencoder

@@ -73,6 +73,7 @@ def _quality_bench(args):
             trace_out=args.trace_out,
             metrics=args._metrics,
             trace_files=args._trace_files,
+            checkpoint_dir=args.checkpoint_dir,
         )
     return args._bench
 
@@ -203,53 +204,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--all-perf", action="store_true", help="run fig09, fig10 and fig11"
     )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="miniature quality runs (structure only, minutes -> seconds)",
-    )
-    parser.add_argument("--seed", type=int, default=2019)
-    parser.add_argument(
-        "--backend",
-        choices=["serial", "thread", "process"],
-        default="serial",
-        help="execution backend for the quality-figure training runs",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker cap for parallel backends (default: one per CPU)",
-    )
-    parser.add_argument(
-        "--prefetch-depth",
-        type=int,
-        default=None,
-        help=(
-            "data-pipeline prefetch depth for training runs (default: "
-            "trainer-configured; 0 = synchronous). Results are "
-            "bit-identical at any depth."
-        ),
-    )
-    parser.add_argument(
-        "--trace-out",
-        default=None,
-        metavar="BASE.jsonl",
-        help=(
-            "write a span-enabled JSONL telemetry trace per training run "
-            "(run tag folded into the filename); summarize with "
-            "trace-report, convert with trace-export"
-        ),
-    )
-    parser.add_argument(
-        "--metrics-out",
-        default=None,
-        metavar="PATH",
-        help=(
-            "write the session's accumulated metrics registry on exit "
-            "(Prometheus text for .prom/.txt, JSON otherwise)"
-        ),
-    )
+    from repro.experiments.common import add_runtime_options
+
+    add_runtime_options(parser)
     args = parser.parse_args(argv)
     args._bench = None
     args._trace_files = []

@@ -30,7 +30,154 @@ __all__ = [
     "QualityWorkbench",
     "note_health",
     "observability_callbacks",
+    "add_runtime_options",
+    "add_serve_options",
+    "serve_config_from_args",
 ]
+
+
+def add_runtime_options(parser, seed_default: int = 2019) -> None:
+    """Register the runtime flags every repro CLI shares.
+
+    One definition for ``--quick``/``--seed``/``--backend``/``--workers``/
+    ``--prefetch-depth``/``--trace-out``/``--metrics-out``/
+    ``--checkpoint-dir`` — the experiments runner, the serve CLI, and any
+    future entry point call this instead of re-declaring the boilerplate
+    (and silently drifting on defaults or help text).
+    """
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="miniature runs (structure only, minutes -> seconds)",
+    )
+    parser.add_argument("--seed", type=int, default=seed_default)
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend for training runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker cap for parallel backends (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=None,
+        help=(
+            "data-pipeline prefetch depth for training runs (default: "
+            "trainer-configured; 0 = synchronous). Results are "
+            "bit-identical at any depth."
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="BASE.jsonl",
+        help=(
+            "write a span-enabled JSONL telemetry trace per run (run tag "
+            "folded into the filename); summarize with trace-report, "
+            "convert with trace-export"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the session's accumulated metrics registry on exit "
+            "(Prometheus text for .prom/.txt, JSON otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "CheckpointStore root: training runs publish their population "
+            "and tournament winner here; the serve CLI loads from it"
+        ),
+    )
+
+
+def add_serve_options(parser) -> None:
+    """Register the ``--serve-*`` policy flags (defined once, here).
+
+    Maps one-to-one onto :class:`repro.serve.ServeConfig`; build the
+    config with :func:`serve_config_from_args`.
+    """
+    group = parser.add_argument_group("serving policy")
+    group.add_argument(
+        "--serve-max-batch",
+        type=int,
+        default=32,
+        help="micro-batch rows per forward pass (the fixed GEMM shape)",
+    )
+    group.add_argument(
+        "--serve-max-delay-ms",
+        type=float,
+        default=2.0,
+        help="longest a request waits for batch company (milliseconds)",
+    )
+    group.add_argument(
+        "--serve-queue-depth",
+        type=int,
+        default=256,
+        help="admission queue bound; beyond it requests are rejected",
+    )
+    group.add_argument(
+        "--serve-deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request queueing deadline (milliseconds)",
+    )
+    group.add_argument(
+        "--serve-cache-size",
+        type=int,
+        default=1024,
+        help="LRU response-cache capacity (0 disables caching)",
+    )
+    group.add_argument(
+        "--serve-cache-quantum",
+        type=float,
+        default=1e-6,
+        help="input quantization grid for cache keys (0 = exact match)",
+    )
+    group.add_argument(
+        "--serve-aggregate",
+        choices=["winner", "mean", "median"],
+        default="winner",
+        help="ensemble aggregation across population members",
+    )
+    group.add_argument(
+        "--serve-reload-poll-s",
+        type=float,
+        default=None,
+        help="poll the checkpoint store for newer winners every N seconds",
+    )
+
+
+def serve_config_from_args(args):
+    """A :class:`repro.serve.ServeConfig` from parsed ``--serve-*`` flags."""
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        max_batch=args.serve_max_batch,
+        max_delay_s=args.serve_max_delay_ms / 1e3,
+        max_queue=args.serve_queue_depth,
+        default_deadline_s=(
+            None
+            if args.serve_deadline_ms is None
+            else args.serve_deadline_ms / 1e3
+        ),
+        cache_size=args.serve_cache_size,
+        cache_quantum=args.serve_cache_quantum,
+        aggregate_mode=args.serve_aggregate,
+        reload_poll_s=args.serve_reload_poll_s,
+    )
 
 Row = Mapping[str, object]
 
@@ -205,6 +352,7 @@ class QualityWorkbench:
         metrics=None,
         monitor_health: bool = True,
         trace_files: "list[Path] | None" = None,
+        checkpoint_dir: "str | Path | None" = None,
     ) -> None:
         self.seed = seed
         self.rngs = RngFactory(seed)
@@ -228,6 +376,14 @@ class QualityWorkbench:
         self.trace_files: list[Path] = (
             trace_files if trace_files is not None else []
         )
+        # When set, every LTFB run publishes its trained population (and
+        # the frozen autoencoder, once) into a CheckpointStore, winner
+        # recorded — the hand-off point to `repro.serve`.
+        self.store = None
+        if checkpoint_dir is not None:
+            from repro.core.checkpoint import CheckpointStore
+
+            self.store = CheckpointStore(checkpoint_dir)
         # Memoized LTFB runs, keyed by (tag, schedule) — see train_ltfb.
         self._ltfb_cache: dict[tuple, object] = {}
         # The campaign enumeration order: "design" (low-discrepancy, the
@@ -339,5 +495,13 @@ class QualityWorkbench:
             driver.run(
                 callbacks=[*callbacks, *self.run_callbacks(tag)]
             )
+            if self.store is not None:
+                if "autoencoder" not in self.store:
+                    self.store.save_autoencoder(self.autoencoder)
+                winner, _ = driver.best_trainer()
+                safe = re.sub(r"[^A-Za-z0-9._-]+", "-", tag).strip("-")
+                self.store.save_population(
+                    trainers, f"{safe}-k{k}", winner=winner.name
+                )
             self._ltfb_cache[key] = driver
         return self._ltfb_cache[key]

@@ -107,6 +107,7 @@ class MultimodalAutoencoder:
         if latent_dim <= 0:
             raise ValueError("latent_dim must be positive")
         self.schema = schema
+        self.hidden = tuple(int(h) for h in hidden)
         self.latent_dim = int(latent_dim)
         self.image_loss_weight = float(image_loss_weight)
         self.encoder = _build_encoder("encoder", rngs, schema, hidden, latent_dim)

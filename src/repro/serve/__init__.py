@@ -1,0 +1,69 @@
+"""Production serving of trained surrogates.
+
+The deployment half of the paper's story: LTFB campaigns checkpoint
+tournament winners into a :class:`~repro.core.checkpoint.CheckpointStore`,
+and this package turns the newest winner into a service answering 5-D
+JAG parameter queries under heavy traffic.
+
+- :mod:`repro.serve.registry` — versioned model loading with atomic
+  hot-reload when a better winner is checkpointed;
+- :mod:`repro.serve.runtime` — fixed-shape generator/ensemble forwards
+  (micro-batched responses bit-identical to single-request ones);
+- :mod:`repro.serve.batcher` — dynamic micro-batching with backpressure
+  and per-request deadlines;
+- :mod:`repro.serve.cache` — LRU response cache over quantized inputs;
+- :mod:`repro.serve.ensemble` — mean/median/winner-only aggregation;
+- :mod:`repro.serve.server` — the composition root, instrumented with
+  ``repro_serve_*`` metrics, spans, and health warnings;
+- :mod:`repro.serve.loadgen` — closed- and open-loop load drivers.
+
+Quickstart::
+
+    store = CheckpointStore("ckpts")
+    server = SurrogateServer(ModelRegistry(store))
+    with server:
+        response = server.predict(params_row)
+"""
+
+from repro.serve.batcher import Batch, MicroBatcher, PendingRequest
+from repro.serve.cache import ResponseCache
+from repro.serve.ensemble import AGGREGATE_MODES, aggregate
+from repro.serve.errors import (
+    DeadlineExceededError,
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    closed_loop,
+    open_loop,
+    stepped_open_loop,
+)
+from repro.serve.registry import ModelRegistry, ServingModel
+from repro.serve.runtime import EnsembleRuntime, GeneratorRuntime
+from repro.serve.server import ServeConfig, ServeResponse, SurrogateServer
+
+__all__ = [
+    "AGGREGATE_MODES",
+    "aggregate",
+    "Batch",
+    "MicroBatcher",
+    "PendingRequest",
+    "ResponseCache",
+    "ServeError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "DeadlineExceededError",
+    "LoadReport",
+    "closed_loop",
+    "open_loop",
+    "stepped_open_loop",
+    "ModelRegistry",
+    "ServingModel",
+    "EnsembleRuntime",
+    "GeneratorRuntime",
+    "ServeConfig",
+    "ServeResponse",
+    "SurrogateServer",
+]

@@ -1,0 +1,191 @@
+"""Command-line entry points for the serving plane.
+
+Usage::
+
+    # Train a tiny population and publish it (autoencoder + winner):
+    python -m repro.serve demo-checkpoint --checkpoint-dir ckpts --quick
+
+    # Serve the newest tag and drive load against it:
+    python -m repro.serve load-test --checkpoint-dir ckpts \\
+        --mode open --qps 200 --requests 400 --metrics-out serve.prom
+
+``demo-checkpoint`` runs a short LTFB campaign and saves the population
+with its tournament winner through the public checkpoint API — exactly
+what a real campaign does with ``--checkpoint-dir``.  ``load-test``
+starts an in-process :class:`~repro.serve.SurrogateServer` on the
+store's newest tag and runs a closed-loop, open-loop, or stepped
+open-loop drive, printing one JSON report line per step.  All serving
+policy knobs are the shared ``--serve-*`` flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.experiments.common import (
+    add_runtime_options,
+    add_serve_options,
+    serve_config_from_args,
+)
+
+DEMO_TAG = "demo"
+
+
+def _store(args):
+    from repro.core.checkpoint import CheckpointStore
+
+    if args.checkpoint_dir is None:
+        raise SystemExit("--checkpoint-dir is required")
+    return CheckpointStore(args.checkpoint_dir)
+
+
+def cmd_demo_checkpoint(args) -> int:
+    from repro.experiments.common import QualityWorkbench
+
+    bench = QualityWorkbench(
+        seed=args.seed,
+        n_samples=1024 if args.quick else 4096,
+        backend=args.backend,
+        workers=args.workers,
+        prefetch_depth=args.prefetch_depth,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    schedule = (
+        dict(rounds=2, steps_per_round=4)
+        if args.quick
+        else dict(rounds=6, steps_per_round=20)
+    )
+    bench.train_ltfb(DEMO_TAG, k=args.k, **schedule)
+    store = bench.store
+    print(
+        json.dumps(
+            {"tags": store.list_tags(), "latest": store.latest()},
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
+def _query_params(store, tag: str, n: int, seed: int) -> np.ndarray:
+    """Synthetic query traffic shaped like the snapshot's input space."""
+    snapshot = store.load_ensemble(tag)
+    n_params = snapshot.winner_member.weights["forward/fc0/kernel"].shape[0]
+    rng = np.random.default_rng(seed)
+    return rng.random((n, n_params), dtype=np.float32)
+
+
+def cmd_load_test(args) -> int:
+    from repro.serve import (
+        ModelRegistry,
+        ServeError,
+        SurrogateServer,
+        closed_loop,
+        stepped_open_loop,
+    )
+
+    store = _store(args)
+    config = serve_config_from_args(args)
+    registry = ModelRegistry(
+        store,
+        max_batch=config.max_batch,
+        aggregate_mode=config.aggregate_mode,
+    )
+    if args.tag is not None:
+        registry.load(args.tag)
+    metrics = None
+    server = SurrogateServer(registry, config)
+    reports = []
+    try:
+        server.start()
+    except (ServeError, ValueError) as exc:
+        raise SystemExit(f"load-test: {exc}") from None
+    with server:
+        tag = registry.current().tag
+        params = _query_params(store, tag, n=256, seed=args.seed)
+        deadline_s = config.default_deadline_s
+        if args.mode == "closed":
+            reports = [
+                closed_loop(
+                    server,
+                    params,
+                    clients=args.clients,
+                    requests_per_client=args.requests // max(args.clients, 1),
+                    deadline_s=deadline_s,
+                )
+            ]
+        else:
+            steps = (
+                [args.qps]
+                if args.mode == "open"
+                else [args.qps * f for f in (0.25, 0.5, 1.0)]
+            )
+            reports = stepped_open_loop(
+                server,
+                params,
+                qps_steps=steps,
+                requests_per_step=args.requests,
+                deadline_s=deadline_s,
+            )
+        for report in reports:
+            print(json.dumps(report.to_json(), sort_keys=True))
+        print(json.dumps({"stats": server.stats()}, sort_keys=True))
+        metrics = server.metrics
+    if args.metrics_out is not None:
+        from repro.telemetry.metrics import write_metrics
+
+        write_metrics(metrics, args.metrics_out)
+        print(f"metrics written: {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser(
+        "demo-checkpoint",
+        help="train a small population and publish it to a store",
+    )
+    add_runtime_options(demo)
+    demo.add_argument("--k", type=int, default=2, help="population size")
+    demo.set_defaults(fn=cmd_demo_checkpoint)
+
+    load = sub.add_parser(
+        "load-test", help="serve the newest tag and drive load against it"
+    )
+    add_runtime_options(load)
+    add_serve_options(load)
+    load.add_argument(
+        "--tag", default=None, help="serve this tag (default: newest)"
+    )
+    load.add_argument(
+        "--mode",
+        choices=["closed", "open", "stepped"],
+        default="open",
+        help="load shape: closed loop, open loop, or stepped open loop",
+    )
+    load.add_argument(
+        "--qps", type=float, default=200.0, help="offered open-loop rate"
+    )
+    load.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        help="requests per run (per step in stepped mode)",
+    )
+    load.add_argument(
+        "--clients", type=int, default=4, help="closed-loop client threads"
+    )
+    load.set_defaults(fn=cmd_load_test)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Dynamic micro-batching queue.
+
+Single surrogate queries are one GEMM row each — serving them
+individually wastes the whole vectorization advantage the surrogate
+exists for.  The batcher coalesces concurrent requests into one forward
+pass under a two-knob policy:
+
+- ``max_batch`` — never assemble more rows than the runtime's fixed
+  forward shape;
+- ``max_delay_s`` — never hold the first request of a batch longer than
+  this waiting for company (the latency the thin-traffic case pays for
+  throughput in the heavy-traffic case).
+
+Admission is bounded (``max_queue``): a full queue rejects with
+:class:`~repro.serve.errors.ServerOverloadedError` at submit time, which
+is the backpressure contract — overload surfaces at the caller
+immediately instead of as unbounded queueing delay.  Requests whose
+deadline expires while queued are shed at assembly time via the
+``expire`` callback and never occupy a batch slot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+import numpy as np
+
+from repro.serve.errors import ServerClosedError, ServerOverloadedError
+
+__all__ = ["PendingRequest", "Batch", "MicroBatcher"]
+
+
+@dataclasses.dataclass
+class PendingRequest:
+    """One enqueued query: its input row, completion future, and clocks.
+
+    ``enqueued`` and ``deadline`` are ``time.perf_counter()`` values;
+    ``deadline=None`` means the request waits indefinitely.
+    """
+
+    params: np.ndarray
+    future: Future
+    enqueued: float
+    deadline: float | None = None
+
+
+@dataclasses.dataclass
+class Batch:
+    """An assembled micro-batch plus its assembly interval.
+
+    ``t_open`` is when the first request was popped, ``t_ready`` when
+    assembly stopped (batch full, delay expired, or queue drained) —
+    the executor records this interval as the batch-assembly span.
+    """
+
+    requests: list[PendingRequest]
+    t_open: float
+    t_ready: float
+
+
+class MicroBatcher:
+    """Background thread turning a request queue into :class:`Batch` calls.
+
+    Parameters
+    ----------
+    execute:
+        Called with each assembled :class:`Batch` on the batcher thread.
+        It must complete every request's future (result or exception).
+    expire:
+        Called with each request shed for a passed deadline.  It must
+        fail the request's future.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Batch], None],
+        expire: Callable[[PendingRequest], None],
+        max_batch: int = 32,
+        max_delay_s: float = 0.005,
+        max_queue: int = 256,
+    ) -> None:
+        if max_batch <= 0 or max_queue <= 0:
+            raise ValueError("max_batch and max_queue must be positive")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        self._execute = execute
+        self._expire = expire
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._queue: queue.Queue[PendingRequest] = queue.Queue(
+            maxsize=int(max_queue)
+        )
+        self._closed = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop admitting; drain what is queued, then stop the thread."""
+        self._closed.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def depth(self) -> int:
+        """Approximate number of queued (unassembled) requests."""
+        return self._queue.qsize()
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, request: PendingRequest) -> None:
+        if self._closed.is_set():
+            raise ServerClosedError("server is shut down")
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise ServerOverloadedError(
+                f"request queue is full ({self._queue.maxsize} pending)"
+            ) from None
+
+    # -- the batching loop ---------------------------------------------------
+
+    def _pop(self, timeout: float) -> PendingRequest | None:
+        """One live request from the queue, shedding expired ones."""
+        end = time.perf_counter() + timeout
+        while True:
+            remaining = end - time.perf_counter()
+            if remaining <= 0:
+                return None
+            try:
+                request = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                return None
+            if (
+                request.deadline is not None
+                and time.perf_counter() > request.deadline
+            ):
+                self._expire(request)
+                continue
+            return request
+
+    def _run(self) -> None:
+        while True:
+            first = self._pop(timeout=0.05)
+            if first is None:
+                if self._closed.is_set() and self._queue.empty():
+                    return
+                continue
+            t_open = time.perf_counter()
+            batch = [first]
+            close_at = t_open + self.max_delay_s
+            while len(batch) < self.max_batch:
+                wait = close_at - time.perf_counter()
+                if wait <= 0:
+                    break
+                request = self._pop(timeout=wait)
+                if request is None:
+                    break
+                batch.append(request)
+            self._execute(
+                Batch(
+                    requests=batch,
+                    t_open=t_open,
+                    t_ready=time.perf_counter(),
+                )
+            )

@@ -1,0 +1,54 @@
+"""Ensemble aggregation across population members.
+
+LTFB trains a *population*; the tournament picks a winner, but MD-GAN's
+multi-model aggregation argument applies at inference too: averaging the
+members' predictions is a cheap variance-reduction ensemble.  Three
+modes:
+
+- ``"winner"`` — serve only the recorded tournament winner (the paper's
+  deployment story);
+- ``"mean"`` — elementwise mean over member outputs;
+- ``"median"`` — elementwise median (robust to one diverged member).
+
+Aggregation is row-wise and elementwise, so it preserves the fixed-shape
+forward guarantee: a row's aggregate depends only on that row's member
+outputs, never on batch composition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AGGREGATE_MODES", "aggregate"]
+
+AGGREGATE_MODES: tuple[str, ...] = ("winner", "mean", "median")
+
+
+def aggregate(member_outputs: Sequence[np.ndarray], mode: str) -> np.ndarray:
+    """Combine per-member output arrays of identical shape.
+
+    ``"winner"`` is intentionally rejected here: winner-only serving
+    skips the non-winning forwards entirely (see
+    :class:`~repro.serve.runtime.EnsembleRuntime`), so reaching this
+    function in winner mode is a bug, not a reduction.
+    """
+    if mode not in AGGREGATE_MODES:
+        raise ValueError(
+            f"unknown aggregation mode {mode!r}; expected one of "
+            f"{AGGREGATE_MODES}"
+        )
+    if not member_outputs:
+        raise ValueError("aggregate() needs at least one member output")
+    if mode == "winner":
+        raise ValueError(
+            "winner-only aggregation selects a member upstream; "
+            "aggregate() never sees it"
+        )
+    if len(member_outputs) == 1:
+        return np.asarray(member_outputs[0])
+    stacked = np.stack(member_outputs, axis=0)
+    if mode == "mean":
+        return stacked.mean(axis=0)
+    return np.median(stacked, axis=0)

@@ -1,0 +1,40 @@
+"""Typed failures of the serving plane.
+
+Every way a request can fail maps to one exception type, so clients and
+load generators classify outcomes without string matching: rejected at
+the door (backpressure), expired in the queue (deadline), or arrived
+after shutdown.  All inherit :class:`ServeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "DeadlineExceededError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class of serving-plane failures."""
+
+
+class ServerOverloadedError(ServeError):
+    """The request queue is full; the request was rejected at admission.
+
+    This is the backpressure signal: clients should back off (or shed
+    load) rather than pile onto an already-saturated queue.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline passed before a forward pass picked it up.
+
+    Raised at dequeue time — the server sheds work that could only
+    produce a stale answer instead of burning a batch slot on it.
+    """
+
+
+class ServerClosedError(ServeError):
+    """The server is stopped (or stopping) and accepts no new requests."""

@@ -1,0 +1,139 @@
+"""Model registry: versioned serving models with atomic hot-reload.
+
+The registry bridges the training plane (a
+:class:`~repro.core.checkpoint.CheckpointStore` that LTFB campaigns
+publish winners into) and the serving plane.  It tracks what is
+currently deployed as an immutable :class:`ServingModel` — version
+counter, source tag, runtime — and swaps in newer checkpoints with a
+single reference assignment under a lock.
+
+The swap discipline is what makes hot-reload safe without request
+draining: executors capture ``registry.current()`` *once* per
+micro-batch and run the whole batch against that object.  A reload
+mid-batch only affects batches assembled afterwards, so every response
+is computed by exactly one model version and in-flight requests finish
+on the version they started on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.checkpoint import CheckpointStore
+from repro.serve.errors import ServeError
+from repro.serve.runtime import EnsembleRuntime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.models.autoencoder import MultimodalAutoencoder
+
+__all__ = ["ServingModel", "ModelRegistry"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingModel:
+    """One deployed model version (immutable; shared across threads)."""
+
+    version: int
+    tag: str
+    runtime: EnsembleRuntime
+
+    @property
+    def winner(self) -> str:
+        return self.runtime.winner.snapshot.trainer_name
+
+
+class ModelRegistry:
+    """Loads, versions, and hot-reloads serving models from a store."""
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        autoencoder: "MultimodalAutoencoder | None" = None,
+        max_batch: int = 32,
+        aggregate_mode: str = "winner",
+        autoencoder_tag: str = "autoencoder",
+    ) -> None:
+        self.store = store
+        self.autoencoder_tag = autoencoder_tag
+        self._autoencoder = autoencoder
+        self.max_batch = int(max_batch)
+        self.aggregate_mode = aggregate_mode
+        self._lock = threading.Lock()
+        self._current: ServingModel | None = None
+        self._reload_hooks: list[Callable[[ServingModel], None]] = []
+
+    @property
+    def autoencoder(self) -> "MultimodalAutoencoder":
+        """The shared decoder, loaded from the store on first use.
+
+        Lazy so a registry can be constructed against a store that a
+        training campaign has not published into yet.
+        """
+        if self._autoencoder is None:
+            self._autoencoder = self.store.load_autoencoder(
+                self.autoencoder_tag
+            )
+        return self._autoencoder
+
+    # -- observation ---------------------------------------------------------
+
+    def current(self) -> ServingModel:
+        """The deployed model; raises if nothing is loaded yet."""
+        model = self._current
+        if model is None:
+            raise ServeError(
+                "no model loaded; call load()/refresh() before serving"
+            )
+        return model
+
+    @property
+    def loaded(self) -> bool:
+        return self._current is not None
+
+    def on_reload(self, hook: Callable[[ServingModel], None]) -> None:
+        """Run ``hook(new_model)`` after every swap (cache invalidation,
+        metrics stamping).  Hooks run under the registry lock, so they
+        observe swaps in order."""
+        self._reload_hooks.append(hook)
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, tag: str) -> ServingModel:
+        """Deploy ``tag`` (trainer or population checkpoint), atomically.
+
+        The runtime is fully constructed *before* the swap: a failed or
+        corrupt checkpoint leaves the previous version serving.
+        """
+        runtime = EnsembleRuntime(
+            self.store.load_ensemble(tag),
+            self.autoencoder,
+            max_batch=self.max_batch,
+            aggregate_mode=self.aggregate_mode,
+        )
+        with self._lock:
+            version = (
+                1 if self._current is None else self._current.version + 1
+            )
+            model = ServingModel(version=version, tag=tag, runtime=runtime)
+            self._current = model
+            for hook in self._reload_hooks:
+                hook(model)
+        return model
+
+    def refresh(self) -> ServingModel | None:
+        """Deploy the newest store tag if it differs from what is serving.
+
+        Returns the new :class:`ServingModel` when a swap happened,
+        ``None`` otherwise.  This is the hot-reload poll: a training
+        campaign checkpoints a better tournament winner, the next
+        ``refresh()`` picks it up.
+        """
+        tag = self.store.latest(exclude=(self.autoencoder_tag,))
+        if tag is None:
+            return None
+        current = self._current
+        if current is not None and current.tag == tag:
+            return None
+        return self.load(tag)

@@ -1,0 +1,181 @@
+"""Inference runtimes: deployable generators rebuilt from snapshots.
+
+A :class:`GeneratorRuntime` turns one
+:class:`~repro.core.checkpoint.GeneratorSnapshot` back into a runnable
+forward model — widths are inferred from the kernel shapes, so serving
+needs no access to the training-side ``SurrogateConfig``.  An
+:class:`EnsembleRuntime` holds one runtime per population member plus
+the aggregation mode.  Both are immutable after construction; the serve
+registry swaps whole runtimes atomically on hot-reload.
+
+Fixed-shape forwards (the bit-identity contract)
+------------------------------------------------
+BLAS picks different kernels (and hence different float32 summation
+orders) for different GEMM ``M`` dimensions, so ``f(batch)[i]`` is *not*
+in general bit-equal to ``f(batch[i:i+1])[0]``.  What *is* stable is
+that with the GEMM shape fixed, each output row depends only on its own
+input row.  Every runtime forward therefore pads the batch to exactly
+``max_batch`` rows and slices the result: micro-batched responses are
+bit-identical to single-request responses by construction, the same
+trick as XLA-style shape bucketing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serve.ensemble import AGGREGATE_MODES, aggregate
+from repro.serve.errors import ServeError
+from repro.tensorlib.model import mlp
+from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.checkpoint import EnsembleSnapshot, GeneratorSnapshot
+    from repro.models.autoencoder import MultimodalAutoencoder
+
+__all__ = ["GeneratorRuntime", "EnsembleRuntime"]
+
+_FC_KERNEL_RE = re.compile(r"^forward/fc(\d+)/kernel$")
+
+
+def _forward_widths(weights) -> tuple[int, tuple[int, ...], int]:
+    """(input_dim, hidden widths, output_dim) from snapshot kernel shapes."""
+    indices = sorted(
+        int(m.group(1))
+        for k in weights
+        if (m := _FC_KERNEL_RE.match(k)) is not None
+    )
+    if indices != list(range(len(indices))):
+        raise ServeError(
+            f"snapshot forward kernels are not contiguous fc0..fcN: {indices}"
+        )
+    if "forward/head/kernel" not in weights:
+        raise ServeError("snapshot has no forward/head/kernel")
+    hidden = tuple(
+        int(weights[f"forward/fc{i}/kernel"].shape[1]) for i in indices
+    )
+    first = weights["forward/fc0/kernel" if indices else "forward/head/kernel"]
+    return int(first.shape[0]), hidden, int(weights["forward/head/kernel"].shape[1])
+
+
+class GeneratorRuntime:
+    """One deployable generator: ``decoder(F(params))`` at fixed shape."""
+
+    def __init__(
+        self,
+        snapshot: "GeneratorSnapshot",
+        autoencoder: "MultimodalAutoencoder",
+        max_batch: int = 64,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        input_dim, hidden, latent_dim = _forward_widths(snapshot.weights)
+        if latent_dim != autoencoder.latent_dim:
+            raise ServeError(
+                f"snapshot {snapshot.tag!r} emits {latent_dim}-d latents but "
+                f"the autoencoder decodes {autoencoder.latent_dim}-d"
+            )
+        self.snapshot = snapshot
+        self.autoencoder = autoencoder
+        self.max_batch = int(max_batch)
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        # The init below is throwaway — set_state overwrites every weight.
+        self.forward_model = mlp(
+            "forward",
+            RngFactory(0),
+            input_dim=input_dim,
+            hidden=hidden,
+            output_dim=latent_dim,
+            activation="leaky_relu",
+        )
+        self.forward_model.set_state(
+            {
+                k: v
+                for k, v in snapshot.weights.items()
+                if k.startswith("forward/")
+            }
+        )
+
+    def _pad(self, params: np.ndarray) -> np.ndarray:
+        pad = self.max_batch - params.shape[0]
+        if pad == 0:
+            return params
+        return np.concatenate(
+            [params, np.zeros((pad, params.shape[1]), dtype=params.dtype)]
+        )
+
+    def predict(self, params: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(scalars_hat, images_hat) for up to ``max_batch`` parameter rows.
+
+        Larger inputs are processed in ``max_batch`` chunks, so results
+        stay identical to submitting the rows one at a time.
+        """
+        params = np.asarray(params, dtype=np.float32)
+        if params.ndim != 2 or params.shape[1] != self.input_dim:
+            raise ValueError(
+                f"params must be (n, {self.input_dim}), got {params.shape}"
+            )
+        scalars, images = [], []
+        for start in range(0, params.shape[0], self.max_batch):
+            chunk = params[start:start + self.max_batch]
+            n = chunk.shape[0]
+            latent = self.forward_model.predict(
+                {"in": self._pad(chunk)}, "out"
+            )
+            s, i = self.autoencoder.decode(latent)
+            scalars.append(s[:n])
+            images.append(i[:n])
+        if len(scalars) == 1:
+            return scalars[0], images[0]
+        return np.concatenate(scalars), np.concatenate(images)
+
+
+class EnsembleRuntime:
+    """Population members behind one ``predict``, with aggregation.
+
+    Winner-only mode forwards through the recorded tournament winner and
+    skips the other members entirely; mean/median run every member and
+    reduce elementwise.
+    """
+
+    def __init__(
+        self,
+        snapshot: "EnsembleSnapshot",
+        autoencoder: "MultimodalAutoencoder",
+        max_batch: int = 64,
+        aggregate_mode: str = "winner",
+    ) -> None:
+        if aggregate_mode not in AGGREGATE_MODES:
+            raise ValueError(
+                f"unknown aggregation mode {aggregate_mode!r}; expected one "
+                f"of {AGGREGATE_MODES}"
+            )
+        self.snapshot = snapshot
+        self.aggregate_mode = aggregate_mode
+        self.members = tuple(
+            GeneratorRuntime(m, autoencoder, max_batch)
+            for m in snapshot.members
+        )
+        winner = snapshot.winner_member
+        self.winner = next(
+            r for r in self.members if r.snapshot is winner
+        )
+        self.max_batch = int(max_batch)
+        self.input_dim = self.winner.input_dim
+
+    @property
+    def tag(self) -> str:
+        return self.snapshot.tag
+
+    def predict(self, params: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if self.aggregate_mode == "winner" or len(self.members) == 1:
+            return self.winner.predict(params)
+        outputs = [m.predict(params) for m in self.members]
+        return (
+            aggregate([s for s, _ in outputs], self.aggregate_mode),
+            aggregate([i for _, i in outputs], self.aggregate_mode),
+        )

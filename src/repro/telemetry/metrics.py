@@ -53,6 +53,7 @@ BYTE_BUCKETS: tuple[float, ...] = tuple(
 )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 def _check_name(name: str) -> str:
@@ -61,6 +62,45 @@ def _check_name(name: str) -> str:
             f"invalid metric name {name!r} (must match {_NAME_RE.pattern})"
         )
     return name
+
+
+def _check_labels(labels) -> tuple[tuple[str, str], ...]:
+    """Canonicalize a label mapping: sorted, string-valued, validated names.
+
+    Sorting is the determinism guarantee — two metrics created with the
+    same labels in different insertion orders are the same time series,
+    and export rows never depend on dict ordering.
+    """
+    if not labels:
+        return ()
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ValueError(
+                f"invalid label name {key!r} (must match {_LABEL_RE.pattern})"
+            )
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: tuple[tuple[str, str], ...], extra=()) -> str:
+    """Render ``{k="v",...}`` (empty string for an unlabeled metric).
+
+    ``extra`` pairs append after the sorted labels — used for the ``le``
+    bound on histogram bucket rows, which conventionally renders last.
+    """
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
 
 
 def _fmt_num(value: float) -> str:
@@ -77,9 +117,10 @@ class Counter:
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels=None) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -96,9 +137,10 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels=None) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self.value: float = 0
 
     def set(self, value: float) -> None:
@@ -121,9 +163,11 @@ class Histogram:
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
-                 buckets: Sequence[float] = TIME_BUCKETS) -> None:
+                 buckets: Sequence[float] = TIME_BUCKETS,
+                 labels=None) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(
             b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
@@ -211,15 +255,33 @@ def _cumulative(counts: Iterable[int]) -> list[int]:
 
 class MetricsRegistry:
     """Get-or-create registry of named metrics, exportable as JSON and
-    Prometheus text exposition format."""
+    Prometheus text exposition format.
+
+    Metrics may carry labels; ``(name, sorted labels)`` identifies a time
+    series, and all series under one name form a *family* that must share
+    one kind.  Export is deterministic: families render in name order,
+    series within a family in label order, so two exports of equal state
+    are byte-identical regardless of registration order.
+    """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs):
-        metric = self._metrics.get(name)
+    def _get_or_create(self, cls, name: str, help: str, labels=None, **kwargs):
+        key = (name, _check_labels(labels))
+        metric = self._metrics.get(key)
         if metric is None:
-            metric = self._metrics[name] = cls(name, help, **kwargs)
+            family_kind = self._kinds.get(name)
+            if family_kind is not None and family_kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family_kind}, "
+                    f"not {cls.kind}"
+                )
+            metric = self._metrics[key] = cls(
+                name, help, labels=labels, **kwargs
+            )
+            self._kinds[name] = cls.kind
         elif not isinstance(metric, cls):
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}, "
@@ -227,49 +289,80 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(Counter, name, help)
+    def counter(self, name: str, help: str = "", labels=None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", labels=None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels=labels)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Sequence[float] = TIME_BUCKETS) -> Histogram:
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+                  buckets: Sequence[float] = TIME_BUCKETS,
+                  labels=None) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels=labels, buckets=buckets
+        )
 
     def __iter__(self):
         return iter(self._metrics.values())
 
     def __getitem__(self, name: str):
-        return self._metrics[name]
+        return self._metrics[(name, ())]
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return (name, ()) in self._metrics
+
+    def series(self, name: str) -> list:
+        """Every registered series of one family, in label order."""
+        members = [m for m in self if m.name == name]
+        members.sort(key=lambda m: _label_str(m.labels))
+        return members
 
     def to_json(self) -> dict:
-        """``{kind: {name: value-or-summary}}``, JSON-encodable."""
+        """``{kind: {name: value-or-summary}}``, JSON-encodable.
+
+        Labeled series key as ``name{k="v",...}`` so one family's series
+        stay distinguishable; unlabeled metrics keep their bare name.
+        """
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
-        for metric in self:
-            out[metric.kind + "s"][metric.name] = metric.to_json()
+        for metric in sorted(
+            self, key=lambda m: (m.name, _label_str(m.labels))
+        ):
+            key = metric.name + _label_str(metric.labels)
+            out[metric.kind + "s"][key] = metric.to_json()
         return out
 
     def render_prometheus(self) -> str:
-        """The text exposition format (one HELP/TYPE block per metric)."""
-        lines: list[str] = []
+        """The text exposition format.
+
+        One HELP/TYPE block per *family*, every series of the family
+        under it; families sorted by name, series by rendered labels,
+        label values escaped — deterministic byte-for-byte.
+        """
+        families: dict[str, list] = {}
         for metric in self:
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-            if isinstance(metric, Histogram):
-                cumulative = _cumulative(metric.counts)
-                for le, c in zip([*metric.buckets, math.inf], cumulative):
-                    lines.append(
-                        f'{metric.name}_bucket{{le="{_fmt_num(le)}"}} {c}'
-                    )
-                lines.append(f"{metric.name}_sum {_fmt_num(metric.sum)}")
-                lines.append(f"{metric.name}_count {metric.count}")
-            else:
-                lines.append(f"{metric.name} {_fmt_num(metric.value)}")
+            families.setdefault(metric.name, []).append(metric)
+        lines: list[str] = []
+        for name in sorted(families):
+            members = sorted(
+                families[name], key=lambda m: _label_str(m.labels)
+            )
+            help = next((m.help for m in members if m.help), "")
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {members[0].kind}")
+            for metric in members:
+                labels = _label_str(metric.labels)
+                if isinstance(metric, Histogram):
+                    cumulative = _cumulative(metric.counts)
+                    for le, c in zip([*metric.buckets, math.inf], cumulative):
+                        bucket = _label_str(
+                            metric.labels, extra=(("le", _fmt_num(le)),)
+                        )
+                        lines.append(f"{name}_bucket{bucket} {c}")
+                    lines.append(f"{name}_sum{labels} {_fmt_num(metric.sum)}")
+                    lines.append(f"{name}_count{labels} {metric.count}")
+                else:
+                    lines.append(f"{name}{labels} {_fmt_num(metric.value)}")
         return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,106 @@
+"""Static guards on module boundaries.
+
+The checkpoint redesign made :class:`~repro.core.checkpoint.CheckpointStore`
+and the snapshot types the public surface; everything underscore-prefixed
+in ``repro.core.checkpoint`` is format plumbing that callers must not
+reach into.  This test walks every source module and fails on any import
+or attribute access of those internals from outside the module itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+CHECKPOINT_MODULE = "repro.core.checkpoint"
+
+
+def _modules():
+    for path in sorted(SRC.rglob("*.py")):
+        module = ".".join(path.relative_to(SRC).with_suffix("").parts)
+        if module.endswith(".__init__"):
+            module = module[: -len(".__init__")]
+        yield module, path
+
+
+def _violations(module: str, tree: ast.AST) -> list[str]:
+    found = []
+    checkpoint_aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == CHECKPOINT_MODULE:
+                for alias in node.names:
+                    if alias.name.startswith("_"):
+                        found.append(
+                            f"line {node.lineno}: from {CHECKPOINT_MODULE} "
+                            f"import {alias.name}"
+                        )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == CHECKPOINT_MODULE:
+                    checkpoint_aliases.add(alias.asname or "checkpoint")
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr.startswith("_")
+            and not node.attr.startswith("__")
+            and isinstance(node.value, ast.Name)
+            and node.value.id in checkpoint_aliases
+        ):
+            found.append(
+                f"line {node.lineno}: {node.value.id}.{node.attr}"
+            )
+    return found
+
+
+def test_no_external_use_of_checkpoint_internals():
+    offenders = {}
+    for module, path in _modules():
+        if module == CHECKPOINT_MODULE:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        found = _violations(module, tree)
+        if found:
+            offenders[module] = found
+    assert not offenders, (
+        "modules reaching into repro.core.checkpoint internals "
+        f"(use the CheckpointStore / snapshot API instead): {offenders}"
+    )
+
+
+def test_guard_catches_violations():
+    """The AST walk itself must actually detect both access styles."""
+    bad = (
+        "from repro.core.checkpoint import _unpack\n"
+        "import repro.core.checkpoint as checkpoint\n"
+        "x = checkpoint._FORMAT_VERSION\n"
+    )
+    found = _violations("fake", ast.parse(bad))
+    assert len(found) == 2
+
+
+def test_serve_package_has_no_private_checkpoint_coupling():
+    # The serving plane was built against the public API from day one;
+    # spot-check the import surface it actually uses exists.
+    from repro.core import checkpoint
+
+    for name in (
+        "CheckpointStore",
+        "CheckpointError",
+        "CheckpointNotFoundError",
+        "CheckpointCorruptError",
+        "CheckpointVersionError",
+        "CheckpointMismatchError",
+        "GeneratorSnapshot",
+        "EnsembleSnapshot",
+        "generator_snapshot",
+    ):
+        assert not name.startswith("_")
+        assert hasattr(checkpoint, name)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])

@@ -1,0 +1,225 @@
+"""Tests for the public checkpoint API: CheckpointStore, snapshots,
+and the typed error paths the serve registry depends on."""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    CheckpointStore,
+    CheckpointVersionError,
+    generator_snapshot,
+    trainer_checkpoint,
+)
+from repro.core.ensemble import build_population
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def population(tiny_dataset, tiny_spec, tiny_autoencoder):
+    spec = dataclasses.replace(tiny_spec, k=2)
+    train_ids = np.arange(tiny_dataset.n_samples - 64)
+    trainers = build_population(
+        tiny_dataset, train_ids, RngFactory(41), spec, tiny_autoencoder
+    )
+    for t in trainers:
+        t.train_steps(2)
+    return trainers
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "ckpts")
+
+
+def _tamper_header(payload: bytes, **overrides) -> bytes:
+    """Rewrite header fields of an npz checkpoint payload."""
+    with np.load(io.BytesIO(payload)) as data:
+        arrays = {k: np.array(data[k]) for k in data.files}
+    header = json.loads(bytes(arrays["__checkpoint_header__"]).decode())
+    header.update(overrides)
+    arrays["__checkpoint_header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+class TestTagsAndRoundtrips:
+    def test_save_load_trainer_roundtrip(self, store, population):
+        t = population[0]
+        tag = store.save(t)
+        assert tag == f"{t.name}-s{t.steps_done:08d}"
+        before = t.surrogate.get_full_state()
+        t.train_steps(1)
+        store.load_trainer(tag, t)
+        after = t.surrogate.get_full_state()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_list_tags_and_latest(self, store, population):
+        assert store.list_tags() == []
+        assert store.latest() is None
+        store.save(population[0], tag="alpha")
+        store.save_population(population, "round/002", winner=None)
+        assert store.list_tags() == ["alpha", "round/002"]
+        assert store.latest() == "round/002"
+        assert store.latest(exclude=("round/002",)) == "alpha"
+        assert "alpha" in store and "round/002" in store
+        assert "missing" not in store
+
+    def test_invalid_tags_rejected(self, store, population):
+        for bad in ("", "../escape", "/abs", "a//b", ".hidden", "a b"):
+            with pytest.raises(ValueError):
+                store.save(population[0], tag=bad)
+
+    def test_population_roundtrip_with_winner(self, store, population):
+        winner = population[1].name
+        store.save_population(population, "pop", winner=winner)
+        states = [t.surrogate.get_full_state() for t in population]
+        for t in population:
+            t.train_steps(1)
+        store.load_population("pop", population)
+        for t, s in zip(population, states):
+            got = t.surrogate.get_full_state()
+            assert all(np.array_equal(s[k], got[k]) for k in s)
+        ensemble = store.load_ensemble("pop")
+        assert ensemble.winner == winner
+        assert ensemble.winner_member.trainer_name == winner
+        assert [m.trainer_name for m in ensemble.members] == [
+            t.name for t in population
+        ]
+
+    def test_single_trainer_tag_loads_as_one_member_ensemble(
+        self, store, population
+    ):
+        store.save(population[0], tag="solo")
+        ensemble = store.load_ensemble("solo")
+        assert len(ensemble.members) == 1
+        assert ensemble.winner == population[0].name
+
+    def test_generator_snapshot_contents(self, store, population):
+        t = population[0]
+        store.save(t, tag="snap")
+        snapshot = store.load_generator("snap")
+        assert snapshot.trainer_name == t.name
+        assert snapshot.steps_trained == t.steps_done
+        assert all(
+            k.startswith(("forward/", "inverse/")) for k in snapshot.weights
+        )
+        state = t.surrogate.get_generator_state()
+        for k, v in snapshot.weights.items():
+            np.testing.assert_array_equal(v, state[k])
+        assert snapshot.nbytes == sum(v.nbytes for v in state.values())
+
+    def test_autoencoder_roundtrip(self, store, tiny_autoencoder, tiny_dataset):
+        store.save_autoencoder(tiny_autoencoder)
+        loaded = store.load_autoencoder()
+        n = 4
+        scalars = tiny_dataset.fields["scalars"][:n]
+        images = tiny_dataset.fields["images"][:n].reshape(n, -1)
+        np.testing.assert_array_equal(
+            tiny_autoencoder.encode(scalars, images),
+            loaded.encode(scalars, images),
+        )
+        assert loaded.hidden == tiny_autoencoder.hidden
+        assert loaded.schema == tiny_autoencoder.schema
+
+
+class TestTypedErrors:
+    def test_missing_tag(self, store):
+        with pytest.raises(CheckpointNotFoundError):
+            store.payload("nope")
+        with pytest.raises(CheckpointNotFoundError):
+            store.load_ensemble("nope")
+
+    def test_truncated_payload(self, store, population):
+        tag = store.save(population[0], tag="trunc")
+        path = store.root / f"trunc{store.SUFFIX}"
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(CheckpointCorruptError):
+            store.load_generator(tag)
+
+    def test_garbage_payload(self, population):
+        with pytest.raises(CheckpointCorruptError):
+            generator_snapshot(b"not an npz archive")
+
+    def test_version_header_mismatch(self, population):
+        payload = _tamper_header(trainer_checkpoint(population[0]), version=99)
+        with pytest.raises(CheckpointVersionError):
+            generator_snapshot(payload)
+
+    def test_kind_mismatch(self, store, population, tiny_autoencoder):
+        store.save_autoencoder(tiny_autoencoder, tag="ae")
+        with pytest.raises(CheckpointMismatchError):
+            store.load_generator("ae")
+        store.save(population[0], tag="gen")
+        with pytest.raises(CheckpointMismatchError):
+            store.load_autoencoder("gen")
+
+    def test_population_member_missing(self, store, population):
+        store.save_population(population, "broken")
+        (store.root / "broken" / f"{population[0].name}.ckpt").unlink()
+        with pytest.raises(CheckpointCorruptError):
+            store.load_ensemble("broken")
+        with pytest.raises(CheckpointCorruptError):
+            store.load_population("broken", population)
+
+    def test_manifest_corrupt(self, store, population):
+        store.save_population(population, "badjson")
+        (store.root / "badjson" / store.MANIFEST).write_text("{nope")
+        with pytest.raises(CheckpointCorruptError):
+            store.load_ensemble("badjson")
+
+    def test_typed_errors_are_value_errors(self):
+        # Legacy except-sites catch ValueError; the typed hierarchy must
+        # stay inside it.
+        assert issubclass(CheckpointError, ValueError)
+        for err in (
+            CheckpointNotFoundError,
+            CheckpointCorruptError,
+            CheckpointVersionError,
+            CheckpointMismatchError,
+        ):
+            assert issubclass(err, CheckpointError)
+
+    def test_duplicate_population_names_rejected(self, store, population):
+        clone = list(population)
+        clone[1] = clone[0]
+        with pytest.raises(ValueError):
+            store.save_population(clone, "dupes")
+
+    def test_unknown_winner_rejected(self, store, population):
+        with pytest.raises(ValueError):
+            store.save_population(population, "badwinner", winner="ghost")
+
+
+class TestAtomicPublish:
+    def test_population_without_manifest_is_invisible(self, store, population):
+        # Simulate a crash between member writes and the manifest
+        # publish: members exist but the manifest does not.  The
+        # population tag itself must not exist; the members remain
+        # addressable as plain nested file tags.
+        directory = store.root / "partial"
+        directory.mkdir(parents=True)
+        (directory / f"{population[0].name}.ckpt").write_bytes(
+            trainer_checkpoint(population[0])
+        )
+        assert "partial" not in store
+        with pytest.raises(CheckpointNotFoundError):
+            store.load_ensemble("partial")
+        assert store.list_tags() == [f"partial/{population[0].name}"]
+
+    def test_tmp_files_never_listed(self, store, population):
+        store.save(population[0], tag="real")
+        (store.root / ".real.ckpt.tmp-123").write_bytes(b"partial write")
+        assert store.list_tags() == ["real"]

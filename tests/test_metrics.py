@@ -228,3 +228,71 @@ class TestGauge:
         g.set(-1.5)
         assert g.value == -1.5
         assert g.to_json() == -1.5
+
+
+class TestLabels:
+    def test_label_order_is_canonicalized(self):
+        r = MetricsRegistry()
+        a = r.gauge("repro_info", labels={"b": "2", "a": "1"})
+        b = r.gauge("repro_info", labels={"a": "1", "b": "2"})
+        assert a is b
+        assert a.labels == (("a", "1"), ("b", "2"))
+
+    def test_labeled_and_unlabeled_are_distinct_series(self):
+        r = MetricsRegistry()
+        plain = r.counter("repro_hits_total")
+        labeled = r.counter("repro_hits_total", labels={"route": "x"})
+        assert plain is not labeled
+        plain.inc()
+        labeled.inc(5)
+        assert r["repro_hits_total"].value == 1
+        values = {m.labels: m.value for m in r.series("repro_hits_total")}
+        assert values == {(): 1, (("route", "x"),): 5}
+
+    def test_family_kind_is_consistent_across_series(self):
+        r = MetricsRegistry()
+        r.counter("repro_hits_total", labels={"route": "x"})
+        with pytest.raises(ValueError, match="already registered"):
+            r.gauge("repro_hits_total", labels={"route": "y"})
+
+    def test_invalid_label_names_rejected(self):
+        r = MetricsRegistry()
+        for bad in ("has space", "0num", "dash-y", ""):
+            with pytest.raises(ValueError):
+                r.counter("repro_ok_total", labels={bad: "v"})
+
+    def test_prometheus_escaping_and_determinism(self):
+        r = MetricsRegistry()
+        r.gauge(
+            "repro_model_info",
+            "deployed model",
+            labels={"tag": 'r"1"\n', "winner": "t\\0"},
+        ).set(1)
+        r.gauge("repro_model_info", labels={"tag": "a", "winner": "b"}).set(0)
+        text = r.render_prometheus()
+        assert (
+            'repro_model_info{tag="r\\"1\\"\\n",winner="t\\\\0"} 1' in text
+        )
+        # Series within a family are ordered by their rendered labels,
+        # and repeated renders are byte-identical.
+        assert text.index('tag="a"') < text.index('tag="r')
+        assert text == r.render_prometheus()
+        assert text.count("# TYPE repro_model_info gauge") == 1
+
+    def test_histogram_bucket_rows_append_le_last(self):
+        r = MetricsRegistry()
+        h = r.histogram(
+            "repro_lat_seconds", buckets=(0.5,), labels={"route": "q"}
+        )
+        h.observe(0.1)
+        text = r.render_prometheus()
+        assert 'repro_lat_seconds_bucket{route="q",le="0.5"} 1' in text
+        assert 'repro_lat_seconds_bucket{route="q",le="+Inf"} 1' in text
+        assert 'repro_lat_seconds_sum{route="q"} 0.1' in text
+        assert 'repro_lat_seconds_count{route="q"} 1' in text
+
+    def test_to_json_keys_labeled_series(self):
+        r = MetricsRegistry()
+        r.counter("repro_hits_total", labels={"route": "x"}).inc(3)
+        doc = r.to_json()
+        assert doc["counters"] == {'repro_hits_total{route="x"}': 3}
