@@ -4,7 +4,8 @@
 
     python -m repro.bench run [--quick|--full] [--out PATH]
                               [--scenario NAME ...] [--repeats N]
-                              [--warmup N] [--seed N] [--list]
+                              [--warmup N] [--seed N]
+                              [--topology NAME] [--list]
     python -m repro.bench compare BASELINE CANDIDATE
                               [--threshold F] [--iqr-k F]
     python -m repro.bench report [--dir DIR]
@@ -29,6 +30,7 @@ from repro.bench.compare import (
     render_comparison,
 )
 from repro.bench.harness import SCENARIOS, BenchConfig, run_bench, _selected
+from repro.core.topology import TOPOLOGY_NAMES
 from repro.bench.report import next_bench_path, render_trajectory
 from repro.bench.schema import load_bench_doc, write_bench_doc
 
@@ -39,6 +41,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         repeats=args.repeats,
         seed=args.seed,
+        topology=args.topology,
     )
     if args.list:
         for sc in _selected(config, args.scenario or None):
@@ -102,6 +105,13 @@ def main(argv: "list[str] | None" = None) -> int:
     run_p.add_argument("--warmup", type=int, help="override warmup trials")
     run_p.add_argument("--repeats", type=int, help="override timed trials")
     run_p.add_argument("--seed", type=int, default=2024, help="workload RNG seed")
+    run_p.add_argument(
+        "--topology",
+        default="random_pairwise",
+        choices=TOPOLOGY_NAMES,
+        help="population topology for the ltfb_round scenario "
+        "(default: random_pairwise)",
+    )
     run_p.add_argument(
         "--list", action="store_true", help="list selected scenarios and exit"
     )

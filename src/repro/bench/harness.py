@@ -46,12 +46,16 @@ _MODE_DEFAULTS = {"quick": (1, 3), "full": (2, 7)}
 
 @dataclass(frozen=True)
 class BenchConfig:
-    """One benchmark run's knobs (mode, trial counts, seed)."""
+    """One benchmark run's knobs (mode, trial counts, seed, topology)."""
 
     mode: str = "quick"
     warmup: int | None = None  # None: the mode default
     repeats: int | None = None  # None: the mode default
     seed: int = 2024
+    #: Population topology the driver-level scenarios (``ltfb_round``)
+    #: train under; barrier-free topologies are exercised separately by
+    #: ``ltfb_round_async``.
+    topology: str = "random_pairwise"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -60,6 +64,13 @@ class BenchConfig:
             raise ValueError("warmup must be >= 0")
         if self.repeats is not None and self.repeats < 1:
             raise ValueError("repeats must be >= 1")
+        from repro.core.topology import TOPOLOGY_NAMES
+
+        if self.topology not in TOPOLOGY_NAMES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGY_NAMES}, "
+                f"got {self.topology!r}"
+            )
 
     @property
     def resolved_warmup(self) -> int:
@@ -289,6 +300,7 @@ def run_bench(
             "warmup": config.resolved_warmup,
             "repeats": config.resolved_repeats,
             "seed": config.seed,
+            "topology": config.topology,
         },
         "results": results,
     }

@@ -16,7 +16,11 @@ fixtures (512-sample synthetic JAG dataset, 8x8 images, batch 32):
   population train step under each execution backend, the quantity the
   paper's Figure 9/10 scaling curves are built from;
 - ``ltfb_round`` — one complete LTFB round (train + tournament +
-  exchange + eval) through :class:`~repro.core.ltfb.LtfbDriver`;
+  exchange + eval) through :class:`~repro.core.ltfb.LtfbDriver`, under
+  the topology selected by ``--topology``;
+- ``ltfb_round_async`` — the same round barrier-full vs barrier-free
+  (``async_pairwise``) on the parallel backends, the win from running
+  tournaments in trainer completion order;
 - ``checkpoint`` — trainer checkpoint save and restore round-trip;
 - ``serve_closed_loop`` / ``serve_open_loop`` — request latency through
   the full serving stack (admission, micro-batching, fixed-shape
@@ -175,7 +179,8 @@ def _train_step_process(ctx: BenchContext) -> dict:
 
 @scenario(
     "ltfb_round",
-    "one full LTFB round: train + tournament + exchange + eval",
+    "one full LTFB round: train + tournament + exchange + eval "
+    "(topology from --topology)",
 )
 def _ltfb_round(ctx: BenchContext) -> dict:
     from repro.core import LtfbConfig, LtfbDriver
@@ -185,6 +190,7 @@ def _ltfb_round(ctx: BenchContext) -> dict:
         ctx.rng("ltfb-pairing"),
         LtfbConfig(steps_per_round=2, rounds=1),
         eval_batch=ctx.eval_batch(64),
+        topology=ctx.config.topology,
     )
 
     def trial() -> None:
@@ -196,6 +202,57 @@ def _ltfb_round(ctx: BenchContext) -> dict:
         driver.run()
 
     return {"round_s": metric(ctx.repeat(trial), "s")}
+
+
+def _ltfb_round_times(
+    ctx: BenchContext, backend_name: str, topology: str
+) -> list[float]:
+    """Per-trial seconds for one k=4 LTFB round under ``topology``."""
+    from repro.core import LtfbConfig, LtfbDriver
+    from repro.exec import resolve_backend
+
+    driver = LtfbDriver(
+        ctx.population(f"ltfb-async/{backend_name}/{topology}", k=4),
+        ctx.rng(f"ltfb-async-pairing/{backend_name}/{topology}"),
+        LtfbConfig(steps_per_round=2, rounds=1),
+        eval_batch=ctx.eval_batch(64),
+        backend=resolve_backend(backend_name, max_workers=2),
+        topology=topology,
+    )
+
+    def trial() -> None:
+        driver.config = dataclasses.replace(
+            driver.config, rounds=driver.history.rounds_completed + 1
+        )
+        driver.run()
+
+    return ctx.repeat(trial)
+
+
+@scenario(
+    "ltfb_round_async",
+    "barrier-full vs barrier-free LTFB round, k=4 on 2 workers "
+    "(process backend in full mode)",
+)
+def _ltfb_round_async(ctx: BenchContext) -> dict:
+    # Four trainers over two workers means the sync round holds the round
+    # barrier across two waves of training before any tournament runs;
+    # the async topology starts pairing the first wave while the second
+    # is still on the pool — that overlap is the barrier-removal win.
+    backends = ("thread",) if ctx.config.mode == "quick" else (
+        "thread",
+        "process",
+    )
+    out: dict[str, dict] = {}
+    for backend_name in backends:
+        for label, topology in (
+            ("sync", "random_pairwise"),
+            ("async", "async_pairwise"),
+        ):
+            out[f"{backend_name}_{label}_round_s"] = metric(
+                _ltfb_round_times(ctx, backend_name, topology), "s"
+            )
+    return out
 
 
 @scenario("checkpoint", "trainer checkpoint save and restore round-trip")

@@ -25,6 +25,18 @@ from repro.core.enums import AdoptOptimizer, ExchangeScope
 from repro.core.driver import History, PopulationDriver
 from repro.core.ltfb import LtfbConfig, LtfbDriver, LtfbHistory, TournamentRecord
 from repro.core.kindependent import KIndependentDriver
+from repro.core.topology import (
+    TOPOLOGY_NAMES,
+    AsyncPairwise,
+    CellularGrid,
+    Isolated,
+    MultiDiscriminator,
+    Pairing,
+    RandomPairwise,
+    RoundPlan,
+    Topology,
+    resolve_topology,
+)
 from repro.core.ensemble import EnsembleSpec, build_population, pretrain_autoencoder
 from repro.core.checkpoint import (
     CheckpointCorruptError,
@@ -64,6 +76,16 @@ __all__ = [
     "LtfbHistory",
     "TournamentRecord",
     "KIndependentDriver",
+    "Topology",
+    "TOPOLOGY_NAMES",
+    "RandomPairwise",
+    "CellularGrid",
+    "MultiDiscriminator",
+    "AsyncPairwise",
+    "Isolated",
+    "Pairing",
+    "RoundPlan",
+    "resolve_topology",
     "EnsembleSpec",
     "build_population",
     "pretrain_autoencoder",

@@ -406,12 +406,16 @@ class EnsembleSnapshot:
 
     ``winner`` names the tournament winner when the saver recorded one
     (:meth:`CheckpointStore.save_population`); single-trainer tags load as
-    one-member ensembles whose sole member is the winner.
+    one-member ensembles whose sole member is the winner.  ``topology``
+    is the coordination strategy the population trained under (the
+    recorded topology kind), when the saver supplied one — the serving
+    plane surfaces it as model metadata.
     """
 
     tag: str
     members: tuple[GeneratorSnapshot, ...]
     winner: str | None = None
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -591,19 +595,36 @@ class CheckpointStore:
         trainers: Sequence[Trainer],
         tag: str,
         winner: str | None = None,
+        topology=None,
     ) -> str:
         """Checkpoint a whole population under one tag.
 
         ``winner`` (a member trainer name) records the tournament verdict
-        so servers in winner-only mode know which member to serve.  The
-        manifest publishes last: a concurrently polling reader never sees
-        a partial population.
+        so servers in winner-only mode know which member to serve.
+        ``topology`` records the population's coordination strategy — a
+        :class:`~repro.core.topology.Topology` instance (its
+        ``state()`` is captured: kind, grid shape, readiness cursor, RNG
+        state) or a pre-built state mapping — so a resume restores the
+        same pairing stream and the serving plane can expose the
+        topology as model metadata.  The manifest publishes last: a
+        concurrently polling reader never sees a partial population.
         """
         names = [t.name for t in trainers]
         if len(set(names)) != len(names):
             raise ValueError(f"trainer names must be unique, got {names}")
         if winner is not None and winner not in names:
             raise ValueError(f"winner {winner!r} is not in {names}")
+        topology_state = None
+        if topology is not None:
+            topology_state = (
+                dict(topology) if isinstance(topology, Mapping)
+                else topology.state()
+            )
+            if "kind" not in topology_state:
+                raise ValueError(
+                    "topology state must carry a 'kind' entry "
+                    "(use Topology.state())"
+                )
         directory = self._dir(tag)
         for t in trainers:
             self._publish(
@@ -613,6 +634,7 @@ class CheckpointStore:
         manifest = {
             "members": names,
             "winner": winner,
+            "topology": topology_state,
             "version": _FORMAT_VERSION,
         }
         self._publish(
@@ -642,10 +664,19 @@ class CheckpointStore:
         return manifest
 
     def load_population(
-        self, tag: str, trainers: Sequence[Trainer]
+        self, tag: str, trainers: Sequence[Trainer], topology=None
     ) -> Sequence[Trainer]:
-        """Restore a population tag into identically named trainers."""
+        """Restore a population tag into identically named trainers.
+
+        When ``topology`` (a bound :class:`~repro.core.topology.Topology`)
+        is given, the manifest's recorded topology state is restored into
+        it — pairing RNG, readiness cursor — and a
+        :class:`CheckpointMismatchError` is raised when the recorded kind
+        (or grid shape) does not match the topology supplied.
+        """
         manifest = self._manifest(tag)
+        if topology is not None:
+            topology.restore(manifest.get("topology"))
         directory = self._dir(tag)
         checkpoints: dict[str, bytes] = {}
         for name in manifest["members"]:
@@ -684,8 +715,16 @@ class CheckpointStore:
             members.append(
                 generator_snapshot(member.read_bytes(), tag=f"{tag}/{name}")
             )
+        topology_state = manifest.get("topology")
         return EnsembleSnapshot(
-            tag=tag, members=tuple(members), winner=manifest.get("winner")
+            tag=tag,
+            members=tuple(members),
+            winner=manifest.get("winner"),
+            topology=(
+                topology_state.get("kind")
+                if isinstance(topology_state, dict)
+                else None
+            ),
         )
 
     # -- the shared frozen autoencoder ---------------------------------------

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.trainer import Trainer
 from repro.exec import ExecutionBackend, resolve_backend
 from repro.telemetry import Callback, TelemetryHub
-from repro.telemetry.events import EVAL, ROUND_END
+from repro.telemetry.events import EVAL, PAIRING, ROUND_END
 
 __all__ = ["TournamentRecord", "History", "PopulationDriver"]
 
@@ -67,6 +67,9 @@ class History:
     eval_series: list[dict[str, dict[str, float]]] = field(default_factory=list)
     tournaments: list[TournamentRecord] = field(default_factory=list)
     pairings: list[list[tuple[str, str]]] = field(default_factory=list)
+    #: Per round, the trainers the topology deterministically sat out
+    #: (odd populations, unmatched grid cells, async leftovers).
+    byes: list[list[str]] = field(default_factory=list)
     exchange_bytes: int = 0
     #: Structured warnings from any attached
     #: :class:`~repro.telemetry.health.HealthMonitor` (empty when no
@@ -113,6 +116,14 @@ class PopulationDriver:
         Where trainer work executes: ``None``/``"serial"`` (default),
         ``"thread"``, ``"process"``, or a constructed
         :class:`~repro.exec.ExecutionBackend`.
+    topology:
+        Who exchanges with whom, judged how, and when: ``None`` (no
+        coordination — the K-independent shape), one of
+        :data:`~repro.core.topology.TOPOLOGY_NAMES`, or a constructed
+        :class:`~repro.core.topology.Topology`.  Subclasses override the
+        default (LTFB resolves ``None`` to ``"random_pairwise"``).
+    pairing_rng:
+        RNG handed to topologies that draw random pairings.
     """
 
     def __init__(
@@ -122,7 +133,12 @@ class PopulationDriver:
         eval_batch: Mapping[str, np.ndarray] | None = None,
         history: History | None = None,
         backend: ExecutionBackend | str | None = None,
+        topology=None,
+        pairing_rng: np.random.Generator | None = None,
     ) -> None:
+        # Deferred import: repro.core.topology imports this module.
+        from repro.core.topology import resolve_topology
+
         if not trainers:
             raise ValueError("need at least one trainer")
         names = [t.name for t in trainers]
@@ -134,6 +150,8 @@ class PopulationDriver:
         self.history = history if history is not None else History()
         self.telemetry = TelemetryHub()
         self.backend = resolve_backend(backend)
+        self.topology = resolve_topology(topology)
+        self.topology.bind(names, pairing_rng)
 
     # -- the one run signature ------------------------------------------------
 
@@ -192,8 +210,98 @@ class PopulationDriver:
         return self.history
 
     def run_round(self, round_index: int) -> None:
-        """Advance the population by one round (subclass responsibility)."""
-        raise NotImplementedError
+        """Advance the population by one round: train, coordinate per the
+        topology, evaluate."""
+        if self.topology.barrier_free:
+            self._run_async_round(round_index)
+            return
+        train_s = self._train_phase(round_index)
+        tournament_s = exchange_s = 0.0
+        if self.topology.active:
+            t0 = time.perf_counter()
+            with self._phase_span(
+                "tournament", round=round_index, topology=self.topology.name
+            ):
+                exchange_s = self.topology.exchange(self, round_index)
+            tournament_s = time.perf_counter() - t0 - exchange_s
+        eval_s = self._eval_phase(round_index)
+        self._end_round(
+            round_index,
+            train_s=train_s,
+            tournament_s=tournament_s,
+            exchange_s=exchange_s,
+            eval_s=eval_s,
+        )
+
+    def _run_async_round(self, round_index: int) -> None:
+        """One barrier-free round: tournaments fire *during* the train
+        phase, as soon as both members of a pair have finished their
+        intervals (``backend.train_round_async`` reports readiness).
+
+        The ``pairing`` event is emitted at round end — only then is the
+        realized pairing order known — and tournament events appear in
+        completion order, interleaved with training telemetry.
+        """
+        # Deferred import: repro.core.topology imports this module.
+        from repro.core.topology import RoundPlan, run_pairwise_tournament
+
+        topology = self.topology
+        topology.begin_round(round_index)
+        name_to_index = {t.name: i for i, t in enumerate(self.trainers)}
+        pairs = []
+        timing = {"tournament_s": 0.0, "exchange_s": 0.0}
+
+        def on_ready(trainer_name: str) -> None:
+            pair = topology.on_ready(name_to_index[trainer_name])
+            if pair is None:
+                return
+            pairs.append(pair)
+            t0 = time.perf_counter()
+            exchange_s = run_pairwise_tournament(
+                self, round_index, pair, topology
+            )
+            timing["exchange_s"] += exchange_s
+            timing["tournament_s"] += time.perf_counter() - t0 - exchange_s
+
+        t0 = time.perf_counter()
+        with self._phase_span(
+            "train", round=round_index, topology=topology.name, barrier=False
+        ):
+            losses = self.backend.train_round_async(
+                round_index, self.config.steps_per_round, on_ready
+            )
+        self.history.train_losses.append(losses)
+        train_s = (
+            time.perf_counter() - t0
+            - timing["tournament_s"] - timing["exchange_s"]
+        )
+        plan = RoundPlan(pairs=tuple(pairs), byes=topology.finish_round())
+        self.record_pairings(round_index, plan, topology)
+        eval_s = self._eval_phase(round_index)
+        self._end_round(
+            round_index,
+            train_s=train_s,
+            tournament_s=timing["tournament_s"],
+            exchange_s=timing["exchange_s"],
+            eval_s=eval_s,
+        )
+
+    def record_pairings(self, round_index: int, plan, topology) -> None:
+        """Book one round's realized pairing plan: history rows
+        (``pairings``/``byes``) plus the ``pairing`` telemetry event."""
+        names = [t.name for t in self.trainers]
+        pair_names = [(names[p.a], names[p.b]) for p in plan.pairs]
+        bye_names = [names[i] for i in plan.byes]
+        self.history.pairings.append(pair_names)
+        self.history.byes.append(bye_names)
+        self.telemetry.emit(
+            PAIRING,
+            round=round_index,
+            topology=topology.name,
+            pairs=[list(p) for p in pair_names],
+            bye=bye_names,
+            neighborhoods=[p.neighborhood for p in plan.pairs],
+        )
 
     # -- shared round phases --------------------------------------------------
 

@@ -13,7 +13,9 @@ worse as k grows.
 :class:`~repro.core.ltfb.LtfbDriver` — identical ``run(callbacks=[...])
 -> History`` signatures and ``best_trainer(metric)`` — so experiments can
 swap the two on equal schedules ("roughly equal runtimes ... and equal
-memory footprints") without branching.
+memory footprints") without branching.  It is the shared driver loop run
+under the :class:`~repro.core.topology.Isolated` topology: no pairing, no
+tournament phase, no exchange telemetry.
 """
 
 from __future__ import annotations
@@ -47,13 +49,8 @@ class KIndependentDriver(PopulationDriver):
     ) -> None:
         super().__init__(
             trainers, config, eval_batch=eval_batch, history=history,
-            backend=backend,
+            backend=backend, topology="isolated",
         )
-
-    def run_round(self, round_index: int) -> None:
-        train_s = self._train_phase(round_index)
-        eval_s = self._eval_phase(round_index)
-        self._end_round(round_index, train_s=train_s, eval_s=eval_s)
 
     # -- backwards-compatible views onto the shared history -------------------
 

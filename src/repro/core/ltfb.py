@@ -17,13 +17,16 @@ of data silos it never read directly.
 
 :class:`LtfbDriver` extends the shared
 :class:`~repro.core.driver.PopulationDriver` API — ``run(callbacks=[...])
--> History`` — adding the pairing/exchange/tournament phase and emitting
-``tournament`` and ``exchange`` telemetry events.
+-> History`` — and delegates *who exchanges with whom, judged how, and
+when* to a pluggable :class:`~repro.core.topology.Topology`.  The default
+:class:`~repro.core.topology.RandomPairwise` reproduces the paper's
+random pairing bit-identically; ``topology="cellular_grid"`` /
+``"multi_discriminator"`` / ``"async_pairwise"`` select the alternative
+coordination schemes (see :mod:`repro.core.topology`).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -32,8 +35,6 @@ import numpy as np
 from repro.core.driver import History, PopulationDriver, TournamentRecord
 from repro.core.enums import ExchangeScope
 from repro.core.trainer import Trainer
-from repro.telemetry.events import EXCHANGE, TOURNAMENT
-from repro.utils.serialization import nbytes_of
 
 __all__ = [
     "LtfbConfig",
@@ -80,7 +81,7 @@ class LtfbDriver(PopulationDriver):
         The population.  A single trainer degenerates to plain training
         (no tournaments), which is the paper's baseline configuration.
     rng:
-        Drives the random pairing each round.
+        Drives the random pairing each round (handed to the topology).
     config:
         Tournament schedule.
     eval_batch:
@@ -93,6 +94,10 @@ class LtfbDriver(PopulationDriver):
         Where trainer work executes (``"serial"``/``"thread"``/
         ``"process"`` or an :class:`~repro.exec.ExecutionBackend`); see
         :class:`~repro.core.driver.PopulationDriver`.
+    topology:
+        Coordination strategy: ``None`` (the paper's random pairwise
+        tournaments), a :data:`~repro.core.topology.TOPOLOGY_NAMES` name,
+        or a :class:`~repro.core.topology.Topology` instance.
     """
 
     def __init__(
@@ -103,99 +108,12 @@ class LtfbDriver(PopulationDriver):
         eval_batch: Mapping[str, np.ndarray] | None = None,
         history: History | None = None,
         backend=None,
+        topology=None,
     ) -> None:
         super().__init__(
             trainers, config, eval_batch=eval_batch, history=history,
             backend=backend,
+            topology=topology if topology is not None else "random_pairwise",
+            pairing_rng=rng,
         )
         self._rng = rng
-
-    # -- pairing -------------------------------------------------------------
-
-    def _draw_pairs(self) -> list[tuple[int, int]]:
-        """Random disjoint pairs; with an odd population one trainer sits
-        the round out."""
-        k = len(self.trainers)
-        perm = self._rng.permutation(k)
-        return [
-            (int(perm[i]), int(perm[i + 1])) for i in range(0, k - 1, 2)
-        ]
-
-    # -- one round ---------------------------------------------------------------
-
-    def run_round(self, round_index: int) -> None:
-        """Train all trainers for one interval, then hold the tournament."""
-        train_s = self._train_phase(round_index)
-
-        t0 = time.perf_counter()
-        exchange_s = 0.0
-        pairs = self._draw_pairs()
-        self.history.pairings.append(
-            [(self.trainers[a].name, self.trainers[b].name) for a, b in pairs]
-        )
-        scope = self.config.exchange
-        tracer = self.telemetry.tracer
-        with self._phase_span("tournament", round=round_index, pairs=len(pairs)):
-            for a_idx, b_idx in pairs:
-                a, b = self.trainers[a_idx], self.trainers[b_idx]
-                # Exchange models (the only inter-trainer communication).
-                x0 = time.perf_counter()
-                pkg_a = a.exchange_package(scope)
-                pkg_b = b.exchange_package(scope)
-                nbytes = nbytes_of(pkg_a["weights"]) + nbytes_of(pkg_b["weights"])
-                x1 = time.perf_counter()
-                exchange_s += x1 - x0
-                if tracer is not None:
-                    tracer.record(
-                        "exchange", cat="exchange", t0=x0, end=x1,
-                        trainer_a=a.name, trainer_b=b.name, nbytes=nbytes,
-                    )
-                self.history.exchange_bytes += nbytes
-                self.telemetry.emit(
-                    EXCHANGE,
-                    round=round_index,
-                    trainer_a=a.name,
-                    trainer_b=b.name,
-                    scope=scope.value,
-                    nbytes=nbytes,
-                )
-                for me, theirs, partner in ((a, pkg_b, b), (b, pkg_a, a)):
-                    own_score = me.tournament_score()
-                    partner_score = me.score_candidate(theirs["weights"], scope)
-                    adopt = partner_score < own_score
-                    if adopt:
-                        me.adopt_package(theirs)
-                        me.tournaments_lost += 1
-                        partner.tournaments_won += 1
-                        # Remote replicas must re-sync before the next train
-                        # interval (no-op for in-process backends).
-                        self.backend.mark_dirty(me.name)
-                    self.history.tournaments.append(
-                        TournamentRecord(
-                            round_index=round_index,
-                            trainer=me.name,
-                            partner=partner.name,
-                            own_score=own_score,
-                            partner_score=partner_score,
-                            adopted_partner=adopt,
-                        )
-                    )
-                    self.telemetry.emit(
-                        TOURNAMENT,
-                        round=round_index,
-                        trainer=me.name,
-                        partner=partner.name,
-                        own_score=own_score,
-                        partner_score=partner_score,
-                        adopted=adopt,
-                    )
-        tournament_s = time.perf_counter() - t0 - exchange_s
-
-        eval_s = self._eval_phase(round_index)
-        self._end_round(
-            round_index,
-            train_s=train_s,
-            tournament_s=tournament_s,
-            exchange_s=exchange_s,
-            eval_s=eval_s,
-        )

@@ -16,6 +16,15 @@ Backends must preserve two invariants the drivers rely on:
 - **telemetry ordering** — events produced during the train phase are
   delivered to the driver's hub grouped per trainer, in population order,
   exactly as the serial loop emits them.
+
+The barrier-free variant, :meth:`~ExecutionBackend.train_round_async`,
+relaxes the second invariant by design: trainer readiness is reported in
+*completion* order (population order on the serial default), telemetry
+replays per trainer as it completes, and the driver's ``on_ready``
+callback may run tournaments against already-finished trainers while the
+rest of the round is still training.  State determinism still holds —
+only finished trainers are touched, and trainers are independent within
+a round.
 """
 
 from __future__ import annotations
@@ -147,6 +156,33 @@ class ExecutionBackend(ABC):
         the steps.  The result dict is keyed by trainer name in
         population order.
         """
+
+    def train_round_async(
+        self,
+        round_index: int,
+        n_steps: int,
+        on_ready,
+    ) -> dict[str, dict[str, float]]:
+        """Barrier-free train phase: call ``on_ready(trainer_name)`` on
+        the driver thread as each trainer's interval completes, instead of
+        waiting for the whole population.
+
+        The default implementation is the degenerate (but correct)
+        barrier-full form — train everyone, then report readiness in
+        population order — which is exactly the deterministic semantics
+        the serial backend wants: trainers are independent within a round,
+        so pairing trainer 0 and 1 before trainer 2 trains yields the
+        same states as pairing after.  Parallel backends override this to
+        report true completion order.
+
+        ``on_ready`` may mutate the finished trainer (tournament
+        adoption) and call :meth:`mark_dirty`; backends must tolerate
+        both mid-round.
+        """
+        losses = self.train_round(round_index, n_steps)
+        for t in self._trainers:
+            on_ready(t.name)
+        return losses
 
     def mark_dirty(self, trainer_name: str) -> None:
         """The driver mutated this trainer's model/optimizer state.

@@ -18,6 +18,15 @@ and services per-round commands over a pipe:
   the driver's, so at relay time the driver shifts every span's ``t0_s``
   by the wall-clock offset between the two origins — aligning all worker
   timelines onto the hub's axis (clock-offset alignment);
+- ``train_one`` — the barrier-free variant: run the interval on *one*
+  named replica and reply immediately with that trainer's losses, events,
+  state snapshot, and the worker tracer's wall origin.  The driver queues
+  one ``train_one`` per local trainer and multiplexes replies across all
+  worker pipes as they arrive, reporting readiness in true completion
+  order (see :meth:`ProcessBackend.train_round_async`);
+- ``sample`` — reply with one ``resource_sample`` payload of the worker
+  process (queued after a round of ``train_one`` commands, where the
+  ``train`` command would have included it);
 - ``apply`` — load driver-pushed state deltas (tournament adoptions) into
   named replicas, leaving their in-flight data pipelines untouched;
 - ``stop`` — exit.
@@ -111,6 +120,47 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
                         **sample_resources(),
                     }
                     conn.send(("ok", (results, wall_origin, resource_payload)))
+                elif cmd == "train_one":
+                    name, n_steps = msg[1], msg[2]
+                    tracing = bool(msg[3]) if len(msg) > 3 else False
+                    if tracing and base_tracer is None:
+                        from repro.telemetry.spans import Tracer
+
+                        base_tracer = Tracer(None)
+                    t = by_name[name]
+                    recorder = EventRecorder()
+                    if tracing:
+                        recorder.tracer = base_tracer.child(recorder)
+                    t.telemetry = recorder
+                    try:
+                        losses = t.train_steps(n_steps)
+                    finally:
+                        t.telemetry = None
+                    wall_origin = base_tracer.wall_origin if tracing else None
+                    conn.send(
+                        (
+                            "ok",
+                            (
+                                name,
+                                losses,
+                                list(recorder.events),
+                                capture_exec_state(t, include_reader=True),
+                                wall_origin,
+                            ),
+                        )
+                    )
+                elif cmd == "sample":
+                    conn.send(
+                        (
+                            "ok",
+                            {
+                                "source": f"worker{worker_index}",
+                                "backend": "process",
+                                "worker": worker_index,
+                                **sample_resources(),
+                            },
+                        )
+                    )
                 elif cmd == "apply":
                     for name, payload in msg[1]:
                         apply_exec_state(by_name[name], payload)
@@ -317,5 +367,68 @@ class ProcessBackend(ExecutionBackend):
         # Then one resource series entry per worker process, worker order.
         if self._telemetry.active:
             for payload in worker_samples:
+                self._telemetry.emit(RESOURCE_SAMPLE, **payload)
+        return {t.name: losses_by_name[t.name] for t in self._trainers}
+
+    def train_round_async(
+        self, round_index: int, n_steps: int, on_ready
+    ) -> dict[str, dict[str, float]]:
+        """Barrier-free: one ``train_one`` command per trainer, replies
+        multiplexed across worker pipes in arrival order.
+
+        Workers service their queued commands sequentially, so a worker's
+        trainers complete one at a time while other workers' trainers
+        complete concurrently — the driver learns about each the moment
+        its reply lands, applies the state snapshot, replays that
+        trainer's telemetry, and only then calls ``on_ready`` (tournament
+        adoptions from the callback are pushed with the next round's
+        dirty flush).  A trailing ``sample`` command per worker replaces
+        the resource payload the barrier protocol piggybacks on ``train``.
+        """
+        assert self._telemetry is not None
+        from multiprocessing.connection import wait as conn_wait
+
+        from repro.core.checkpoint import apply_exec_state
+        from repro.telemetry.events import RESOURCE_SAMPLE, SPAN
+
+        self._flush_dirty()
+        tracing = self._telemetry.tracer is not None
+        by_name = {t.name: t for t in self._trainers}
+        pending: dict = {}  # conn -> number of outstanding replies
+        for t in self._trainers:
+            wid = self._owner[t.name]
+            self._send(wid, ("train_one", t.name, n_steps, tracing))
+            conn = self._conns[wid]
+            pending[conn] = pending.get(conn, 0) + 1
+        for wid in range(len(self._conns)):
+            self._send(wid, ("sample",))
+            conn = self._conns[wid]
+            pending[conn] = pending.get(conn, 0) + 1
+        conn_to_wid = {conn: wid for wid, conn in enumerate(self._conns)}
+        losses_by_name: dict[str, dict[str, float]] = {}
+        worker_samples: list[tuple[int, dict]] = []
+        while pending:
+            for conn in conn_wait(list(pending)):
+                wid = conn_to_wid[conn]
+                data = self._recv(wid)
+                pending[conn] -= 1
+                if pending[conn] == 0:
+                    del pending[conn]
+                if isinstance(data, dict):  # the trailing resource sample
+                    worker_samples.append((wid, data))
+                    continue
+                name, losses, events, state, worker_wall = data
+                apply_exec_state(by_name[name], state)
+                losses_by_name[name] = losses
+                offset = 0.0
+                if worker_wall is not None:
+                    offset = worker_wall - self._telemetry.wall_origin
+                for event_type, payload in events:
+                    if event_type == SPAN and offset:
+                        payload = {**payload, "t0_s": payload["t0_s"] + offset}
+                    self._telemetry.emit(event_type, **payload)
+                on_ready(name)
+        if self._telemetry.active:
+            for _, payload in sorted(worker_samples, key=lambda ws: ws[0]):
                 self._telemetry.emit(RESOURCE_SAMPLE, **payload)
         return {t.name: losses_by_name[t.name] for t in self._trainers}

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import copy
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 from repro.exec.base import EventRecorder, ExecutionBackend
 from repro.telemetry.resources import emit_resource_sample
@@ -110,3 +110,44 @@ class ThreadBackend(ExecutionBackend):
             self._telemetry, source="driver", backend=self.name, worker=0
         )
         return {t.name: loss for t, loss in zip(self._trainers, losses)}
+
+    def train_round_async(
+        self, round_index: int, n_steps: int, on_ready
+    ) -> dict[str, dict[str, float]]:
+        """Barrier-free: report trainers in true completion order.
+
+        Each trainer's recorder replays (and its hub is restored) the
+        moment its future resolves, *before* ``on_ready`` — so a
+        tournament run from the callback touches only finished trainers
+        and its telemetry lands after theirs.  Other trainers keep
+        training on the pool throughout.
+        """
+        assert self._pool is not None and self._telemetry is not None
+        hub_tracer = self._telemetry.tracer
+        swapped: dict = {}
+        for t in self._trainers:
+            rec = EventRecorder()
+            if hub_tracer is not None:
+                rec.tracer = hub_tracer.child(rec)
+            swapped[t.name] = (t, rec, t.telemetry)
+            t.telemetry = rec
+        losses: dict[str, dict[str, float]] = {}
+        try:
+            futures = {
+                self._pool.submit(t.train_steps, n_steps): t.name
+                for t, _, _ in swapped.values()
+            }
+            for future in as_completed(futures):
+                name = futures[future]
+                t, rec, hub = swapped.pop(name)
+                t.telemetry = hub
+                losses[name] = future.result()
+                rec.replay_into(self._telemetry)
+                on_ready(name)
+        finally:
+            for t, _, hub in swapped.values():  # only on error paths
+                t.telemetry = hub
+        emit_resource_sample(
+            self._telemetry, source="driver", backend=self.name, worker=0
+        )
+        return {t.name: losses[t.name] for t in self._trainers}

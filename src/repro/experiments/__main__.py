@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments fig07 fig12 --quick      # quality figures
     python -m repro.experiments fig12 --backend process  # parallel training
     python -m repro.experiments backends                 # backend scaling
+    python -m repro.experiments topology --quick         # topology study
     python -m repro.experiments trace-report trace.jsonl # summarize telemetry
     python -m repro.experiments trace-export trace.jsonl # Chrome/Perfetto JSON
     python -m repro.experiments fig12 --quick \\
@@ -50,6 +51,7 @@ from repro.experiments import (
     fig11_ltfb_scaling,
     fig12_quality,
     fig13_ltfb_vs_kindependent,
+    topology_study,
 )
 
 PERF_FIGURES = {
@@ -121,6 +123,11 @@ QUALITY_FIGURES = {
         **_quality_schedule(args),
     ),
     "backends": _backend_scaling,
+    "topology": lambda args: topology_study.run(
+        _quality_bench(args),
+        k=3 if args.quick else 4,
+        **_quality_schedule(args),
+    ),
 }
 
 ALL_FIGURES = {**PERF_FIGURES, **QUALITY_FIGURES}

@@ -451,6 +451,7 @@ class QualityWorkbench:
         rounds: int = 10,
         steps_per_round: int = 40,
         hyperparam_jitter: float = 0.2,
+        topology: str | None = None,
         callbacks=(),
     ):
         """Run (and memoize) one LTFB training under ``tag``.
@@ -476,7 +477,7 @@ class QualityWorkbench:
         from repro.core.ltfb import LtfbConfig, LtfbDriver
         from repro.exec import resolve_backend
 
-        key = (tag, k, rounds, steps_per_round, hyperparam_jitter)
+        key = (tag, k, rounds, steps_per_round, hyperparam_jitter, topology)
         if key not in self._ltfb_cache:
             trainers = self.population(
                 k, tag=tag, hyperparam_jitter=hyperparam_jitter
@@ -491,6 +492,7 @@ class QualityWorkbench:
                     max_workers=self.workers,
                     prefetch_depth=self.prefetch_depth,
                 ),
+                topology=topology,
             )
             driver.run(
                 callbacks=[*callbacks, *self.run_callbacks(tag)]
@@ -501,7 +503,10 @@ class QualityWorkbench:
                 winner, _ = driver.best_trainer()
                 safe = re.sub(r"[^A-Za-z0-9._-]+", "-", tag).strip("-")
                 self.store.save_population(
-                    trainers, f"{safe}-k{k}", winner=winner.name
+                    trainers,
+                    f"{safe}-k{k}",
+                    winner=winner.name,
+                    topology=driver.topology,
                 )
             self._ltfb_cache[key] = driver
         return self._ltfb_cache[key]

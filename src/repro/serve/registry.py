@@ -43,6 +43,13 @@ class ServingModel:
     def winner(self) -> str:
         return self.runtime.winner.snapshot.trainer_name
 
+    @property
+    def topology(self) -> str | None:
+        """Population topology the checkpoint was trained under, if the
+        campaign recorded one (``None`` for single-trainer checkpoints
+        and pre-topology manifests)."""
+        return self.runtime.snapshot.topology
+
 
 class ModelRegistry:
     """Loads, versions, and hot-reloads serving models from a store."""

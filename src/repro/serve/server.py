@@ -170,7 +170,11 @@ class SurrogateServer:
 
     def _stamp_model(self, model: ServingModel) -> None:
         self.m_model_version.set(model.version)
-        labels = {"tag": model.tag, "winner": model.winner}
+        labels = {
+            "tag": model.tag,
+            "winner": model.winner,
+            "topology": model.topology or "none",
+        }
         info = self.metrics.gauge(
             "repro_serve_model_info",
             "1 on the series labeling the deployed model",
@@ -396,6 +400,7 @@ class SurrogateServer:
                 "version": model.version,
                 "tag": model.tag,
                 "winner": model.winner,
+                "topology": model.topology,
                 "members": len(model.runtime.members),
                 "aggregate_mode": model.runtime.aggregate_mode,
             },

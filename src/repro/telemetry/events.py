@@ -25,6 +25,7 @@ from typing import Mapping
 __all__ = [
     "STEP_END",
     "ROUND_END",
+    "PAIRING",
     "TOURNAMENT",
     "EXCHANGE",
     "EVAL",
@@ -52,12 +53,25 @@ STEP_END = "step_end"
 #: ``workers`` (the execution backend and its worker count).
 ROUND_END = "round_end"
 
+#: A population topology planned who exchanges with whom this round.
+#: Payload: ``round``, ``topology`` (the topology name), ``pairs`` (list of
+#: ``[trainer_a, trainer_b]`` name pairs), ``bye`` (names sitting the round
+#: out — deterministic per topology), and ``neighborhoods`` (per-pair
+#: locality labels, ``None`` entries for topologies without spatial
+#: structure).  Synchronous topologies emit it before their tournaments;
+#: barrier-free ones emit it at round end, once the pairing order is known.
+PAIRING = "pairing"
+
 #: One trainer judged one pairwise tournament.  Payload: ``round``,
-#: ``trainer``, ``partner``, ``own_score``, ``partner_score``, ``adopted``.
+#: ``trainer``, ``partner``, ``own_score``, ``partner_score``, ``adopted``,
+#: plus ``topology`` (which topology held the tournament) and
+#: ``neighborhood`` (the judging trainer's locality label, ``None`` for
+#: non-spatial topologies).
 TOURNAMENT = "tournament"
 
 #: One model-exchange transfer between a pair of trainers.  Payload:
-#: ``round``, ``trainer_a``, ``trainer_b``, ``scope``, ``nbytes``.
+#: ``round``, ``trainer_a``, ``trainer_b``, ``scope``, ``nbytes``, plus
+#: ``topology``/``neighborhood`` attribution like ``tournament`` events.
 EXCHANGE = "exchange"
 
 #: The population was evaluated on the global validation batch.  Payload:
@@ -120,6 +134,7 @@ EVENT_TYPES = frozenset(
     {
         STEP_END,
         ROUND_END,
+        PAIRING,
         TOURNAMENT,
         EXCHANGE,
         EVAL,

@@ -65,6 +65,13 @@ class HealthMonitor(Callback):
         adoptions in the window (and adoption happened at all).
     collapse_min_adoptions:
         Minimum adoptions in the window before the share is meaningful.
+    neighborhood_min_adoptions:
+        Like ``collapse_min_adoptions``, but for the per-neighborhood
+        check: tournament events from spatial topologies (cellular grids)
+        carry a ``neighborhood`` label, and a neighborhood adopts at most
+        once per round, so its threshold must be reachable within the
+        window.  One trainer sweeping a single grid cell is an early,
+        local signal of the population-wide collapse.
     stall_fraction_threshold:
         Flag a round whose summed fetch stall exceeds this fraction of the
         train phase (the data path dominates compute).
@@ -72,8 +79,9 @@ class HealthMonitor(Callback):
         Rounds exempt from the stall check (first-epoch ingest is
         expected to stall — that is the paper's Fig. 10 initial epoch).
 
-    Each (kind, trainer) pair is flagged at most once per run, so a sick
-    trainer does not flood the log.
+    Each (kind, trainer, neighborhood) triple is flagged at most once per
+    run, so a sick trainer does not flood the log, while a local
+    (neighborhood) collapse never suppresses the population-wide flag.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class HealthMonitor(Callback):
         collapse_window: int = 5,
         collapse_share: float = 0.9,
         collapse_min_adoptions: int = 6,
+        neighborhood_min_adoptions: int = 4,
         stall_fraction_threshold: float = 0.5,
         warmup_rounds: int = 1,
     ) -> None:
@@ -89,19 +98,22 @@ class HealthMonitor(Callback):
         self.collapse_window = int(collapse_window)
         self.collapse_share = float(collapse_share)
         self.collapse_min_adoptions = int(collapse_min_adoptions)
+        self.neighborhood_min_adoptions = int(neighborhood_min_adoptions)
         self.stall_fraction_threshold = float(stall_fraction_threshold)
         self.warmup_rounds = int(warmup_rounds)
         self.warnings: list[HealthWarning] = []
         self._hub = None
-        self._flagged: set[tuple[str, str | None]] = set()
+        self._flagged: set[tuple[str, str | None, str | None]] = set()
         # Best (lowest finite) value seen per (trainer, loss term).
         self._loss_floor: dict[tuple[str, str], float] = {}
         self._round = 0
-        # Win-rate window: per-round {winner: adoptions} maps.
-        self._win_rounds: deque[dict[str, int]] = deque(
+        # Win-rate window: per-round {group: {winner: adoptions}} maps,
+        # where group None is the whole population and named groups are
+        # topology neighborhoods (every adoption counts toward both).
+        self._win_rounds: deque[dict[str | None, dict[str, int]]] = deque(
             maxlen=self.collapse_window
         )
-        self._round_wins: dict[str, int] = {}
+        self._round_wins: dict[str | None, dict[str, int]] = {}
         self._round_stall_s = 0.0
 
     # -- lifecycle -----------------------------------------------------------
@@ -144,7 +156,13 @@ class HealthMonitor(Callback):
     def on_tournament(self, event: TelemetryEvent) -> None:
         if event.payload.get("adopted"):
             winner = str(event.payload.get("partner"))
-            self._round_wins[winner] = self._round_wins.get(winner, 0) + 1
+            groups: list[str | None] = [None]
+            neighborhood = event.payload.get("neighborhood")
+            if neighborhood is not None:
+                groups.append(str(neighborhood))
+            for group in groups:
+                wins = self._round_wins.setdefault(group, {})
+                wins[winner] = wins.get(winner, 0) + 1
 
     def on_fetch_stall(self, event: TelemetryEvent) -> None:
         self._round_stall_s += float(event.payload.get("stall_s", 0.0))
@@ -169,23 +187,39 @@ class HealthMonitor(Callback):
         self._round_stall_s = 0.0
 
     def _check_collapse(self, round_index: int) -> None:
-        totals: dict[str, int] = {}
-        for wins in self._win_rounds:
-            for name, n in wins.items():
-                totals[name] = totals.get(name, 0) + n
-        adoptions = sum(totals.values())
-        if adoptions < self.collapse_min_adoptions:
-            return
-        top, top_wins = max(totals.items(), key=lambda kv: kv[1])
-        share = top_wins / adoptions
-        if share >= self.collapse_share:
-            self._warn(
-                "winrate_collapse",
-                top,
-                f"trainer {top} won {top_wins}/{adoptions} adoptions "
-                f"({share:.0%}) over the last {len(self._win_rounds)} "
-                f"round(s); the population is collapsing onto one model",
+        totals: dict[str | None, dict[str, int]] = {}
+        for round_groups in self._win_rounds:
+            for group, wins in round_groups.items():
+                group_totals = totals.setdefault(group, {})
+                for name, n in wins.items():
+                    group_totals[name] = group_totals.get(name, 0) + n
+        for group, group_totals in totals.items():
+            adoptions = sum(group_totals.values())
+            floor = (
+                self.collapse_min_adoptions
+                if group is None
+                else self.neighborhood_min_adoptions
             )
+            if adoptions < floor:
+                continue
+            top, top_wins = max(group_totals.items(), key=lambda kv: kv[1])
+            share = top_wins / adoptions
+            if share < self.collapse_share:
+                continue
+            if group is None:
+                message = (
+                    f"trainer {top} won {top_wins}/{adoptions} adoptions "
+                    f"({share:.0%}) over the last {len(self._win_rounds)} "
+                    f"round(s); the population is collapsing onto one model"
+                )
+            else:
+                message = (
+                    f"trainer {top} won {top_wins}/{adoptions} adoptions "
+                    f"({share:.0%}) in neighborhood {group} over the last "
+                    f"{len(self._win_rounds)} round(s); the neighborhood "
+                    f"is collapsing onto one model"
+                )
+            self._warn("winrate_collapse", top, message, group=group)
 
     # -- warning plumbing ----------------------------------------------------
 
@@ -195,15 +229,17 @@ class HealthMonitor(Callback):
         trainer: str | None,
         message: str,
         severity: str = "warning",
+        group: str | None = None,
     ) -> None:
-        dedupe = (kind, str(trainer) if trainer is not None else None)
+        trainer_key = str(trainer) if trainer is not None else None
+        dedupe = (kind, trainer_key, group)
         if dedupe in self._flagged:
             return
         self._flagged.add(dedupe)
         warning = HealthWarning(
             kind=kind,
             round_index=self._round,
-            trainer=dedupe[1],
+            trainer=trainer_key,
             message=message,
             severity=severity,
         )

@@ -26,6 +26,18 @@ def pytest_addoption(parser):
         choices=["serial", "thread", "process"],
         help="execution backend the backend-aware tests train under",
     )
+    parser.addoption(
+        "--topology",
+        default="random_pairwise",
+        choices=[
+            "random_pairwise",
+            "cellular_grid",
+            "multi_discriminator",
+            "async_pairwise",
+            "isolated",
+        ],
+        help="population topology the topology-aware tests train under",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -36,6 +48,14 @@ def cli_backend(request) -> str:
     execute take this fixture, so CI can re-run them under every backend.
     """
     return request.config.getoption("--backend")
+
+
+@pytest.fixture(scope="session")
+def cli_topology(request) -> str:
+    """The ``--topology`` the suite was invoked with (default
+    ``random_pairwise``), for tests that run a population driver under
+    whichever topology CI's matrix selects."""
+    return request.config.getoption("--topology")
 
 
 @pytest.fixture(scope="session")

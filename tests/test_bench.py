@@ -198,7 +198,12 @@ class TestHarness:
     def test_quick_run_emits_schema_valid_doc(self, quick_doc):
         validate_bench_doc(quick_doc)
         assert quick_doc["machine"]["host"]["python"]
-        assert quick_doc["config"] == {"warmup": 0, "repeats": 2, "seed": 2024}
+        assert quick_doc["config"] == {
+            "warmup": 0,
+            "repeats": 2,
+            "seed": 2024,
+            "topology": "random_pairwise",
+        }
         by_metric = {r["metric"]: r for r in quick_doc["results"]}
         assert "epoch_s" in by_metric and "samples_per_s" in by_metric
         assert by_metric["samples_per_s"]["direction"] == "higher"

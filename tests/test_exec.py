@@ -39,7 +39,10 @@ def _population(tiny_dataset, tiny_spec, tiny_autoencoder, k=4):
     )
 
 
-def _run_ltfb(tiny_dataset, tiny_spec, tiny_autoencoder, backend):
+def _run_ltfb(
+    tiny_dataset, tiny_spec, tiny_autoencoder, backend,
+    topology="random_pairwise",
+):
     trainers = _population(tiny_dataset, tiny_spec, tiny_autoencoder)
     val_ids = np.arange(tiny_dataset.n_samples - 64, tiny_dataset.n_samples)
     driver = LtfbDriver(
@@ -48,6 +51,7 @@ def _run_ltfb(tiny_dataset, tiny_spec, tiny_autoencoder, backend):
         LtfbConfig(steps_per_round=3, rounds=3),
         eval_batch={k: v[val_ids] for k, v in tiny_dataset.fields.items()},
         backend=backend,
+        topology=topology,
     )
     history = driver.run()
     final_weights = {
@@ -147,9 +151,15 @@ class TestLifecycle:
         assert all(t.surrogate.autoencoder is tiny_autoencoder for t in trainers)
 
 
-@pytest.fixture(scope="module")
-def serial_run(tiny_dataset, tiny_spec, tiny_autoencoder):
-    return _run_ltfb(tiny_dataset, tiny_spec, tiny_autoencoder, "serial")
+@pytest.fixture(scope="module", params=["random_pairwise", "cellular_grid"])
+def serial_run(request, tiny_dataset, tiny_spec, tiny_autoencoder):
+    """One serial reference run per synchronous topology: the determinism
+    contract must hold for every topology whose plan depends only on the
+    pairing RNG and round index, not just the paper's random pairing."""
+    return request.param, _run_ltfb(
+        tiny_dataset, tiny_spec, tiny_autoencoder, "serial",
+        topology=request.param,
+    )
 
 
 class TestCrossBackendDeterminism:
@@ -157,16 +167,18 @@ class TestCrossBackendDeterminism:
     def test_history_bit_identical_to_serial(
         self, backend_name, serial_run, tiny_dataset, tiny_spec, tiny_autoencoder
     ):
-        ref_history, ref_weights, _ = serial_run
+        topology, (ref_history, ref_weights, _) = serial_run
         backend = resolve_backend(backend_name, max_workers=2)
         history, weights, _ = _run_ltfb(
-            tiny_dataset, tiny_spec, tiny_autoencoder, backend
+            tiny_dataset, tiny_spec, tiny_autoencoder, backend,
+            topology=topology,
         )
         assert history.rounds_completed == ref_history.rounds_completed
         assert history.train_losses == ref_history.train_losses
         assert history.eval_series == ref_history.eval_series
         assert history.tournaments == ref_history.tournaments
         assert history.pairings == ref_history.pairings
+        assert history.byes == ref_history.byes
         assert history.exchange_bytes == ref_history.exchange_bytes
         for name, ref in ref_weights.items():
             for key, arr in ref.items():
@@ -175,18 +187,23 @@ class TestCrossBackendDeterminism:
     def test_serial_reference_is_itself_deterministic(
         self, serial_run, tiny_dataset, tiny_spec, tiny_autoencoder
     ):
+        topology, (ref_history, _, _) = serial_run
         again, _, _ = _run_ltfb(
-            tiny_dataset, tiny_spec, tiny_autoencoder, "serial"
+            tiny_dataset, tiny_spec, tiny_autoencoder, "serial",
+            topology=topology,
         )
-        assert again.tournaments == serial_run[0].tournaments
+        assert again.tournaments == ref_history.tournaments
 
     def test_cli_backend_full_run(
-        self, cli_backend, tiny_dataset, tiny_spec, tiny_autoencoder
+        self, cli_backend, cli_topology, tiny_dataset, tiny_spec,
+        tiny_autoencoder,
     ):
-        """The --backend suite leg: a full LTFB run under the CLI-chosen
-        backend must finish and advance every trainer."""
+        """The --backend/--topology suite leg: a full LTFB run under the
+        CLI-chosen backend and topology must finish and advance every
+        trainer."""
         history, _, driver = _run_ltfb(
-            tiny_dataset, tiny_spec, tiny_autoencoder, cli_backend
+            tiny_dataset, tiny_spec, tiny_autoencoder, cli_backend,
+            topology=cli_topology,
         )
         assert history.rounds_completed == 3
         assert all(t.steps_done == 9 for t in driver.trainers)
