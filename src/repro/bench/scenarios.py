@@ -22,6 +22,9 @@ fixtures (512-sample synthetic JAG dataset, 8x8 images, batch 32):
   (``async_pairwise``) on the parallel backends, the win from running
   tournaments in trainer completion order;
 - ``checkpoint`` — trainer checkpoint save and restore round-trip;
+- ``ingest_channel`` — stream the whole dataset through the ingestion
+  beat (publish to watermark, age out, drain, admit into a universe and
+  an evicting store) under each retention policy;
 - ``serve_closed_loop`` / ``serve_open_loop`` — request latency through
   the full serving stack (admission, micro-batching, fixed-shape
   forward) under closed-loop concurrency and stepped open-loop offered
@@ -251,6 +254,73 @@ def _ltfb_round_async(ctx: BenchContext) -> dict:
         ):
             out[f"{backend_name}_{label}_round_s"] = metric(
                 _ltfb_round_times(ctx, backend_name, topology), "s"
+            )
+    return out
+
+
+@scenario(
+    "ingest_channel",
+    "stream the dataset through the ingestion beat "
+    "(publish/age/drain/admit) under each retention policy",
+)
+def _ingest_channel(ctx: BenchContext) -> dict:
+    from repro.datastore.store import DistributedDataStore
+    from repro.ingest.channel import IngestChannel, StreamedSample
+    from repro.ingest.universe import SampleUniverse
+
+    fields = ctx.dataset.fields
+    n = ctx.dataset.n_samples
+    samples = [
+        StreamedSample(
+            sample_id=sid,
+            fields={k: v[sid] for k, v in fields.items()},
+            produced_at=float(sid),  # one simulated second apart
+            task_id=sid,
+        )
+        for sid in range(n)
+    ]
+    sample_nbytes = samples[0].nbytes
+
+    def trial(retention: str) -> None:
+        channel = IngestChannel(
+            capacity=64,
+            retention=retention,
+            high_watermark=0.75,
+            low_watermark=0.25,
+            max_age_s=96.0,
+            seed=17,
+        )
+        universe = SampleUniverse()
+        store = DistributedDataStore(
+            num_ranks=2,
+            bytes_per_rank=sample_nbytes * 128,
+            evicting=True,
+        )
+        it = iter(samples)
+        clock = 0.0
+        exhausted = False
+        while not exhausted or channel.depth:
+            while not channel.paused:  # pump to the high watermark
+                s = next(it, None)
+                if s is None:
+                    exhausted = True
+                    break
+                clock = s.produced_at
+                channel.publish(s)
+            channel.evict_stale(clock)
+            drained = channel.drain()
+            universe.admit(drained)
+            for s in drained:
+                store.admit(s.sample_id, s.fields)
+        assert universe.size > 0 and store.stats.evictions > 0
+
+    out: dict[str, dict] = {}
+    for retention in ("recency", "reservoir"):
+        times = ctx.repeat(lambda retention=retention: trial(retention))
+        out[f"{retention}_stream_s"] = metric(times, "s")
+        if retention == "recency":
+            out["samples_per_s"] = metric(
+                [n / t for t in times], "samples/s", direction="higher"
             )
     return out
 

@@ -596,6 +596,7 @@ class CheckpointStore:
         tag: str,
         winner: str | None = None,
         topology=None,
+        ingest=None,
     ) -> str:
         """Checkpoint a whole population under one tag.
 
@@ -606,8 +607,14 @@ class CheckpointStore:
         ``state()`` is captured: kind, grid shape, readiness cursor, RNG
         state) or a pre-built state mapping — so a resume restores the
         same pairing stream and the serving plane can expose the
-        topology as model metadata.  The manifest publishes last: a
-        concurrently polling reader never sees a partial population.
+        topology as model metadata.  ``ingest`` records the streaming
+        ingestion cursor (a :meth:`~repro.ingest.StreamingSource.state`
+        mapping: poll count, channel cursor, universe snapshot
+        version/size) so a resume can
+        :meth:`~repro.ingest.StreamingSource.replay` the exact same
+        sample universe before trainers re-plan their in-flight epochs.
+        The manifest publishes last: a concurrently polling reader never
+        sees a partial population.
         """
         names = [t.name for t in trainers]
         if len(set(names)) != len(names):
@@ -631,10 +638,19 @@ class CheckpointStore:
                 directory / f"{t.name}{self.SUFFIX}",
                 trainer_checkpoint(t, self.telemetry),
             )
+        ingest_state = None
+        if ingest is not None:
+            ingest_state = dict(ingest)
+            if "cursor" not in ingest_state:
+                raise ValueError(
+                    "ingest state must carry a 'cursor' entry "
+                    "(use StreamingSource.state())"
+                )
         manifest = {
             "members": names,
             "winner": winner,
             "topology": topology_state,
+            "ingest": ingest_state,
             "version": _FORMAT_VERSION,
         }
         self._publish(
@@ -662,6 +678,18 @@ class CheckpointStore:
                 f"population manifest for {tag!r} has no member list"
             )
         return manifest
+
+    def ingest_state(self, tag: str) -> dict | None:
+        """The streaming-ingestion cursor recorded with a population tag.
+
+        ``None`` when the tag was saved without one (fixed-universe run).
+        Feed the mapping to :meth:`~repro.ingest.StreamingSource.replay`
+        on a freshly rebuilt campaign/channel/universe *before* restoring
+        trainers, so their plan cursors re-freeze the snapshots they were
+        planned against.
+        """
+        state = self._manifest(tag).get("ingest")
+        return dict(state) if state is not None else None
 
     def load_population(
         self, tag: str, trainers: Sequence[Trainer], topology=None

@@ -124,6 +124,12 @@ class PopulationDriver:
         default (LTFB resolves ``None`` to ``"random_pairwise"``).
     pairing_rng:
         RNG handed to topologies that draw random pairings.
+    source:
+        Optional :class:`~repro.ingest.StreamingSource` polled at the top
+        of every round: new streamed samples are admitted into the sample
+        universe (and propagated to worker replicas through the backend)
+        before any training of the round plans against it.  ``None`` for
+        the classic fixed-corpus run.
     """
 
     def __init__(
@@ -135,6 +141,7 @@ class PopulationDriver:
         backend: ExecutionBackend | str | None = None,
         topology=None,
         pairing_rng: np.random.Generator | None = None,
+        source=None,
     ) -> None:
         # Deferred import: repro.core.topology imports this module.
         from repro.core.topology import resolve_topology
@@ -152,6 +159,7 @@ class PopulationDriver:
         self.backend = resolve_backend(backend)
         self.topology = resolve_topology(topology)
         self.topology.bind(names, pairing_rng)
+        self.source = source
 
     # -- the one run signature ------------------------------------------------
 
@@ -209,9 +217,22 @@ class PopulationDriver:
                 self.telemetry.unsubscribe(cb)
         return self.history
 
+    def _ingest_phase(self, round_index: int) -> None:
+        """Poll the streaming source (when one is attached) before the
+        round trains: pump the campaign, drain the channel, grow the
+        universe, re-sync every trainer's data pipeline."""
+        if self.source is None:
+            return
+        self.source.telemetry = self.telemetry
+        with self._phase_span("ingest", round=round_index):
+            self.source.poll(
+                self.trainers, backend=self.backend, round_index=round_index
+            )
+
     def run_round(self, round_index: int) -> None:
-        """Advance the population by one round: train, coordinate per the
-        topology, evaluate."""
+        """Advance the population by one round: ingest (when streaming),
+        train, coordinate per the topology, evaluate."""
+        self._ingest_phase(round_index)
         if self.topology.barrier_free:
             self._run_async_round(round_index)
             return

@@ -46,10 +46,11 @@ class KIndependentDriver(PopulationDriver):
         eval_batch: Mapping[str, np.ndarray] | None = None,
         history: History | None = None,
         backend=None,
+        source=None,
     ) -> None:
         super().__init__(
             trainers, config, eval_batch=eval_batch, history=history,
-            backend=backend, topology="isolated",
+            backend=backend, topology="isolated", source=source,
         )
 
     # -- backwards-compatible views onto the shared history -------------------

@@ -109,11 +109,13 @@ class LtfbDriver(PopulationDriver):
         history: History | None = None,
         backend=None,
         topology=None,
+        source=None,
     ) -> None:
         super().__init__(
             trainers, config, eval_batch=eval_batch, history=history,
             backend=backend,
             topology=topology if topology is not None else "random_pairwise",
             pairing_rng=rng,
+            source=source,
         )
         self._rng = rng

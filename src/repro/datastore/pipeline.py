@@ -135,6 +135,7 @@ class BatchPipeline:
             "epoch_index": self._cursor_plan.epoch_index,
             "epoch_rng_state": self._cursor_plan.rng_state,
             "next_step": self._cursor_step,
+            "universe_version": self._cursor_plan.universe_version,
         }
 
     def restore(self, state: Mapping) -> None:
@@ -161,6 +162,18 @@ class BatchPipeline:
             )
         self.reader._rng.bit_generator.state = state["epoch_rng_state"]
         self.reader._epochs_planned = int(state["epoch_index"])
+        universe_version = state.get("universe_version")
+        if universe_version is not None:
+            # Growing-universe readers must re-freeze the exact snapshot
+            # the in-flight epoch was originally planned against, even if
+            # the universe has grown since the checkpoint was taken.
+            begin_replay = getattr(self.reader, "begin_replay", None)
+            if begin_replay is None:
+                raise ValueError(
+                    "pipeline state pins a universe snapshot but the reader "
+                    f"({type(self.reader).__name__}) cannot replay one"
+                )
+            begin_replay(int(universe_version))
         self._cursor_plan = self.reader.plan_epoch(self.batch_size, self.drop_last)
         self._cursor_step = int(state["next_step"])
         if not 0 <= self._cursor_step <= len(self._cursor_plan):

@@ -93,6 +93,12 @@ class EpochPlan:
     permutation was drawn: restoring it and calling
     :meth:`Reader.plan_epoch` again regenerates this exact plan — the
     mechanism mid-epoch checkpoint resume is built on.
+
+    ``universe_version`` pins *which* sample universe the plan was drawn
+    against.  ``None`` for fixed-population readers; streaming readers
+    (:class:`~repro.ingest.StreamReader`) stamp the frozen snapshot
+    version here so a replayed plan re-freezes the identical id set even
+    if the universe has since grown.
     """
 
     epoch_index: int
@@ -100,6 +106,7 @@ class EpochPlan:
     drop_last: bool
     rng_state: dict
     batches: tuple[BatchPlan, ...]
+    universe_version: int | None = None
 
     def __len__(self) -> int:
         return len(self.batches)
@@ -147,6 +154,7 @@ class Reader(ABC):
         :class:`BatchPlan` entries; performs no file or store I/O, so a
         plan can be drawn arbitrarily far ahead of materialization.
         """
+        universe_version = self._freeze_plan_universe()
         steps = self.steps_per_epoch(batch_size, drop_last)
         if steps == 0:
             raise ValueError(
@@ -165,7 +173,21 @@ class Reader(ABC):
             )
             for s in range(steps)
         )
-        return EpochPlan(epoch_index, batch_size, drop_last, rng_state, batches)
+        return EpochPlan(
+            epoch_index, batch_size, drop_last, rng_state, batches,
+            universe_version=universe_version,
+        )
+
+    def _freeze_plan_universe(self) -> int | None:
+        """Pin the sample universe the next plan will be drawn against.
+
+        Called at the top of :meth:`plan_epoch`, before anything else reads
+        ``self.sample_ids``.  Fixed-population readers return ``None``;
+        growing-universe readers override this to freeze a snapshot
+        (updating ``self.sample_ids``) and return its version, which is
+        stamped into the resulting :class:`EpochPlan` for replay.
+        """
+        return None
 
     # -- materialize phase (I/O, no RNG) ------------------------------------
 

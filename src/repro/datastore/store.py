@@ -71,6 +71,7 @@ class DataStoreStats:
     local_bytes: int = 0
     remote_bytes: int = 0
     evictions: int = 0
+    admitted: int = 0
     per_rank_bytes: list[int] = field(default_factory=list)
 
     @property
@@ -144,6 +145,8 @@ class DistributedDataStore:
         ]
         self._shard_bytes = [0] * num_ranks
         self._owner: dict[int, int] = {}
+        # Round-robin placement cursor for admitted (streamed) samples.
+        self._admit_cursor = 0
         self.stats = DataStoreStats(per_rank_bytes=[0] * num_ranks)
         self.telemetry = telemetry
 
@@ -187,6 +190,32 @@ class DistributedDataStore:
         self.stats.cached_samples += 1
         self.stats.cached_bytes += nbytes
         self.stats.per_rank_bytes[rank] = self._shard_bytes[rank]
+
+    def admit(
+        self,
+        sample_id: int,
+        sample: Mapping[str, np.ndarray],
+        rank: int | None = None,
+    ) -> int:
+        """Admit one *streamed* sample (no backing file) into the store.
+
+        The ingestion analog of :meth:`cache_sample`: placement is chosen
+        by the store — round-robin over ranks in admission order unless
+        ``rank`` is forced — so live traffic spreads evenly without the
+        bundle-to-rank assignment preloading relies on.  Idempotent per
+        sample id.  Returns the rank the sample landed on (or already
+        lives on).  Eviction accounting is shared with
+        :meth:`cache_sample`: over-budget admissions on an evicting store
+        drop LRU residents and count into ``stats.evictions``.
+        """
+        if sample_id in self._owner:
+            return self._owner[sample_id]
+        if rank is None:
+            rank = self._admit_cursor % self.num_ranks
+        self.cache_sample(rank, sample_id, sample)
+        self._admit_cursor += 1
+        self.stats.admitted += 1
+        return rank
 
     def preload(
         self,

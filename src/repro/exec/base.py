@@ -193,6 +193,20 @@ class ExecutionBackend(ABC):
         objects *are* the executing state.
         """
 
+    def ingest_admit(self, samples: Sequence, version: int) -> None:
+        """The driver's sample universe grew: streamed ``samples`` were
+        admitted and the universe is now at ``version``.
+
+        Called by a :class:`~repro.ingest.StreamingSource` poll, after the
+        driver-side readers have admitted the batch and suspended their
+        pipelines.  Backends holding remote replicas must mirror the
+        growth there (admit into each replica reader's universe/store and
+        suspend replica pipelines) so worker-side epoch plans freeze the
+        same snapshots the driver's would.  In-process backends need not
+        do anything — the driver's trainer objects (and hence readers and
+        universe) *are* the executing state.
+        """
+
     @property
     def num_workers(self) -> int:
         """How many concurrent execution slots this backend uses."""

@@ -29,6 +29,10 @@ and services per-round commands over a pipe:
   ``train`` command would have included it);
 - ``apply`` — load driver-pushed state deltas (tournament adoptions) into
   named replicas, leaving their in-flight data pipelines untouched;
+- ``admit`` — grow the worker-side sample universe: admit driver-streamed
+  samples into every replica reader that has an ``ingest_admit`` hook and
+  suspend its data pipeline, mirroring what the driver-side
+  :class:`~repro.ingest.StreamingSource` poll just did;
 - ``stop`` — exit.
 
 Mid-epoch trainers ship cleanly: pickling a trainer folds its live data
@@ -164,6 +168,19 @@ def _worker_main(conn, worker_index: int, trainers_payload: bytes) -> None:
                 elif cmd == "apply":
                     for name, payload in msg[1]:
                         apply_exec_state(by_name[name], payload)
+                    conn.send(("ok", None))
+                elif cmd == "admit":
+                    samples, version = msg[1], msg[2]
+                    # Replicas in this worker share one pickled object
+                    # graph, so readers sharing a universe admit once and
+                    # the version cross-check passes idempotently.
+                    for t in trainers:
+                        reader = getattr(t, "reader", None)
+                        admit = getattr(reader, "ingest_admit", None)
+                        if admit is None:
+                            continue
+                        admit(samples, version=version)
+                        t.suspend_data_pipeline()
                     conn.send(("ok", None))
                 elif cmd == "stop":
                     conn.send(("ok", None))
@@ -320,6 +337,22 @@ class ProcessBackend(ExecutionBackend):
         if trainer_name not in self._owner:
             raise ValueError(f"unknown trainer {trainer_name!r}")
         self._dirty.add(trainer_name)
+
+    def ingest_admit(self, samples, version: int) -> None:
+        """Broadcast freshly admitted streamed samples to every worker.
+
+        Each worker grows its replica readers' (shared) universe to the
+        same ``version`` the driver just reached and suspends replica
+        pipelines, so the next worker-side epoch plan freezes the same
+        snapshot the driver's plan cursor records.  Samples travel as
+        plain :class:`~repro.ingest.StreamedSample` payloads over the
+        pipe; admission is idempotent on sample id.
+        """
+        payload = list(samples)
+        for wid in range(len(self._conns)):
+            self._send(wid, ("admit", payload, version))
+        for wid in range(len(self._conns)):
+            self._recv(wid)
 
     # -- per-round work -------------------------------------------------------
 

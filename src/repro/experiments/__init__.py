@@ -25,6 +25,10 @@ corresponding benchmark under ``benchmarks/``.
 - :mod:`repro.experiments.backend_scaling` — one LTFB schedule under each
   :mod:`repro.exec` execution backend: determinism + wall-clock speedup
   (real training).
+- :mod:`repro.experiments.streaming` — train from a live ensemble
+  campaign through the streaming ingestion plane (zero pre-staged
+  files), with a mid-run checkpoint/replay/resume bit-identity proof
+  (real training).
 
 Run the performance figures from the command line::
 

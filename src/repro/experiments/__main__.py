@@ -51,6 +51,7 @@ from repro.experiments import (
     fig11_ltfb_scaling,
     fig12_quality,
     fig13_ltfb_vs_kindependent,
+    streaming,
     topology_study,
 )
 
@@ -127,6 +128,21 @@ QUALITY_FIGURES = {
         _quality_bench(args),
         k=3 if args.quick else 4,
         **_quality_schedule(args),
+    ),
+    # Streams its own universe from a live campaign — no QualityWorkbench
+    # (that would pre-stage the dataset this study must do without).
+    "streaming": lambda args: streaming.run(
+        seed=args.seed,
+        k=2 if args.quick else 4,
+        rounds=4 if args.quick else 8,
+        steps_per_round=3 if args.quick else 6,
+        n_design=512 if args.quick else 1024,
+        backend=args.backend,
+        workers=args.workers,
+        prefetch_depth=args.prefetch_depth,
+        trace_out=args.trace_out,
+        metrics=args._metrics,
+        trace_files=args._trace_files,
     ),
 }
 

@@ -1,0 +1,60 @@
+"""Streaming ingestion: train while the campaign is still producing.
+
+The paper trains from a static pre-simulated JAG corpus staged through
+the distributed data store; the north-star workload is *online* surrogate
+training from a live ensemble (Meyer et al., 2023): samples flow from
+running simulations straight into the trainers, with no file staging at
+all.  This package connects the three pieces the repo already owns —
+:mod:`repro.jag` (the simulator), :mod:`repro.workflow` (the ensemble
+engine) and :mod:`repro.datastore` (the store) — into that pipeline:
+
+- :class:`StreamingCampaign` — drives real JAG simulations through the
+  workflow engine in simulated *completion* order and publishes each
+  finished sample into a channel (:mod:`repro.ingest.producer`);
+- :class:`IngestChannel` — the bounded producer/consumer queue between
+  campaign and trainers: watermark-based backpressure, stale-sample
+  eviction, pluggable retention (:mod:`repro.ingest.channel`);
+- :class:`SampleUniverse` / :class:`StreamReader` — the growing sample
+  population and the reader that plans epochs against immutable
+  per-version snapshots of it (:mod:`repro.ingest.universe`);
+- :class:`StreamingSource` — what the population drivers poll between
+  rounds: pump the campaign, drain the channel, admit into universe and
+  stores, re-synchronize every trainer's data pipeline, and emit
+  ``ingest`` telemetry (:mod:`repro.ingest.source`).
+
+Determinism contract: the universe only grows at round boundaries (poll
+sites), every poll suspends all data pipelines (rewinding any epoch plans
+drawn ahead by prefetch threads), and each epoch plan pins the universe
+snapshot it was drawn against.  The delivered batch sequence is therefore
+a pure function of the poll schedule — independent of prefetch depth,
+thread timing and execution backend — and a mid-run checkpoint (snapshot
+version + channel cursor + poll count) replays bit-identically.
+"""
+
+from repro.ingest.channel import (
+    ChannelStats,
+    IngestChannel,
+    RecencyRetention,
+    ReservoirRetention,
+    RetentionPolicy,
+    StreamedSample,
+    resolve_retention,
+)
+from repro.ingest.producer import StreamingCampaign
+from repro.ingest.source import IngestReplayError, StreamingSource
+from repro.ingest.universe import SampleUniverse, StreamReader
+
+__all__ = [
+    "StreamedSample",
+    "ChannelStats",
+    "RetentionPolicy",
+    "RecencyRetention",
+    "ReservoirRetention",
+    "resolve_retention",
+    "IngestChannel",
+    "SampleUniverse",
+    "StreamReader",
+    "StreamingCampaign",
+    "StreamingSource",
+    "IngestReplayError",
+]

@@ -1,0 +1,297 @@
+"""The bounded channel between a producing campaign and the trainers.
+
+A campaign produces samples at its own (simulated) rate; trainers drain
+them at round boundaries.  The channel in between is deliberately small:
+it bounds memory, it is where flow control lives (watermark hysteresis —
+a full channel *pauses* the campaign instead of dropping work silently),
+and it is where retention policy decides which samples survive when
+production outruns consumption:
+
+- :class:`RecencyRetention` — the freshest samples win; the oldest
+  pending sample is dropped to make room.  Right when the campaign
+  sweeps parameter space and late samples supersede early ones.
+- :class:`ReservoirRetention` — classic reservoir sampling over the
+  whole offered stream: every published sample gets an equal chance of
+  being resident, so the channel holds an unbiased subsample no matter
+  how far production runs ahead.  The policy owns its RNG; the decision
+  sequence is a pure function of the publish sequence.
+
+All clocks here are *simulated* seconds from the workflow engine
+(:class:`~repro.ingest.channel.StreamedSample.produced_at` is the task's
+simulated completion time), so stale-sample eviction and producer lag are
+deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "StreamedSample",
+    "ChannelStats",
+    "RetentionPolicy",
+    "RecencyRetention",
+    "ReservoirRetention",
+    "resolve_retention",
+    "IngestChannel",
+]
+
+
+@dataclass(frozen=True)
+class StreamedSample:
+    """One finished simulation, ready to be admitted into training.
+
+    ``sample_id`` is the global sample id (the campaign's task id) and
+    ``fields`` the per-sample field arrays (``params``/``scalars``/
+    ``images``, each 1-D) — the same columns a
+    :class:`~repro.jag.dataset.JagDataset` holds, one row at a time.
+    ``produced_at`` is the simulated completion time of the producing
+    task.
+    """
+
+    sample_id: int
+    fields: Mapping[str, np.ndarray]
+    produced_at: float
+    task_id: int
+
+    @property
+    def nbytes(self) -> int:
+        return sum(np.asarray(v).nbytes for v in self.fields.values())
+
+
+@dataclass
+class ChannelStats:
+    """Lifetime counters of one channel."""
+
+    published: int = 0  # samples offered by the producer
+    accepted: int = 0  # samples that entered the pending queue
+    retention_drops: int = 0  # displaced by the retention policy
+    stale_evictions: int = 0  # aged out before being drained
+    drained: int = 0  # samples handed to the consumer
+
+    @property
+    def evicted(self) -> int:
+        """Samples lost between publish and drain, for any reason."""
+        return self.retention_drops + self.stale_evictions
+
+
+class RetentionPolicy(ABC):
+    """Decides which sample survives when the channel is at capacity."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def displace(
+        self, pending: "deque[StreamedSample]", incoming: StreamedSample
+    ) -> StreamedSample | None:
+        """Make room for ``incoming`` in a full ``pending`` queue.
+
+        Either removes one resident sample (mutating ``pending``) and
+        returns it — the caller then appends ``incoming`` — or returns
+        ``incoming`` itself, meaning the new sample is the one dropped.
+        """
+
+
+class RecencyRetention(RetentionPolicy):
+    """Freshest-wins: drop the oldest pending sample."""
+
+    name = "recency"
+
+    def displace(
+        self, pending: "deque[StreamedSample]", incoming: StreamedSample
+    ) -> StreamedSample | None:
+        return pending.popleft()
+
+
+class ReservoirRetention(RetentionPolicy):
+    """Equal-probability residency over the whole offered stream.
+
+    Standard reservoir sampling: the *i*-th offered sample (1-based,
+    counted across the channel's lifetime) is kept with probability
+    ``capacity / i``; when kept, it replaces a uniformly random resident.
+    The policy's RNG is its own, seeded at construction, so the keep/drop
+    sequence depends only on the publish sequence.
+    """
+
+    name = "reservoir"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._offered = 0
+
+    def note_offered(self) -> None:
+        self._offered += 1
+
+    def displace(
+        self, pending: "deque[StreamedSample]", incoming: StreamedSample
+    ) -> StreamedSample | None:
+        # note_offered() has already counted `incoming`.
+        keep_p = len(pending) / self._offered
+        if self._rng.random() >= keep_p:
+            return incoming
+        victim = int(self._rng.integers(len(pending)))
+        displaced = pending[victim]
+        del pending[victim]
+        return displaced
+
+
+def resolve_retention(
+    policy: "RetentionPolicy | str", seed: int = 0
+) -> RetentionPolicy:
+    """Resolve a retention policy name (``recency``/``reservoir``) or
+    pass an instance through."""
+    if isinstance(policy, RetentionPolicy):
+        return policy
+    if policy == "recency":
+        return RecencyRetention()
+    if policy == "reservoir":
+        return ReservoirRetention(seed=seed)
+    raise ValueError(
+        f"unknown retention policy {policy!r}; "
+        "expected 'recency', 'reservoir', or a RetentionPolicy instance"
+    )
+
+
+class IngestChannel:
+    """Bounded sample queue with backpressure and retention.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum pending (published, undrained) samples.
+    retention:
+        What happens on publish when full — a policy name or instance.
+    high_watermark / low_watermark:
+        Pause hysteresis as fractions of capacity: :attr:`paused` turns
+        on when occupancy reaches ``high_watermark * capacity`` and off
+        once draining brings it to ``low_watermark * capacity`` or below.
+        Producers honoring :attr:`paused` never trigger retention drops;
+        retention is the safety net for producers that do not.
+    max_age_s:
+        Optional stale bound (simulated seconds): :meth:`evict_stale`
+        drops pending samples older than this.
+    seed:
+        RNG seed for policies that draw (reservoir).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        retention: "RetentionPolicy | str" = "recency",
+        high_watermark: float = 0.9,
+        low_watermark: float = 0.5,
+        max_age_s: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 < low_watermark <= high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={low_watermark}, high={high_watermark}"
+            )
+        if max_age_s is not None and max_age_s <= 0:
+            raise ValueError(f"max_age_s must be positive, got {max_age_s}")
+        self.capacity = int(capacity)
+        self.retention = resolve_retention(retention, seed=seed)
+        self.high_watermark = float(high_watermark)
+        self.low_watermark = float(low_watermark)
+        self.max_age_s = max_age_s
+        self._pending: deque[StreamedSample] = deque()
+        self._paused = False
+        #: Monotonic drain cursor: total samples ever handed to the
+        #: consumer.  Checkpoints record it; replays must reproduce it.
+        self.cursor = 0
+        self.stats = ChannelStats()
+
+    # -- producer side -------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Current pending occupancy."""
+        return len(self._pending)
+
+    @property
+    def paused(self) -> bool:
+        """True while the producer should stop publishing (hysteresis)."""
+        return self._paused
+
+    @property
+    def producer_lag(self) -> int:
+        """How far production has run ahead of consumption, in samples
+        (includes samples that were lost to retention or staleness)."""
+        return self.stats.published - self.stats.drained
+
+    def publish(self, sample: StreamedSample) -> bool:
+        """Offer one sample; returns True when it became pending.
+
+        A full channel asks the retention policy to displace something —
+        possibly the incoming sample itself, in which case this returns
+        False.
+        """
+        self.stats.published += 1
+        if isinstance(self.retention, ReservoirRetention):
+            self.retention.note_offered()
+        if len(self._pending) >= self.capacity:
+            dropped = self.retention.displace(self._pending, sample)
+            self.stats.retention_drops += 1
+            if dropped is sample:
+                self._update_pause()
+                return False
+        self._pending.append(sample)
+        self.stats.accepted += 1
+        self._update_pause()
+        return True
+
+    # -- consumer side -------------------------------------------------------
+
+    def evict_stale(self, now_s: float) -> int:
+        """Drop pending samples older than ``max_age_s`` (no-op without
+        one).  Returns how many were evicted."""
+        if self.max_age_s is None:
+            return 0
+        survivors = deque(
+            s for s in self._pending if now_s - s.produced_at <= self.max_age_s
+        )
+        evicted = len(self._pending) - len(survivors)
+        self._pending = survivors
+        self.stats.stale_evictions += evicted
+        self._update_pause()
+        return evicted
+
+    def drain(self, max_items: int | None = None) -> list[StreamedSample]:
+        """Take up to ``max_items`` pending samples, oldest first."""
+        n = len(self._pending) if max_items is None else min(
+            max_items, len(self._pending)
+        )
+        out = [self._pending.popleft() for _ in range(n)]
+        self.cursor += n
+        self.stats.drained += n
+        self._update_pause()
+        return out
+
+    def _update_pause(self) -> None:
+        depth = len(self._pending)
+        if not self._paused and depth >= self.high_watermark * self.capacity:
+            self._paused = True
+        elif self._paused and depth <= self.low_watermark * self.capacity:
+            self._paused = False
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self) -> "Iterable[StreamedSample]":
+        return iter(tuple(self._pending))
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestChannel(depth={self.depth}/{self.capacity}, "
+            f"retention={self.retention.name!r}, cursor={self.cursor}, "
+            f"paused={self._paused})"
+        )
+

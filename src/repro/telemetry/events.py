@@ -30,6 +30,7 @@ __all__ = [
     "EXCHANGE",
     "EVAL",
     "DATASTORE_FETCH",
+    "INGEST",
     "FETCH_STALL",
     "PREFETCH_FILL",
     "CHECKPOINT",
@@ -83,6 +84,19 @@ EVAL = "eval"
 #: ``remote_bytes`` — per-batch deltas of
 #: :class:`~repro.datastore.store.DataStoreStats`.
 DATASTORE_FETCH = "datastore_fetch"
+
+#: A :class:`~repro.ingest.StreamingSource` finished one between-rounds
+#: ingestion poll.  Payload: ``round`` (``None`` for priming polls),
+#: ``admitted`` (samples admitted into the universe this poll),
+#: ``evicted`` (channel retention + stale evictions this poll, of which
+#: ``stale`` aged out), ``store_evictions`` (store LRU evictions this
+#: poll, summed across attached stores), ``depth`` (channel occupancy
+#: after draining), ``cursor`` (monotonic channel drain cursor),
+#: ``universe_version``/``universe_size`` (the sample universe after the
+#: poll), ``producer_lag`` (samples published but not yet drained, drops
+#: included) and ``store_occupancy`` (max per-rank occupancy fraction
+#: across attached stores, 0.0 with no stores).
+INGEST = "ingest"
 
 #: A data pipeline delivered one batch to its consumer.  Payload:
 #: ``depth`` (prefetch depth, 0 = synchronous), ``epoch``/``step`` (the
@@ -139,6 +153,7 @@ EVENT_TYPES = frozenset(
         EXCHANGE,
         EVAL,
         DATASTORE_FETCH,
+        INGEST,
         FETCH_STALL,
         PREFETCH_FILL,
         CHECKPOINT,

@@ -422,6 +422,35 @@ class MetricsCollector(Callback):
             "repro_prefetch_queue_fill",
             "prefetch queue occupancy at the last background fill",
         )
+        # Streaming-ingestion metrics (fed by ingest events; see
+        # repro.ingest).  The event payload carries per-poll deltas plus
+        # live channel/store readings, so the collector needs no
+        # cross-poll bookkeeping of its own.
+        self.ingest_admitted = r.counter(
+            "repro_ingest_admitted_total",
+            "streamed samples admitted into the sample universe",
+        )
+        self.ingest_evicted = r.counter(
+            "repro_ingest_evicted_total",
+            "streamed samples evicted from the ingest channel "
+            "(retention displacement + stale aging)",
+        )
+        self.ingest_depth = r.gauge(
+            "repro_ingest_channel_depth",
+            "ingest channel occupancy after the last poll",
+        )
+        self.ingest_lag = r.gauge(
+            "repro_ingest_producer_lag",
+            "published-but-undrained samples after the last poll",
+        )
+        self.store_occupancy = r.gauge(
+            "repro_store_occupancy",
+            "distributed-store cache occupancy fraction at the last poll",
+        )
+        self.store_evictions = r.counter(
+            "repro_store_evictions_total",
+            "LRU evictions across distributed-store ranks",
+        )
         # Resource gauges (fed by resource_sample events; see
         # repro.telemetry.resources).  Peak RSS keeps max semantics across
         # samples — a gauge because it can span several processes' peaks.
@@ -479,6 +508,15 @@ class MetricsCollector(Callback):
 
     def on_health(self, event) -> None:
         self.health_warnings.inc()
+
+    def on_ingest(self, event) -> None:
+        p = event.payload
+        self.ingest_admitted.inc(int(p.get("admitted", 0)))
+        self.ingest_evicted.inc(int(p.get("evicted", 0)))
+        self.store_evictions.inc(int(p.get("store_evictions", 0)))
+        self.ingest_depth.set(int(p.get("depth", 0)))
+        self.ingest_lag.set(int(p.get("producer_lag", 0)))
+        self.store_occupancy.set(float(p.get("store_occupancy", 0.0)))
 
     def on_resource_sample(self, event) -> None:
         p = event.payload

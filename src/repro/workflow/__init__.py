@@ -17,11 +17,13 @@ from repro.workflow.engine import (
     EnsembleWorkflow,
     TaskResult,
     WorkerPoolSpec,
+    WorkflowConfigError,
     WorkflowStats,
 )
 from repro.workflow.campaign import CampaignReport, run_campaign
 
 __all__ = [
+    "WorkflowConfigError",
     "WorkerPoolSpec",
     "TaskResult",
     "WorkflowStats",

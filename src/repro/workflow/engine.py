@@ -17,9 +17,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
-__all__ = ["WorkerPoolSpec", "TaskResult", "WorkflowStats", "EnsembleWorkflow"]
+__all__ = [
+    "WorkflowConfigError",
+    "WorkerPoolSpec",
+    "TaskResult",
+    "WorkflowStats",
+    "EnsembleWorkflow",
+]
+
+
+class WorkflowConfigError(ValueError):
+    """An invalid worker-pool geometry or an empty/negative ensemble.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` call sites
+    keep working while new code can catch the workflow layer precisely.
+    """
 
 
 @dataclass(frozen=True)
@@ -33,9 +47,13 @@ class WorkerPoolSpec:
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0 or self.tasks_per_job <= 0:
-            raise ValueError("num_workers and tasks_per_job must be positive")
+            raise WorkflowConfigError(
+                "num_workers and tasks_per_job must be positive, got "
+                f"num_workers={self.num_workers}, "
+                f"tasks_per_job={self.tasks_per_job}"
+            )
         if self.schedule_overhead < 0 or self.placement_overhead < 0:
-            raise ValueError("overheads must be non-negative")
+            raise WorkflowConfigError("overheads must be non-negative")
 
 
 @dataclass
@@ -92,19 +110,22 @@ class EnsembleWorkflow:
         self.spec = spec
         self.task_fn = task_fn
 
-    def run(self, task_times: Sequence[float]) -> tuple[list[TaskResult], WorkflowStats]:
-        """Execute tasks ``0..n-1`` with the given simulated durations.
+    def _schedule(
+        self, task_times: Sequence[float]
+    ) -> tuple[list[TaskResult], WorkflowStats]:
+        """Pure timing: simulate the pool without running ``task_fn``.
 
         Tasks are grouped into jobs of ``tasks_per_job``; each job pays the
         scheduling + placement overhead once, then runs its tasks
         back-to-back on one worker.  Workers are assigned jobs
-        earliest-available-first (a min-heap of worker clocks).
+        earliest-available-first (a min-heap of worker clocks).  Results
+        come back in job order with ``output=None``.
         """
         n = len(task_times)
         if n == 0:
-            raise ValueError("ensemble must contain at least one task")
+            raise WorkflowConfigError("ensemble must contain at least one task")
         if any(t < 0 for t in task_times):
-            raise ValueError("task times must be non-negative")
+            raise WorkflowConfigError("task times must be non-negative")
         spec = self.spec
         # (available_time, worker_id) heap; worker_id breaks ties stably.
         workers = [(0.0, w) for w in range(spec.num_workers)]
@@ -122,14 +143,12 @@ class EnsembleWorkflow:
             for task_id in job_tasks:
                 start = clock
                 clock += float(task_times[task_id])
-                output = self.task_fn(task_id) if self.task_fn else None
                 results.append(
                     TaskResult(
                         task_id=task_id,
                         worker=worker,
                         start_time=start,
                         end_time=clock,
-                        output=output,
                     )
                 )
                 stats.total_task_time += float(task_times[task_id])
@@ -138,3 +157,33 @@ class EnsembleWorkflow:
 
         stats.makespan = max(r.end_time for r in results)
         return results, stats
+
+    def run(self, task_times: Sequence[float]) -> tuple[list[TaskResult], WorkflowStats]:
+        """Execute tasks ``0..n-1`` with the given simulated durations.
+
+        Raises :class:`WorkflowConfigError` when ``task_times`` is empty or
+        contains negative durations.  ``task_fn`` (when set) runs once per
+        task in task-id order; results come back in job order.
+        """
+        results, stats = self._schedule(task_times)
+        if self.task_fn is not None:
+            for r in results:
+                r.output = self.task_fn(r.task_id)
+        return results, stats
+
+    def iter_results(self, task_times: Sequence[float]) -> Iterator[TaskResult]:
+        """Yield :class:`TaskResult`\\ s in simulated *completion* order.
+
+        The schedule is computed eagerly (it is pure timing arithmetic),
+        then results are yielded sorted by ``(end_time, task_id)`` with
+        ``task_fn`` executed lazily at yield time.  This is the streaming
+        face of the engine: a consumer that stops pulling stops the
+        remaining simulations from ever running — which is what lets an
+        :class:`~repro.ingest.IngestChannel`'s backpressure propagate all
+        the way into the campaign.
+        """
+        results, _ = self._schedule(task_times)
+        for r in sorted(results, key=lambda r: (r.end_time, r.task_id)):
+            if self.task_fn is not None:
+                r.output = self.task_fn(r.task_id)
+            yield r

@@ -1,0 +1,451 @@
+"""Tests for the streaming ingestion plane: channel flow control and
+retention, the growing sample universe and its snapshotting reader,
+store admission, the poll/replay cursor, and mid-epoch checkpoint
+determinism while the universe grows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datastore.pipeline import build_pipeline
+from repro.datastore.store import DistributedDataStore
+from repro.ingest.channel import (
+    IngestChannel,
+    RecencyRetention,
+    ReservoirRetention,
+    StreamedSample,
+    resolve_retention,
+)
+from repro.ingest.producer import StreamingCampaign
+from repro.ingest.source import IngestReplayError, StreamingSource
+from repro.ingest.universe import SampleUniverse, StreamReader
+from repro.jag.dataset import JagDatasetConfig, JagSchema
+from repro.workflow.engine import (
+    EnsembleWorkflow,
+    WorkerPoolSpec,
+    WorkflowConfigError,
+)
+
+SCHEMA = JagSchema(image_size=8, views=2, channels=2)
+
+
+def sample(sid: int, produced_at: float = 0.0, value: float | None = None):
+    v = float(sid) if value is None else value
+    return StreamedSample(
+        sample_id=sid,
+        fields={"x": np.full(4, v, dtype=np.float32)},
+        produced_at=produced_at,
+        task_id=sid,
+    )
+
+
+class TestIngestChannel:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            IngestChannel(capacity=0)
+        with pytest.raises(ValueError):
+            IngestChannel(capacity=4, high_watermark=0.3, low_watermark=0.6)
+        with pytest.raises(ValueError):
+            IngestChannel(capacity=4, max_age_s=0.0)
+        with pytest.raises(ValueError):
+            resolve_retention("freshest")
+
+    def test_watermark_hysteresis(self):
+        ch = IngestChannel(capacity=10, high_watermark=0.8, low_watermark=0.3)
+        for sid in range(8):
+            ch.publish(sample(sid))
+        assert ch.paused  # reached 8 = high watermark
+        ch.drain(4)  # depth 4 > low watermark: still paused
+        assert ch.paused
+        ch.drain(1)  # depth 3 = low watermark: resumes
+        assert not ch.paused
+
+    def test_recency_retention_drops_oldest(self):
+        ch = IngestChannel(capacity=3, retention="recency", high_watermark=1.0)
+        for sid in range(5):
+            assert ch.publish(sample(sid))
+        resident = [s.sample_id for s in ch]
+        assert resident == [2, 3, 4]
+        assert ch.stats.retention_drops == 2
+        assert ch.stats.published == 5 and ch.stats.accepted == 5
+
+    def test_reservoir_retention_is_unbiased_and_deterministic(self):
+        def offered_stream(seed):
+            ch = IngestChannel(
+                capacity=16, retention="reservoir", high_watermark=1.0, seed=seed
+            )
+            for sid in range(400):
+                ch.publish(sample(sid))
+            return [s.sample_id for s in ch]
+
+        a, b = offered_stream(7), offered_stream(7)
+        assert a == b  # policy owns its RNG: pure function of publishes
+        assert offered_stream(8) != a
+        # Unbiased: late ids must not dominate (recency would keep 384+).
+        assert min(a) < 100
+        assert isinstance(ch := IngestChannel(4).retention, RecencyRetention)
+        assert isinstance(
+            resolve_retention("reservoir", seed=1), ReservoirRetention
+        )
+
+    def test_stale_eviction_and_cursor(self):
+        ch = IngestChannel(capacity=8, max_age_s=10.0)
+        ch.publish(sample(0, produced_at=0.0))
+        ch.publish(sample(1, produced_at=5.0))
+        ch.publish(sample(2, produced_at=12.0))
+        assert ch.evict_stale(now_s=15.0) == 1  # sample 0 aged out
+        assert ch.stats.stale_evictions == 1 and ch.stats.evicted == 1
+        drained = ch.drain()
+        assert [s.sample_id for s in drained] == [1, 2]
+        assert ch.cursor == 2  # evictions never advance the drain cursor
+        assert ch.producer_lag == 1  # published 3, drained 2
+
+
+class TestSampleUniverse:
+    def test_versioned_snapshots_are_immutable_prefixes(self):
+        u = SampleUniverse()
+        assert u.version == 0 and u.size == 0
+        u.admit([sample(0), sample(1)])
+        u.admit([sample(2)])
+        assert u.version == 2 and u.size == 3
+        assert u.snapshot_ids(1).tolist() == [0, 1]
+        assert u.snapshot_ids(2).tolist() == [0, 1, 2]
+        with pytest.raises(ValueError):
+            u.snapshot_ids(3)
+
+    def test_admit_is_idempotent_and_version_only_bumps_on_growth(self):
+        u = SampleUniverse()
+        assert u.admit([sample(0)]) == 1
+        assert u.admit([sample(0)]) == 0  # duplicate: no new version
+        assert u.version == 1
+        assert u.admit([sample(0), sample(1)]) == 1
+        assert u.version == 2
+
+    def test_batch_and_warm(self):
+        u = SampleUniverse()
+        u.admit([sample(i) for i in range(4)])
+        batch = u.batch([3, 1])
+        assert batch["x"].shape == (2, 4)
+        assert batch["x"][0, 0] == 3.0 and batch["x"][1, 0] == 1.0
+        store = DistributedDataStore(2, bytes_per_rank=10**6)
+        assert u.warm(store) == 4
+        assert u.warm(store) == 0  # idempotent through the store
+
+
+class TestStreamReader:
+    def test_refuses_empty_universe(self):
+        with pytest.raises(ValueError):
+            StreamReader(SampleUniverse(), np.random.default_rng(0))
+
+    def test_plan_freezes_current_snapshot(self):
+        u = SampleUniverse()
+        u.admit([sample(i) for i in range(8)])
+        r = StreamReader(u, np.random.default_rng(0))
+        plan1 = r.plan_epoch(batch_size=4)
+        assert plan1.universe_version == 1
+        u.admit([sample(8 + i) for i in range(4)])
+        r.ingest_admit([], version=None)  # no-op growth path
+        plan2 = r.plan_epoch(batch_size=4)
+        assert plan2.universe_version == 2
+        assert len(r.sample_ids) == 12
+        # plan1's batches only ever index the 8-sample snapshot.
+        assert max(i for bp in plan1.batches for i in bp.sample_ids) < 8
+
+    def test_begin_replay_pins_one_plan(self):
+        u = SampleUniverse()
+        u.admit([sample(i) for i in range(8)])
+        r = StreamReader(u, np.random.default_rng(0))
+        u.admit([sample(8 + i) for i in range(8)])
+        r.ingest_admit([], version=None)
+        r.begin_replay(1)
+        plan = r.plan_epoch(batch_size=4)
+        assert plan.universe_version == 1 and r.frozen_version == 1
+        plan = r.plan_epoch(batch_size=4)  # pin was one-shot
+        assert plan.universe_version == 2
+
+    def test_version_cross_check(self):
+        u = SampleUniverse()
+        u.admit([sample(0)])
+        r = StreamReader(u, np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="universe diverged"):
+            r.ingest_admit([sample(1)], version=5)
+
+    def test_store_fallback_for_evicted_samples(self):
+        u = SampleUniverse()
+        u.admit([sample(i) for i in range(3)])
+        nbytes = sample(0).nbytes
+        store = DistributedDataStore(
+            1, bytes_per_rank=2 * nbytes, evicting=True
+        )
+        r = StreamReader(u, np.random.default_rng(0), store=store)
+        u.warm(store)  # admits 3 into budget for 2: sample 0 evicted
+        assert 0 not in store and store.stats.evictions == 1
+        batch = r._fetch(np.asarray([0, 2]))
+        assert batch["x"][0, 0] == 0.0 and batch["x"][1, 0] == 2.0
+        assert 0 not in store  # fallbacks are not re-cached
+
+
+class TestStoreAdmission:
+    def test_round_robin_placement(self):
+        store = DistributedDataStore(3, bytes_per_rank=10**6)
+        ranks = [store.admit(sid, sample(sid).fields) for sid in range(6)]
+        assert ranks == [0, 1, 2, 0, 1, 2]
+        assert store.stats.admitted == 6
+
+    def test_admit_is_idempotent_and_can_force_rank(self):
+        store = DistributedDataStore(2, bytes_per_rank=10**6)
+        assert store.admit(7, sample(7).fields, rank=1) == 1
+        assert store.admit(7, sample(7).fields) == 1  # already placed
+        assert store.stats.admitted == 1
+
+    def test_eviction_accounting_shared_with_cache(self):
+        nbytes = sample(0).nbytes
+        store = DistributedDataStore(1, bytes_per_rank=2 * nbytes, evicting=True)
+        for sid in range(4):
+            store.admit(sid, sample(sid).fields)
+        assert store.stats.evictions == 2
+        assert store.stats.admitted == 4
+
+
+class TestWorkflowValidation:
+    def test_worker_pool_rejects_nonpositive_counts(self):
+        with pytest.raises(WorkflowConfigError):
+            WorkerPoolSpec(num_workers=0)
+        with pytest.raises(WorkflowConfigError):
+            WorkerPoolSpec(num_workers=-4)
+        with pytest.raises(WorkflowConfigError):
+            WorkerPoolSpec(tasks_per_job=0)
+        assert issubclass(WorkflowConfigError, ValueError)
+
+    def test_run_rejects_empty_and_negative_task_times(self):
+        wf = EnsembleWorkflow(WorkerPoolSpec(num_workers=2))
+        with pytest.raises(WorkflowConfigError):
+            wf.run([])
+        with pytest.raises(WorkflowConfigError):
+            wf.run([1.0, -1.0])
+
+    def test_iter_results_streams_in_completion_order(self):
+        wf = EnsembleWorkflow(
+            WorkerPoolSpec(num_workers=2, tasks_per_job=2),
+            task_fn=lambda tid: tid * 10,
+        )
+        times = [3.0, 1.0, 2.0, 1.0, 5.0]
+        streamed = list(wf.iter_results(times))
+        ends = [(r.end_time, r.task_id) for r in streamed]
+        assert ends == sorted(ends)
+        assert sorted(r.task_id for r in streamed) == list(range(5))
+        assert all(r.output == r.task_id * 10 for r in streamed)
+        batch, _ = EnsembleWorkflow(
+            WorkerPoolSpec(num_workers=2, tasks_per_job=2)
+        ).run(times)
+        # Same schedule, different order: run() keeps task order.
+        assert {(r.task_id, r.end_time) for r in streamed} == {
+            (r.task_id, r.end_time) for r in batch
+        }
+
+
+@pytest.fixture(scope="module")
+def campaign_parts():
+    """A small live campaign wired to a channel/universe/source."""
+
+    def build(n=96, capacity=32, max_age_s=None, tasks_per_poll=24):
+        campaign = StreamingCampaign(
+            JagDatasetConfig(n_samples=n, schema=SCHEMA, seed=5),
+            pool=WorkerPoolSpec(num_workers=4, tasks_per_job=4),
+            task_seconds=60.0,
+            calibration=16,
+        )
+        channel = IngestChannel(
+            capacity=capacity,
+            high_watermark=0.75,
+            low_watermark=0.25,
+            max_age_s=max_age_s,
+        )
+        universe = SampleUniverse()
+        return campaign, channel, universe, StreamingSource(
+            campaign, channel, universe, tasks_per_poll=tasks_per_poll
+        )
+
+    return build
+
+
+class TestStreamingCampaign:
+    def test_pump_honors_watermark_pause(self, campaign_parts):
+        campaign, channel, _, _ = campaign_parts(capacity=8)
+        published = campaign.pump(channel, max_tasks=64)
+        assert channel.paused
+        assert published == channel.depth  # stopped at the watermark,
+        assert channel.stats.retention_drops == 0  # never displaced work
+        channel.drain()
+        assert campaign.pump(channel, max_tasks=4) == 4
+
+    def test_publish_sequence_is_deterministic(self, campaign_parts):
+        ids = []
+        for _ in range(2):
+            campaign, channel, _, _ = campaign_parts()
+            campaign.pump(channel, max_tasks=16)
+            ids.append([s.sample_id for s in channel.drain()])
+        assert ids[0] == ids[1]
+
+    def test_calibration_fields_shapes(self, campaign_parts):
+        campaign, _, _, _ = campaign_parts()
+        cal = campaign.calibration_fields()
+        assert cal["params"].shape[0] == 16
+        assert set(cal) == {"params", "scalars", "images"}
+
+
+class TestStreamingSource:
+    def test_prime_then_poll_grows_universe(self, campaign_parts):
+        _, channel, universe, source = campaign_parts()
+        source.prime(24)
+        assert universe.size >= 24
+        v = universe.version
+        admitted = source.poll()
+        assert admitted > 0 and universe.version == v + 1
+
+    def test_prime_raises_when_campaign_too_small(self, campaign_parts):
+        _, _, _, source = campaign_parts(n=8)
+        with pytest.raises(RuntimeError, match="could not prime"):
+            source.prime(64)
+
+    def test_poll_suspends_pipelines_and_notifies_backend(self, campaign_parts):
+        _, _, universe, source = campaign_parts()
+        source.prime(24)
+
+        class FakeTrainer:
+            def __init__(self):
+                self.reader = StreamReader(universe, np.random.default_rng(0))
+                self.suspended = 0
+
+            def suspend_data_pipeline(self):
+                self.suspended += 1
+
+        class FakeBackend:
+            calls = []
+
+            def ingest_admit(self, samples, version):
+                self.calls.append((len(list(samples)), version))
+
+        t, b = FakeTrainer(), FakeBackend()
+        admitted = source.poll(trainers=[t], backend=b)
+        assert admitted > 0
+        assert t.suspended == 1
+        assert len(t.reader.sample_ids) < universe.size  # not yet re-planned
+        assert b.calls == [(admitted, universe.version)]
+
+    def test_replay_reproduces_cursor(self, campaign_parts):
+        _, _, _, source = campaign_parts()
+        source.prime(24)
+        source.poll()
+        source.poll()
+        state = source.state()
+
+        _, _, universe_b, source_b = campaign_parts()
+        source_b.replay(state)
+        assert source_b.state() == state
+        assert universe_b.version == state["universe_version"]
+
+    def test_replay_resumes_a_partially_polled_source(self, campaign_parts):
+        _, _, _, source = campaign_parts()
+        source.prime(24)
+        source.poll()
+        state = source.state()
+
+        _, _, _, source_b = campaign_parts()
+        source_b.prime(24)  # identical priming already happened
+        source_b.replay(state)
+        assert source_b.state() == state
+
+    def test_replay_rejects_overrun_and_divergence(self, campaign_parts):
+        _, _, _, source = campaign_parts()
+        source.prime(24)
+        state = source.state()
+        source.poll()
+        with pytest.raises(IngestReplayError, match="already polled"):
+            source.replay(state)
+
+        _, _, _, diverged = campaign_parts(tasks_per_poll=8)
+        with pytest.raises(IngestReplayError, match="diverged"):
+            diverged.replay(state)
+
+
+class TestMidEpochCheckpointWithGrowth:
+    """Satellite: a plan cursor checkpointed mid-epoch must replay the
+    identical batches even though the universe grew after the
+    checkpoint — at any prefetch depth."""
+
+    def _batches(self, pipeline, n):
+        return [pipeline.next_batch().feeds["x"].copy() for _ in range(n)]
+
+    @pytest.mark.parametrize("depth", [0, 2])
+    def test_resume_is_bit_identical_across_growth(self, depth):
+        def fresh_reader():
+            u = SampleUniverse()
+            u.admit([sample(i) for i in range(16)])
+            return u, StreamReader(u, np.random.default_rng(42))
+
+        growth = [sample(16 + i) for i in range(8)]
+
+        # Reference: uninterrupted consumption with growth mid-epoch.
+        u, reader = fresh_reader()
+        pipe = build_pipeline(reader, batch_size=4, prefetch_depth=depth)
+        ref = self._batches(pipe, 2)
+        state = pipe.state()  # checkpoint here, mid-epoch (step 2 of 4)
+        # The universe grows; the suspend/restore beat rewinds any plans a
+        # prefetch thread drew ahead, exactly as StreamingSource.poll does.
+        pipe.close()
+        reader.ingest_admit(growth, version=None)
+        pipe = build_pipeline(reader, batch_size=4, prefetch_depth=depth)
+        pipe.restore(state)
+        ref += self._batches(pipe, 6)  # finish epoch + spill into the next
+        pipe.close()
+
+        # Resume: a fresh reader replays admissions, restores the cursor.
+        u2, reader2 = fresh_reader()
+        reader2.ingest_admit(growth, version=None)
+        assert u2.version == 2
+        pipe2 = build_pipeline(reader2, batch_size=4, prefetch_depth=depth)
+        pipe2.restore(state)
+        resumed = self._batches(pipe2, 6)
+        pipe2.close()
+
+        for a, b in zip(ref[2:], resumed):
+            np.testing.assert_array_equal(a, b)
+        # The restored in-flight epoch used the 16-sample snapshot; the
+        # epoch after it picks up the grown universe.
+        assert state["universe_version"] == 1
+        assert len(reader2.sample_ids) == 24
+
+    def test_restore_requires_replay_capable_reader(self):
+        u = SampleUniverse()
+        u.admit([sample(i) for i in range(8)])
+        reader = StreamReader(u, np.random.default_rng(0))
+        pipe = build_pipeline(reader, batch_size=4)
+        pipe.next_batch()
+        state = pipe.state()
+        assert state["universe_version"] == 1
+
+        from repro.datastore.reader import ArrayReader
+
+        plain = ArrayReader(
+            {"x": np.zeros((8, 4), dtype=np.float32)},
+            np.arange(8),
+            np.random.default_rng(0),
+        )
+        fresh = build_pipeline(plain, batch_size=4)
+        with pytest.raises(ValueError, match="cannot replay"):
+            fresh.restore(state)
+
+
+class TestStreamingExperiment:
+    def test_streaming_study_passes_checks(self):
+        from repro.experiments import streaming
+
+        report = streaming.run(
+            seed=11, k=2, rounds=2, steps_per_round=2, n_design=256
+        )
+        assert report.all_checks_pass
+        assert len(report.rows) == 2  # one ingest row per round
+        with pytest.raises(ValueError):
+            streaming.run(rounds=1)
