@@ -28,7 +28,12 @@ fixtures (512-sample synthetic JAG dataset, 8x8 images, batch 32):
 - ``serve_closed_loop`` / ``serve_open_loop`` — request latency through
   the full serving stack (admission, micro-batching, fixed-shape
   forward) under closed-loop concurrency and stepped open-loop offered
-  QPS (cache disabled so every request pays the forward path).
+  QPS (cache disabled so every request pays the forward path);
+- ``telemetry_overhead`` — a fixed synthetic event stream through the
+  :class:`~repro.telemetry.TelemetryHub`: bare hub (telemetry off) vs
+  the live observability plane (:class:`~repro.telemetry.LiveAggregator`
+  alone, then + :class:`~repro.telemetry.FlightRecorder`), guarding the
+  "live plane costs nothing when off" contract.
 
 Metrics are wall-clock seconds (direction ``lower``) except the reader's
 ``samples_per_s`` throughput (direction ``higher``), which keeps the
@@ -429,3 +434,87 @@ def _serve_open_loop(ctx: BenchContext) -> dict:
                 for name, samples in _latency_metrics(reports).items():
                     out[f"qps{int(qps)}_{name}"] = metric(samples, "s")
     return out
+
+
+@scenario(
+    "telemetry_overhead",
+    "event-bus throughput: bare hub vs live plane (aggregator + recorder)",
+)
+def _telemetry_overhead(ctx: BenchContext) -> dict:
+    from repro.telemetry import FlightRecorder, LiveAggregator, TelemetryHub
+
+    # A realistic event mix for one synthetic "round": mostly step_end,
+    # with the pipeline/ingest/serve traffic a streamed campaign carries.
+    # Pre-built once so every trial times dispatch, not payload assembly.
+    def round_events(r: int) -> list[tuple[str, dict]]:
+        mix: list[tuple[str, dict]] = []
+        for t in range(4):
+            name = f"t{t}"
+            for s in range(8):
+                mix.append((
+                    "step_end",
+                    dict(
+                        trainer=name, steps=1, steps_done=r * 8 + s + 1,
+                        losses={"loss": 1.0 / (r + 1)}, elapsed_s=0.01,
+                        backend="serial", worker=0,
+                    ),
+                ))
+            mix.append((
+                "fetch_stall",
+                dict(trainer=name, stall_s=0.001, overlap_s=0.004, worker=0),
+            ))
+        mix.append((
+            "ingest",
+            dict(
+                round=r, admitted=8, evicted=2, stale=1, store_evictions=0,
+                depth=4, cursor=8 * (r + 1), universe_version=r,
+                universe_size=512 + 8 * r, producer_lag=2,
+                store_occupancy=0.5, paused=False, channel_occupancy=0.25,
+            ),
+        ))
+        mix.append((
+            "serve",
+            dict(size=8, queue_depth=3, forward_s=0.002, wait_s=0.001,
+                 version=1),
+        ))
+        mix.append((
+            "round_end",
+            dict(round=r, train_s=0.32, tournament_s=0.02, exchange_s=0.01),
+        ))
+        return mix
+
+    rounds = 24
+    stream = [ev for r in range(rounds) for ev in round_events(r)]
+
+    def timed(subscribers) -> tuple[list[float], int]:
+        def trial() -> None:
+            hub = TelemetryHub()
+            for cb in subscribers():
+                hub.subscribe(cb)
+            for event_type, payload in stream:
+                hub.emit(event_type, **payload)
+
+        return ctx.repeat(trial), len(stream)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bare_times, n = timed(lambda: [])
+        live_times, _ = timed(lambda: [LiveAggregator()])
+        full_times, _ = timed(
+            lambda: [
+                LiveAggregator(),
+                FlightRecorder(out_dir=tmp, dump_on=()),
+            ]
+        )
+    return {
+        "bare_hub_s": metric(bare_times, "s"),
+        "live_aggregator_s": metric(live_times, "s"),
+        "live_plus_recorder_s": metric(full_times, "s"),
+        "bare_events_per_s": metric(
+            [n / t for t in bare_times], "events/s", direction="higher"
+        ),
+        "live_events_per_s": metric(
+            [n / t for t in full_times], "events/s", direction="higher"
+        ),
+    }

@@ -206,6 +206,16 @@ class PopulationDriver:
                             self.run_round(r)
                     else:
                         self.run_round(r)
+        except BaseException as exc:
+            # Crash hook: callbacks get one look at the failure while the
+            # population/backend state is still live (the flight recorder
+            # dumps its bundle here).  Hook failures must not mask `exc`.
+            for cb in attached:
+                try:
+                    cb.on_run_error(self, exc)
+                except Exception:
+                    pass
+            raise
         finally:
             self.backend.release()
             # Two passes: events emitted from one callback's on_run_end

@@ -77,6 +77,8 @@ def _quality_bench(args):
             metrics=args._metrics,
             trace_files=args._trace_files,
             checkpoint_dir=args.checkpoint_dir,
+            live=args.live,
+            flight_recorder=args.flight_recorder,
         )
     return args._bench
 
@@ -87,6 +89,8 @@ def _backend_scaling(args):
         trace_out=args.trace_out,
         metrics=args._metrics,
         trace_files=args._trace_files,
+        live=args.live,
+        flight_recorder=args.flight_recorder,
     )
     if args.quick:
         return backend_scaling.run(
@@ -143,6 +147,8 @@ QUALITY_FIGURES = {
         trace_out=args.trace_out,
         metrics=args._metrics,
         trace_files=args._trace_files,
+        live=args.live,
+        flight_recorder=args.flight_recorder,
     ),
 }
 

@@ -84,6 +84,8 @@ def run(
     metrics=None,
     monitor_health: bool = True,
     trace_files: list | None = None,
+    live: bool = False,
+    flight_recorder=None,
 ) -> ExperimentReport:
     """Run one fixed-seed LTFB schedule under each backend x depth.
 
@@ -162,6 +164,8 @@ def run(
                 metrics=metrics,
                 monitor_health=monitor_health,
                 trace_files=trace_files,
+                live=live,
+                flight_recorder=flight_recorder,
             )
             t0 = time.perf_counter()
             history = driver.run(callbacks=[timer, counters, *extra])

@@ -101,6 +101,29 @@ def add_runtime_options(parser, seed_default: int = 2019) -> None:
             "and tournament winner here; the serve CLI loads from it"
         ),
     )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "attach the live observability plane to every training run: "
+            "windowed rollups + anomaly alerts (LiveAggregator) feeding "
+            "History.health_warnings during the run and 'alert' events "
+            "into the trace; watch with `python -m repro.telemetry watch`"
+        ),
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        nargs="?",
+        const="flightrec",
+        default=None,
+        metavar="DIR",
+        help=(
+            "attach a flight recorder to every training run: a bounded "
+            "ring of recent events per subsystem, dumped to DIR (default "
+            "flightrec/) as a JSON post-mortem bundle on crash, critical "
+            "alert, or SIGTERM"
+        ),
+    )
 
 
 def add_serve_options(parser) -> None:
@@ -288,6 +311,8 @@ def observability_callbacks(
     monitor_health: bool = False,
     trace_files: "list[Path] | None" = None,
     sample_resources: bool = True,
+    live: bool = False,
+    flight_recorder: "str | Path | None" = None,
 ) -> list:
     """Build the per-run observability callback set experiments share.
 
@@ -303,6 +328,14 @@ def observability_callbacks(
     (``trace-report`` resources section, Perfetto counter tracks) and the
     metrics gauges.  Opened trace paths are appended to ``trace_files``
     when given, so callers can report what they wrote.
+
+    ``live`` attaches the live observability plane
+    (:class:`~repro.telemetry.LiveAggregator`): windowed rollups with
+    anomaly alerts fed into ``History.health_warnings`` during the run
+    and emitted as ``alert`` trace events.  ``flight_recorder`` (a
+    directory) attaches a :class:`~repro.telemetry.FlightRecorder` that
+    dumps a post-mortem bundle there on crash/critical alert/SIGTERM.
+    Each run gets a fresh instance of both (their state is per-run).
     """
     from repro.telemetry import HealthMonitor, JsonlTraceWriter, ResourceSampler
 
@@ -325,6 +358,14 @@ def observability_callbacks(
         callbacks.append(HealthMonitor())
     if sample_resources and (trace_out is not None or metrics is not None):
         callbacks.append(ResourceSampler())
+    if live:
+        from repro.telemetry import LiveAggregator
+
+        callbacks.append(LiveAggregator())
+    if flight_recorder is not None:
+        from repro.telemetry import FlightRecorder
+
+        callbacks.append(FlightRecorder(out_dir=flight_recorder))
     return callbacks
 
 
@@ -353,6 +394,8 @@ class QualityWorkbench:
         monitor_health: bool = True,
         trace_files: "list[Path] | None" = None,
         checkpoint_dir: "str | Path | None" = None,
+        live: bool = False,
+        flight_recorder: "str | Path | None" = None,
     ) -> None:
         self.seed = seed
         self.rngs = RngFactory(seed)
@@ -371,6 +414,11 @@ class QualityWorkbench:
         self.trace_out = trace_out
         self.metrics = metrics
         self.monitor_health = bool(monitor_health)
+        # Live observability plane: each run gets a fresh LiveAggregator
+        # (anomaly alerts during the run) and/or FlightRecorder dumping
+        # post-mortem bundles under `flight_recorder`.
+        self.live = bool(live)
+        self.flight_recorder = flight_recorder
         # Callers may hand in a shared list to collect trace paths across
         # several workbenches/reports (the CLI does).
         self.trace_files: list[Path] = (
@@ -442,6 +490,8 @@ class QualityWorkbench:
             metrics=self.metrics,
             monitor_health=self.monitor_health,
             trace_files=self.trace_files,
+            live=self.live,
+            flight_recorder=self.flight_recorder,
         )
 
     def train_ltfb(

@@ -95,6 +95,11 @@ class StreamingSource:
         """Run one ingestion beat; returns samples admitted this poll."""
         self.campaign.pump(self.channel, self.tasks_per_poll)
         stale = self.channel.evict_stale(self.campaign.clock_s)
+        # Snapshot backpressure *before* draining: a full drain always
+        # releases the pause, so the post-drain reading would hide the
+        # producer-side stall the live plane wants to see.
+        paused = self.channel.paused
+        peak_occupancy = self.channel.depth / self.channel.capacity
         drained = self.channel.drain()
         version_before = self.universe.version
         admitted = self.universe.admit(drained)
@@ -135,6 +140,8 @@ class StreamingSource:
                 store_occupancy=max(
                     (s.occupancy_fraction() for s in stores), default=0.0
                 ),
+                paused=paused,
+                channel_occupancy=peak_occupancy,
             )
         assert self.universe.version in (version_before, version_before + 1)
         return admitted

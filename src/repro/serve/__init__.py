@@ -15,7 +15,9 @@ JAG parameter queries under heavy traffic.
 - :mod:`repro.serve.ensemble` — mean/median/winner-only aggregation;
 - :mod:`repro.serve.server` — the composition root, instrumented with
   ``repro_serve_*`` metrics, spans, and health warnings;
-- :mod:`repro.serve.loadgen` — closed- and open-loop load drivers.
+- :mod:`repro.serve.loadgen` — closed- and open-loop load drivers;
+- :mod:`repro.serve.status` — the embedded ``/status`` + ``/metrics`` +
+  ``/healthz`` HTTP surface (JSON snapshot, Prometheus scrape).
 
 Quickstart::
 
@@ -43,6 +45,7 @@ from repro.serve.loadgen import (
 from repro.serve.registry import ModelRegistry, ServingModel
 from repro.serve.runtime import EnsembleRuntime, GeneratorRuntime
 from repro.serve.server import ServeConfig, ServeResponse, SurrogateServer
+from repro.serve.status import StatusServer
 
 __all__ = [
     "AGGREGATE_MODES",
@@ -66,4 +69,5 @@ __all__ = [
     "ServeConfig",
     "ServeResponse",
     "SurrogateServer",
+    "StatusServer",
 ]

@@ -39,7 +39,7 @@ from repro.serve.errors import (
     ServerOverloadedError,
 )
 from repro.serve.registry import ModelRegistry, ServingModel
-from repro.telemetry.events import HEALTH, TelemetryHub
+from repro.telemetry.events import HEALTH, SERVE, TelemetryHub
 from repro.telemetry.metrics import MetricsRegistry, TIME_BUCKETS
 
 __all__ = ["ServeConfig", "ServeResponse", "SurrogateServer"]
@@ -109,6 +109,7 @@ class SurrogateServer:
         )
         self._poll_stop = threading.Event()
         self._poll_thread: threading.Thread | None = None
+        self._status_server = None
         self._warned: set[str] = set()
         self._info_labels: tuple | None = None
         registry.on_reload(self._on_reload)
@@ -225,12 +226,33 @@ class SurrogateServer:
             self._poll_thread.start()
         return self
 
+    def start_status(
+        self, host: str = "127.0.0.1", port: int = 0, aggregator=None
+    ):
+        """Expose the live status surface over HTTP (idempotent).
+
+        Starts a :class:`~repro.serve.status.StatusServer` serving
+        ``/status`` (JSON: :meth:`stats` plus the ``aggregator``
+        snapshot when one is given), ``/metrics`` (Prometheus scrape of
+        the server's registry) and ``/healthz``.  Stops with the server.
+        """
+        if self._status_server is None:
+            from repro.serve.status import StatusServer
+
+            self._status_server = StatusServer(
+                self, host=host, port=port, aggregator=aggregator
+            ).start()
+        return self._status_server
+
     def stop(self) -> None:
         """Stop admitting, drain queued requests, stop background threads."""
         self._poll_stop.set()
         if self._poll_thread is not None:
             self._poll_thread.join()
             self._poll_thread = None
+        if self._status_server is not None:
+            self._status_server.stop()
+            self._status_server = None
         self.batcher.close()
 
     def __enter__(self) -> "SurrogateServer":
@@ -366,7 +388,8 @@ class SurrogateServer:
                     scalars, images = model.runtime.predict(params)
             else:
                 scalars, images = model.runtime.predict(params)
-            self.m_forward.observe(time.perf_counter() - t0)
+            forward_s = time.perf_counter() - t0
+            self.m_forward.observe(forward_s)
             self.m_batches.inc()
             self.m_batch_size.observe(len(requests))
         except Exception as exc:
@@ -386,7 +409,20 @@ class SurrogateServer:
             r.future.set_result(response)
             self.m_responses.inc()
             self.m_latency.observe(end - r.enqueued)
-        self.m_queue_depth.set(self.batcher.depth())
+        depth = self.batcher.depth()
+        self.m_queue_depth.set(depth)
+        if self.telemetry is not None and self.telemetry.active:
+            # One serve event per micro-batch: the live plane's window
+            # feed (queue depth, wait, forward) without per-request cost.
+            self.telemetry.emit(
+                SERVE,
+                size=len(requests),
+                queue_depth=depth,
+                forward_s=forward_s,
+                wait_s=sum(batch.t_ready - r.enqueued for r in requests)
+                / len(requests),
+                version=model.version,
+            )
 
     # -- introspection -------------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""The live status surface of a running surrogate server.
+
+A tiny embedded HTTP endpoint (stdlib ``http.server``, daemon thread) so
+operators and scrapers can ask a deployment "how are you doing" without
+instrumenting the client:
+
+- ``GET /status`` — one JSON document: the server's operational snapshot
+  (:meth:`~repro.serve.server.SurrogateServer.stats`) plus, when a
+  :class:`~repro.telemetry.live.LiveAggregator` is attached, the live
+  plane's windowed rollups/alerts snapshot;
+- ``GET /metrics`` — the server's :class:`~repro.telemetry.metrics.
+  MetricsRegistry` in Prometheus text exposition format (the same
+  rendering :func:`~repro.telemetry.metrics.write_metrics` publishes to
+  files);
+- ``GET /healthz`` — 200 ``ok`` while the batcher accepts work, 503
+  after shutdown (load-balancer liveness).
+
+Bind to port 0 (the default) to let the OS pick a free port —
+:attr:`StatusServer.port` reports the chosen one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.telemetry.metrics import render_metrics
+
+__all__ = ["StatusServer"]
+
+
+class StatusServer:
+    """Serve ``/status``, ``/metrics`` and ``/healthz`` for one
+    :class:`~repro.serve.server.SurrogateServer`.
+
+    ``aggregator`` (optional) is a live-plane
+    :class:`~repro.telemetry.live.LiveAggregator` whose :meth:`snapshot`
+    is folded into ``/status`` under the ``"live"`` key.
+    """
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        aggregator=None,
+    ) -> None:
+        self.server = server
+        self.aggregator = aggregator
+        status = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # quiet by design
+                pass
+
+            def do_GET(self) -> None:
+                try:
+                    body, content_type, code = status._respond(self.path)
+                except Exception as exc:  # a snapshot race must not 500 loop
+                    body = json.dumps({"error": repr(exc)}).encode()
+                    content_type, code = "application/json", 500
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    def _respond(self, path: str) -> tuple[bytes, str, int]:
+        path = path.split("?", 1)[0]
+        if path in ("/status", "/"):
+            return (
+                json.dumps(self.status(), indent=2).encode(),
+                "application/json",
+                200,
+            )
+        if path == "/metrics":
+            return (
+                render_metrics(self.server.metrics, "prometheus").encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+                200,
+            )
+        if path == "/healthz":
+            closed = self.server.batcher.closed
+            return (
+                b"closed\n" if closed else b"ok\n",
+                "text/plain; charset=utf-8",
+                503 if closed else 200,
+            )
+        return b"not found\n", "text/plain; charset=utf-8", 404
+
+    def status(self) -> dict:
+        """The ``/status`` document (also usable in-process)."""
+        doc = {"serve": self.server.stats()}
+        if self.aggregator is not None:
+            doc["live"] = self.aggregator.snapshot()
+        return doc
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "StatusServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="serve-status",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -22,7 +22,13 @@ Shipped callbacks:
 - :class:`ResourceSampler` — periodic peak-RSS/CPU readings of the driver
   process as ``resource_sample`` events (execution backends add worker
   samples), surfaced in ``trace-report``, metrics gauges, and Perfetto
-  counter tracks.
+  counter tracks;
+- :class:`LiveAggregator` / :class:`FlightRecorder` — the live
+  observability plane (:mod:`repro.telemetry.live`): windowed rollups
+  with anomaly alerts fed into ``History.health_warnings`` *during* the
+  run, and a bounded ring of recent events dumped as a post-mortem
+  bundle on crash/critical alert/SIGTERM.  ``python -m repro.telemetry
+  watch`` renders the live status surface from a trace.
 
 Profiling spans (:mod:`repro.telemetry.spans`) ride the same bus as
 ``span`` events when tracing is enabled
@@ -55,6 +61,7 @@ from repro.telemetry.callbacks import (
     WallClockTimer,
 )
 from repro.telemetry.events import (
+    ALERT,
     CHECKPOINT,
     DATASTORE_FETCH,
     EVAL,
@@ -65,6 +72,7 @@ from repro.telemetry.events import (
     PREFETCH_FILL,
     RESOURCE_SAMPLE,
     ROUND_END,
+    SERVE,
     SPAN,
     STEP_END,
     TOURNAMENT,
@@ -73,6 +81,15 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.export import chrome_trace, export_chrome_trace
 from repro.telemetry.health import HealthMonitor, HealthWarning
+from repro.telemetry.live import (
+    Alert,
+    AlertEngine,
+    EwmaDetector,
+    FlightRecorder,
+    LiveAggregator,
+    RollingWindow,
+    load_bundle,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -80,6 +97,7 @@ from repro.telemetry.metrics import (
     MetricsCollector,
     MetricsRegistry,
     collect_metrics,
+    render_metrics,
     write_metrics,
 )
 from repro.telemetry.report import (
@@ -112,6 +130,8 @@ __all__ = [
     "CHECKPOINT",
     "SPAN",
     "HEALTH",
+    "ALERT",
+    "SERVE",
     "RESOURCE_SAMPLE",
     "Callback",
     "JsonlTraceWriter",
@@ -126,9 +146,17 @@ __all__ = [
     "MetricsRegistry",
     "MetricsCollector",
     "collect_metrics",
+    "render_metrics",
     "write_metrics",
     "HealthMonitor",
     "HealthWarning",
+    "RollingWindow",
+    "EwmaDetector",
+    "Alert",
+    "AlertEngine",
+    "LiveAggregator",
+    "FlightRecorder",
+    "load_bundle",
     "ResourceSampler",
     "sample_resources",
     "emit_resource_sample",

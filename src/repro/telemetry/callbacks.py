@@ -59,6 +59,12 @@ class Callback:
     def on_run_end(self, driver, history) -> None:
         """Called by a driver after its last round (also on error exit)."""
 
+    def on_run_error(self, driver, exc: BaseException) -> None:
+        """Called by a driver when its round loop raises, *before*
+        ``on_run_end`` — the last chance to capture in-flight state (the
+        flight recorder dumps its post-mortem bundle here).  Exceptions
+        from this hook are swallowed so they cannot mask ``exc``."""
+
 
 def _jsonify(value):
     """Coerce payload values to JSON-encodable types."""

@@ -36,6 +36,8 @@ __all__ = [
     "CHECKPOINT",
     "SPAN",
     "HEALTH",
+    "ALERT",
+    "SERVE",
     "RESOURCE_SAMPLE",
     "EVENT_TYPES",
     "TelemetryEvent",
@@ -94,8 +96,11 @@ DATASTORE_FETCH = "datastore_fetch"
 #: after draining), ``cursor`` (monotonic channel drain cursor),
 #: ``universe_version``/``universe_size`` (the sample universe after the
 #: poll), ``producer_lag`` (samples published but not yet drained, drops
-#: included) and ``store_occupancy`` (max per-rank occupancy fraction
-#: across attached stores, 0.0 with no stores).
+#: included), ``store_occupancy`` (max per-rank occupancy fraction
+#: across attached stores, 0.0 with no stores), ``paused`` (whether the
+#: channel's high-watermark backpressure was engaged after the pump,
+#: before draining) and ``channel_occupancy`` (pre-drain channel depth
+#: as a fraction of its capacity).
 INGEST = "ingest"
 
 #: A data pipeline delivered one batch to its consumer.  Payload:
@@ -134,6 +139,28 @@ SPAN = "span"
 #: ``None``), ``message``.
 HEALTH = "health"
 
+#: The live observability plane (:mod:`repro.telemetry.live`) fired a
+#: typed alert: an anomaly detector tripped, a worker fast-flagged a
+#: non-finite loss, or a rollup crossed a configured threshold.  Payload:
+#: ``kind`` (e.g. ``step_time_anomaly``/``stall_spike``/
+#: ``stall_regression``/``nan_loss``/``ingest_backpressure``/
+#: ``serve_slo_burn``), ``severity`` (``"warning"``/``"critical"``),
+#: ``source`` (subsystem: ``train``/``data``/``ingest``/``serve``/
+#: ``exchange``), ``round`` (may be ``None`` outside a campaign),
+#: ``trainer`` (may be ``None``), ``message``, ``value``/``threshold``
+#: (the observed reading and the limit it crossed, ``None`` when a
+#: detector has no scalar form) and ``origin`` (``"live"`` for the
+#: driver-side engine, ``"worker"`` for alerts relayed from execution
+#: workers).
+ALERT = "alert"
+
+#: The surrogate server executed one micro-batch.  Payload: ``size``
+#: (requests in the batch), ``queue_depth`` (after the batch drained),
+#: ``forward_s`` (model forward time), ``wait_s`` (mean queue wait across
+#: the batch's requests) and ``version`` (the model version that served
+#: it).  Only emitted when the server is built over a telemetry hub.
+SERVE = "serve"
+
 #: A point-in-time resource reading of one process (see
 #: :mod:`repro.telemetry.resources`).  Payload: ``source`` (``"driver"``
 #: or ``"worker<k>"`` — which process was sampled), ``rss_bytes``
@@ -159,6 +186,8 @@ EVENT_TYPES = frozenset(
         CHECKPOINT,
         SPAN,
         HEALTH,
+        ALERT,
+        SERVE,
         RESOURCE_SAMPLE,
     }
 )

@@ -1,0 +1,430 @@
+"""The live aggregation callback: windows + detectors + alert routing.
+
+:class:`LiveAggregator` subscribes to a :class:`~repro.telemetry.events.
+TelemetryHub` like any other callback, but instead of archiving events it
+folds them into bounded :class:`~repro.telemetry.live.windows.
+RollingWindow` rollups (step time, fetch stall, exchange bytes, ingest
+admit/evict rates, channel occupancy, serve queue depth and latency) and
+runs streaming anomaly detectors over them.  Detections route through an
+:class:`~repro.telemetry.live.alerts.AlertEngine` (dedup + cooldown);
+admitted alerts are
+
+- re-emitted as first-class ``alert`` telemetry events (so traces keep
+  them and the watch CLI can replay them),
+- appended to ``History.health_warnings`` *at fire time* — a failing run
+  is flagged while it is still running, not at ``on_run_end``.
+
+The whole thing is O(window) memory regardless of run length, which is
+what lets it sit on a streamed campaign that never ends.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.telemetry.callbacks import Callback
+from repro.telemetry.events import ALERT, TelemetryEvent
+from repro.telemetry.health import HealthWarning
+from repro.telemetry.live.alerts import Alert, AlertEngine
+from repro.telemetry.live.windows import EwmaDetector, RollingWindow
+
+__all__ = ["LiveAggregator"]
+
+#: The windowed series the aggregator maintains (name -> what it holds).
+WINDOW_SERIES = (
+    "step_time_s",        # per-interval mean step seconds
+    "fetch_stall_s",      # consumer wait per delivered batch
+    "exchange_bytes",     # bytes per pairwise model exchange
+    "ingest_admitted",    # samples admitted per poll
+    "ingest_evicted",     # samples evicted per poll
+    "channel_occupancy",  # ingest channel depth / capacity
+    "serve_queue_depth",  # request queue depth per micro-batch
+    "serve_latency_s",    # mean queue wait + forward per micro-batch
+    "round_train_s",      # train-phase seconds per round
+)
+
+
+class LiveAggregator(Callback):
+    """Streaming rollups and anomaly alerts over a live event stream.
+
+    Parameters
+    ----------
+    window:
+        Ring-buffer length of every rollup series.
+    z_threshold / alpha / detector_warmup:
+        EWMA z-score detector configuration (shared by the step-time and
+        fetch-stall detectors).
+    stall_fraction_threshold / warmup_rounds:
+        Round-level stall-regression gate, mirroring
+        :class:`~repro.telemetry.health.HealthMonitor` semantics: flag a
+        post-warmup round whose summed fetch stall exceeds the fraction
+        of its train phase.
+    serve_slo_s / slo_burn_threshold / slo_min_samples:
+        Serving SLO: alert when more than ``slo_burn_threshold`` of the
+        windowed micro-batch latencies exceed ``serve_slo_s`` (once at
+        least ``slo_min_samples`` batches are in the window).
+    cooldown_rounds:
+        Alert-engine cooldown (see :class:`~repro.telemetry.live.alerts.
+        AlertEngine`).
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        z_threshold: float = 4.0,
+        alpha: float = 0.25,
+        detector_warmup: int = 8,
+        stall_fraction_threshold: float = 0.5,
+        warmup_rounds: int = 1,
+        serve_slo_s: float | None = None,
+        slo_burn_threshold: float = 0.5,
+        slo_min_samples: int = 8,
+        cooldown_rounds: int = 5,
+    ) -> None:
+        self.windows: dict[str, RollingWindow] = {
+            name: RollingWindow(window) for name in WINDOW_SERIES
+        }
+        self._detector_cfg = dict(
+            alpha=alpha, z_threshold=z_threshold, warmup=detector_warmup
+        )
+        # One detector per (series, trainer-or-None): a slow trainer must
+        # not inflate the baseline its healthy peers are judged against.
+        self._detectors: dict[tuple[str, str | None], EwmaDetector] = {}
+        self.stall_fraction_threshold = float(stall_fraction_threshold)
+        self.warmup_rounds = int(warmup_rounds)
+        self.serve_slo_s = serve_slo_s
+        self.slo_burn_threshold = float(slo_burn_threshold)
+        self.slo_min_samples = int(slo_min_samples)
+        self.engine = AlertEngine(cooldown_rounds=cooldown_rounds)
+        # Live state the snapshot renders.
+        self.round_index: int | None = None
+        self.rounds_total: int | None = None
+        self.trainers: dict[str, dict] = {}
+        self.last_pairing: dict | None = None
+        self.last_ingest: dict | None = None
+        self.last_serve: dict | None = None
+        self.adoptions = 0
+        self.tournaments = 0
+        self.health_events = 0
+        self._round_stall_s = 0.0
+        self._hub = None
+        self._history = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_run_begin(self, driver) -> None:
+        self._hub = driver.telemetry
+        self._history = driver.history
+        self.rounds_total = getattr(driver.config, "rounds", None)
+        for t in driver.trainers:
+            self.trainers.setdefault(t.name, {"steps_done": t.steps_done})
+
+    def on_run_end(self, driver, history) -> None:
+        self._hub = None
+        self._history = None
+
+    def attach(self, hub, history=None) -> "LiveAggregator":
+        """Wire the emit/warning sinks outside a driver run (the serve
+        path has no driver, so nothing calls ``on_run_begin``)."""
+        self._hub = hub
+        self._history = history
+        return self
+
+    # -- detection plumbing --------------------------------------------------
+
+    def _detector(self, series: str, trainer: str | None) -> EwmaDetector:
+        key = (series, trainer)
+        det = self._detectors.get(key)
+        if det is None:
+            det = self._detectors[key] = EwmaDetector(**self._detector_cfg)
+        return det
+
+    def _fire(self, alert: Alert, emit: bool = True) -> bool:
+        """Route one detection: engine admission, then the live sinks."""
+        if not self.engine.fire(alert):
+            return False
+        if self._history is not None and hasattr(
+            self._history, "health_warnings"
+        ):
+            self._history.health_warnings.append(
+                HealthWarning(
+                    kind=alert.kind,
+                    round_index=alert.round_index
+                    if alert.round_index is not None
+                    else -1,
+                    trainer=alert.trainer,
+                    message=alert.message,
+                    severity=alert.severity,
+                )
+            )
+        if emit and self._hub is not None:
+            self._hub.emit(ALERT, **alert.to_payload())
+        return True
+
+    # -- event folds ---------------------------------------------------------
+
+    def on_step_end(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        trainer = p.get("trainer")
+        steps = int(p.get("steps", 1)) or 1
+        per_step = float(p.get("elapsed_s", 0.0)) / steps
+        self.windows["step_time_s"].push(event.time_s, per_step)
+        state = self.trainers.setdefault(str(trainer), {})
+        state["steps_done"] = int(p.get("steps_done", 0))
+        state["last_step_s"] = per_step
+        state["losses"] = {
+            k: float(v) for k, v in (p.get("losses") or {}).items()
+        }
+        state["worker"] = p.get("worker")
+        for term, value in (p.get("losses") or {}).items():
+            if not math.isfinite(float(value)):
+                self._fire(
+                    Alert(
+                        kind="nan_loss",
+                        severity="critical",
+                        source="train",
+                        round_index=self.round_index,
+                        trainer=str(trainer),
+                        message=(
+                            f"trainer {trainer}: loss term {term!r} "
+                            f"is {float(value)}"
+                        ),
+                    )
+                )
+        det = self._detector("step_time_s", str(trainer))
+        z = det.update(per_step)
+        if det.is_anomaly(z):
+            self._fire(
+                Alert(
+                    kind="step_time_anomaly",
+                    severity="warning",
+                    source="train",
+                    round_index=self.round_index,
+                    trainer=str(trainer),
+                    value=per_step,
+                    threshold=det.z_threshold,
+                    message=(
+                        f"trainer {trainer}: step time {per_step * 1e3:.2f}ms "
+                        f"is {z:.1f} sigma above its EWMA baseline"
+                    ),
+                )
+            )
+
+    def on_fetch_stall(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        stall = float(p.get("stall_s", 0.0))
+        self.windows["fetch_stall_s"].push(event.time_s, stall)
+        self._round_stall_s += stall
+        trainer = p.get("trainer")
+        det = self._detector("fetch_stall_s", None)
+        z = det.update(stall)
+        if det.is_anomaly(z):
+            self._fire(
+                Alert(
+                    kind="stall_spike",
+                    severity="warning",
+                    source="data",
+                    round_index=self.round_index,
+                    trainer=str(trainer) if trainer is not None else None,
+                    value=stall,
+                    threshold=det.z_threshold,
+                    message=(
+                        f"fetch stall {stall * 1e3:.2f}ms is {z:.1f} sigma "
+                        f"above the recent baseline"
+                        + (f" (trainer {trainer})" if trainer else "")
+                    ),
+                )
+            )
+
+    def on_exchange(self, event: TelemetryEvent) -> None:
+        self.windows["exchange_bytes"].push(
+            event.time_s, float(event.payload.get("nbytes", 0))
+        )
+
+    def on_tournament(self, event: TelemetryEvent) -> None:
+        self.tournaments += 1
+        if event.payload.get("adopted"):
+            self.adoptions += 1
+
+    def on_pairing(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        self.last_pairing = {
+            "round": p.get("round"),
+            "topology": p.get("topology"),
+            "pairs": [list(pair) for pair in (p.get("pairs") or [])],
+            "bye": list(p.get("bye") or []),
+        }
+
+    def on_ingest(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        self.windows["ingest_admitted"].push(
+            event.time_s, float(p.get("admitted", 0))
+        )
+        self.windows["ingest_evicted"].push(
+            event.time_s, float(p.get("evicted", 0))
+        )
+        occupancy = p.get("channel_occupancy")
+        if occupancy is not None:
+            self.windows["channel_occupancy"].push(
+                event.time_s, float(occupancy)
+            )
+        self.last_ingest = {
+            k: p.get(k)
+            for k in (
+                "round", "admitted", "evicted", "stale", "depth", "cursor",
+                "universe_version", "universe_size", "producer_lag",
+                "store_occupancy", "paused", "channel_occupancy",
+            )
+        }
+        if p.get("paused"):
+            self._fire(
+                Alert(
+                    kind="ingest_backpressure",
+                    severity="warning",
+                    source="ingest",
+                    round_index=self.round_index,
+                    value=float(p.get("producer_lag", 0)),
+                    message=(
+                        f"ingest channel paused at high watermark "
+                        f"(depth {p.get('depth')}, producer lag "
+                        f"{p.get('producer_lag')})"
+                    ),
+                )
+            )
+
+    def on_serve(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        self.windows["serve_queue_depth"].push(
+            event.time_s, float(p.get("queue_depth", 0))
+        )
+        latency = float(p.get("wait_s", 0.0)) + float(p.get("forward_s", 0.0))
+        window = self.windows["serve_latency_s"]
+        window.push(event.time_s, latency)
+        self.last_serve = {
+            "size": p.get("size"),
+            "queue_depth": p.get("queue_depth"),
+            "forward_s": p.get("forward_s"),
+            "wait_s": p.get("wait_s"),
+            "version": p.get("version"),
+        }
+        if (
+            self.serve_slo_s is not None
+            and len(window) >= self.slo_min_samples
+        ):
+            burn = sum(
+                1 for v in window.values if v > self.serve_slo_s
+            ) / len(window)
+            if burn > self.slo_burn_threshold:
+                self._fire(
+                    Alert(
+                        kind="serve_slo_burn",
+                        severity="critical",
+                        source="serve",
+                        value=burn,
+                        threshold=self.slo_burn_threshold,
+                        message=(
+                            f"{burn:.0%} of the last {len(window)} "
+                            f"micro-batches exceeded the "
+                            f"{self.serve_slo_s * 1e3:.1f}ms SLO"
+                        ),
+                    )
+                )
+
+    def on_round_end(self, event: TelemetryEvent) -> None:
+        p = event.payload
+        round_index = int(p.get("round", -1))
+        self.round_index = round_index
+        train_s = float(p.get("train_s", 0.0))
+        self.windows["round_train_s"].push(event.time_s, train_s)
+        if round_index >= self.warmup_rounds and train_s > 0:
+            fraction = self._round_stall_s / train_s
+            if fraction > self.stall_fraction_threshold:
+                self._fire(
+                    Alert(
+                        kind="stall_regression",
+                        severity="warning",
+                        source="data",
+                        round_index=round_index,
+                        value=fraction,
+                        threshold=self.stall_fraction_threshold,
+                        message=(
+                            f"round {round_index}: fetch stall "
+                            f"{self._round_stall_s:.3f}s is {fraction:.0%} "
+                            f"of the {train_s:.3f}s train phase"
+                        ),
+                    )
+                )
+        self._round_stall_s = 0.0
+
+    def on_health(self, event: TelemetryEvent) -> None:
+        self.health_events += 1
+
+    def on_alert(self, event: TelemetryEvent) -> None:
+        # Alerts relayed from execution workers arrive over the hub like
+        # any worker telemetry; admit them through the same engine so they
+        # land in history/snapshot exactly once.  Our own emissions carry
+        # origin="live" and are skipped — they were processed at fire time.
+        if event.payload.get("origin") != "worker":
+            return
+        import dataclasses
+
+        alert = Alert.from_payload(event.payload)
+        if alert.round_index is None and self.round_index is not None:
+            alert = dataclasses.replace(alert, round_index=self.round_index)
+        self._fire(alert, emit=False)
+
+    # -- the status surface --------------------------------------------------
+
+    @property
+    def alerts(self) -> list[Alert]:
+        return self.engine.alerts
+
+    def snapshot(self) -> dict:
+        """One JSON-encodable view of run health *right now* — what the
+        watch CLI renders and the serve status endpoint returns."""
+        return {
+            "round": self.round_index,
+            "rounds_total": self.rounds_total,
+            "trainers": {
+                name: dict(state) for name, state in self.trainers.items()
+            },
+            "windows": {
+                name: window.snapshot()
+                for name, window in self.windows.items()
+                if len(window)
+            },
+            "rates": {
+                "ingest_admitted_per_s": self.windows[
+                    "ingest_admitted"
+                ].rate_per_s(),
+                "ingest_evicted_per_s": self.windows[
+                    "ingest_evicted"
+                ].rate_per_s(),
+            },
+            "pairing": self.last_pairing,
+            "ingest": self.last_ingest,
+            "serve": self._serve_snapshot(),
+            "tournaments": {
+                "judged": self.tournaments,
+                "adoptions": self.adoptions,
+            },
+            "health_events": self.health_events,
+            "alerts": self.engine.snapshot(),
+        }
+
+    def _serve_snapshot(self) -> dict | None:
+        window = self.windows["serve_latency_s"]
+        if not window and self.last_serve is None:
+            return None
+        burn = None
+        if self.serve_slo_s is not None and len(window):
+            burn = sum(
+                1 for v in window.values if v > self.serve_slo_s
+            ) / len(window)
+        return {
+            "last": self.last_serve,
+            "latency": window.snapshot() if len(window) else None,
+            "queue_depth": self.windows["serve_queue_depth"].last,
+            "slo_s": self.serve_slo_s,
+            "slo_burn": burn,
+        }

@@ -537,21 +537,44 @@ def collect_metrics(events: Iterable) -> MetricsRegistry:
     return collector.registry
 
 
-def write_metrics(registry: MetricsRegistry, path) -> None:
-    """Write a registry snapshot to ``path``.
-
-    The format follows the suffix: ``.prom``/``.txt`` get the Prometheus
-    text exposition format, anything else JSON.
-    """
+def render_metrics(registry: MetricsRegistry, fmt: str = "prometheus") -> str:
+    """One registry snapshot as text: ``"prometheus"`` exposition format
+    or ``"json"``.  The single rendering path shared by
+    :func:`write_metrics` and the serve status endpoint's ``/metrics``
+    scrape."""
     import json
 
-    text_format = str(path).endswith((".prom", ".txt"))
-    with open(path, "w", encoding="utf-8") as fh:
-        if text_format:
-            fh.write(registry.render_prometheus())
-        else:
-            json.dump(registry.to_json(), fh, indent=2)
-            fh.write("\n")
+    if fmt == "prometheus":
+        return registry.render_prometheus()
+    if fmt == "json":
+        return json.dumps(registry.to_json(), indent=2) + "\n"
+    raise ValueError(f"unknown metrics format {fmt!r}")
 
 
+def write_metrics(registry: MetricsRegistry, path) -> None:
+    """Write a registry snapshot to ``path``, atomically.
+
+    The format follows the suffix: ``.prom``/``.txt`` get the Prometheus
+    text exposition format, anything else JSON.  Publication is
+    tmp + ``os.replace`` (the :class:`~repro.core.checkpoint.
+    CheckpointStore` pattern), so a scraper polling the path never reads
+    a half-written snapshot — it sees the previous complete file or the
+    new complete file, nothing in between.
+    """
+    import os
+    from pathlib import Path
+
+    path = Path(path)
+    fmt = "prometheus" if path.suffix in (".prom", ".txt") else "json"
+    text = render_metrics(registry, fmt)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+__all__.append("render_metrics")
 __all__.append("write_metrics")

@@ -19,7 +19,14 @@ import json
 from typing import Iterable
 
 from repro.telemetry.callbacks import CounterAggregator, JsonlTraceWriter, WallClockTimer
-from repro.telemetry.events import EVENT_TYPES, HEALTH, SPAN, TelemetryEvent
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    HEALTH,
+    INGEST,
+    PAIRING,
+    SPAN,
+    TelemetryEvent,
+)
 from repro.telemetry.resources import summarize_resources
 from repro.utils.units import format_bytes, format_time
 
@@ -27,6 +34,8 @@ __all__ = [
     "load_trace",
     "load_trace_header",
     "summarize_trace",
+    "summarize_pairings",
+    "summarize_ingest",
     "trace_summary",
     "render_trace_report",
     "trace_report",
@@ -120,6 +129,107 @@ def summarize_trace(
     return timer, counters, census
 
 
+def summarize_pairings(events: Iterable[TelemetryEvent]) -> dict | None:
+    """Aggregate the trace's ``pairing`` events: who met whom under which
+    topology.  Returns ``None`` when the trace has no pairing events.
+
+    Keys: ``rounds`` (pairing events seen), ``topologies`` (name -> event
+    count), ``pairs`` (total pairings), ``unique_pairs`` (distinct
+    unordered trainer pairs), ``byes`` (total sit-outs, with
+    ``bye_counts`` per trainer), and ``partners`` (trainer -> number of
+    distinct partners met across the run — the mixing diagnostic: under a
+    ring it stays at 2, under random pairing it climbs toward k-1).
+    """
+    rounds = 0
+    topologies: dict[str, int] = {}
+    total_pairs = 0
+    unique_pairs: set[frozenset] = set()
+    byes = 0
+    bye_counts: dict[str, int] = {}
+    partners: dict[str, set] = {}
+    for event in events:
+        if event.type != PAIRING:
+            continue
+        rounds += 1
+        p = event.payload
+        topology = str(p.get("topology", "?"))
+        topologies[topology] = topologies.get(topology, 0) + 1
+        for pair in p.get("pairs") or []:
+            a, b = str(pair[0]), str(pair[1])
+            total_pairs += 1
+            unique_pairs.add(frozenset((a, b)))
+            partners.setdefault(a, set()).add(b)
+            partners.setdefault(b, set()).add(a)
+        for name in p.get("bye") or []:
+            byes += 1
+            bye_counts[str(name)] = bye_counts.get(str(name), 0) + 1
+    if not rounds:
+        return None
+    return {
+        "rounds": rounds,
+        "topologies": topologies,
+        "pairs": total_pairs,
+        "unique_pairs": len(unique_pairs),
+        "byes": byes,
+        "bye_counts": bye_counts,
+        "partners": {
+            name: len(met) for name, met in sorted(partners.items())
+        },
+    }
+
+
+def summarize_ingest(events: Iterable[TelemetryEvent]) -> dict | None:
+    """Aggregate the trace's ``ingest`` events: the streamed-universe
+    watermarks.  Returns ``None`` when the trace has no ingest events.
+
+    Keys: ``polls``, summed ``admitted``/``evicted``/``stale``/
+    ``store_evictions``, the final ``universe_size``/``universe_version``,
+    ``max_producer_lag``, ``paused_polls`` (polls that hit the channel's
+    high watermark), and mean/peak ``channel_occupancy`` (absent in
+    traces predating the occupancy payload).
+    """
+    polls = 0
+    admitted = evicted = stale = store_evictions = 0
+    universe_size = universe_version = None
+    max_lag = 0
+    paused_polls = 0
+    occupancies: list[float] = []
+    for event in events:
+        if event.type != INGEST:
+            continue
+        polls += 1
+        p = event.payload
+        admitted += int(p.get("admitted", 0))
+        evicted += int(p.get("evicted", 0))
+        stale += int(p.get("stale", 0))
+        store_evictions += int(p.get("store_evictions", 0))
+        universe_size = p.get("universe_size", universe_size)
+        universe_version = p.get("universe_version", universe_version)
+        max_lag = max(max_lag, int(p.get("producer_lag", 0)))
+        if p.get("paused"):
+            paused_polls += 1
+        occupancy = p.get("channel_occupancy")
+        if occupancy is not None:
+            occupancies.append(float(occupancy))
+    if not polls:
+        return None
+    return {
+        "polls": polls,
+        "admitted": admitted,
+        "evicted": evicted,
+        "stale": stale,
+        "store_evictions": store_evictions,
+        "universe_size": universe_size,
+        "universe_version": universe_version,
+        "max_producer_lag": max_lag,
+        "paused_polls": paused_polls,
+        "mean_channel_occupancy": (
+            sum(occupancies) / len(occupancies) if occupancies else None
+        ),
+        "peak_channel_occupancy": max(occupancies) if occupancies else None,
+    }
+
+
 def trace_summary(path) -> dict:
     """Machine-readable trace summary: every section of the text report
     as one JSON-encodable dict (``trace-report --format json``).
@@ -129,7 +239,9 @@ def trace_summary(path) -> dict:
     ``total``/``rounds``), ``counters`` (the full
     :meth:`~repro.telemetry.callbacks.CounterAggregator.summary` dict,
     per-worker keys included), ``percentiles`` (histogram summaries keyed
-    by metric name, only metrics that saw data), ``resources`` (per-source
+    by metric name, only metrics that saw data), ``pairings``/``ingest``
+    (the :func:`summarize_pairings`/:func:`summarize_ingest` aggregates,
+    ``None`` when the trace carries no such events), ``resources`` (per-source
     peak-RSS/CPU rows from ``resource_sample`` events), ``health`` (the
     raw warning payloads) and ``spans`` (count + track census, ``None``
     for untraced runs).  The bench harness and CI consume this instead of
@@ -162,6 +274,8 @@ def trace_summary(path) -> dict:
         },
         "counters": counters.summary(),
         "percentiles": percentiles,
+        "pairings": summarize_pairings(events),
+        "ingest": summarize_ingest(events),
         "resources": summarize_resources(events),
         "health": [dict(e.payload) for e in events if e.type == HEALTH],
         "spans": spans,
@@ -246,6 +360,47 @@ def render_trace_report(path) -> str:
                     f"{counters.worker_stall_s.get(key, 0.0):.3f}s / overlap "
                     f"{counters.worker_overlap_s.get(key, 0.0):.3f}s"
                 )
+    pairings = summarize_pairings(events)
+    if pairings:
+        topo_bits = ", ".join(
+            f"{name} x{n}" for name, n in sorted(pairings["topologies"].items())
+        )
+        out.append("pairing:")
+        out.append(
+            f"  {pairings['rounds']} rounds ({topo_bits}): "
+            f"{pairings['pairs']} pairings, "
+            f"{pairings['unique_pairs']} unique, {pairings['byes']} byes"
+        )
+        if pairings["partners"]:
+            degrees = list(pairings["partners"].values())
+            out.append(
+                f"  partner diversity: min {min(degrees)} / mean "
+                f"{sum(degrees) / len(degrees):.1f} / max {max(degrees)} "
+                f"distinct partners per trainer"
+            )
+    ingest = summarize_ingest(events)
+    if ingest:
+        out.append("ingest:")
+        out.append(
+            f"  {ingest['polls']} polls: admitted {ingest['admitted']}, "
+            f"evicted {ingest['evicted']} ({ingest['stale']} stale), "
+            f"universe {ingest['universe_size']} "
+            f"(v{ingest['universe_version']})"
+        )
+        lag_line = f"  producer lag max {ingest['max_producer_lag']}"
+        if ingest["mean_channel_occupancy"] is not None:
+            lag_line += (
+                f"; channel occupancy mean "
+                f"{ingest['mean_channel_occupancy']:.0%} peak "
+                f"{ingest['peak_channel_occupancy']:.0%}"
+            )
+        if ingest["paused_polls"]:
+            lag_line += (
+                f"; {ingest['paused_polls']} poll"
+                f"{'s' if ingest['paused_polls'] != 1 else ''} hit the "
+                f"high watermark"
+            )
+        out.append(lag_line)
     out.extend(_render_percentiles(events))
     resources = summarize_resources(events)
     if resources:
