@@ -33,7 +33,11 @@ fixtures (512-sample synthetic JAG dataset, 8x8 images, batch 32):
   :class:`~repro.telemetry.TelemetryHub`: bare hub (telemetry off) vs
   the live observability plane (:class:`~repro.telemetry.LiveAggregator`
   alone, then + :class:`~repro.telemetry.FlightRecorder`), guarding the
-  "live plane costs nothing when off" contract.
+  "live plane costs nothing when off" contract;
+- ``eval_divergence`` — the quality probe's critical path: the fixed
+  streaming-estimator protocol on a 512-row reference, and one full
+  per-round probe pass (generator forward + estimator + EVAL emit) over
+  a k=2 population.
 
 Metrics are wall-clock seconds (direction ``lower``) except the reader's
 ``samples_per_s`` throughput (direction ``higher``), which keeps the
@@ -517,4 +521,50 @@ def _telemetry_overhead(ctx: BenchContext) -> dict:
         "live_events_per_s": metric(
             [n / t for t in full_times], "events/s", direction="higher"
         ),
+    }
+
+
+@scenario(
+    "eval_divergence",
+    "quality probe: streaming estimator + one per-round probe pass (k=2)",
+)
+def _eval_divergence(ctx: BenchContext) -> dict:
+    from repro.core.ltfb import LtfbConfig, LtfbDriver
+    from repro.eval import QualityProbe, scalar_divergences
+    from repro.telemetry.events import TelemetryEvent
+
+    # The estimator alone, at the probe's default reference size: 512
+    # reservoir rows, the fixed 32-bin protocol.
+    rng = ctx.rng("eval-divergence")
+    reference = rng.normal(size=(512, 16))
+    model_out = rng.normal(loc=0.25, size=(512, 16))
+
+    def estimator_trial() -> None:
+        scalar_divergences(reference, model_out)
+
+    estimator_times = ctx.repeat(estimator_trial)
+
+    # One full probe pass over a k=2 population: per-trainer generator
+    # forward on the reservoir reference + estimator + EVAL emit — the
+    # per-round cost a campaign pays for quality observability.
+    trainers = ctx.population("eval-divergence", k=2)
+    driver = LtfbDriver(
+        trainers,
+        ctx.rng("eval-divergence/pairing"),
+        LtfbConfig(steps_per_round=1, rounds=1),
+        eval_batch=ctx.eval_batch(64),
+    )
+    probe = QualityProbe(capacity=256, seed=0)
+    probe.on_run_begin(driver)
+    round_event = TelemetryEvent(
+        type="round_end", time_s=0.0, sequence=0, payload={"round": 0}
+    )
+
+    def probe_trial() -> None:
+        probe.on_round_end(round_event)
+
+    probe_times = ctx.repeat(probe_trial)
+    return {
+        "estimator_s": metric(estimator_times, "s"),
+        "probe_pass_s": metric(probe_times, "s"),
     }

@@ -597,6 +597,7 @@ class CheckpointStore:
         winner: str | None = None,
         topology=None,
         ingest=None,
+        eval_summary=None,
     ) -> str:
         """Checkpoint a whole population under one tag.
 
@@ -613,8 +614,11 @@ class CheckpointStore:
         version/size) so a resume can
         :meth:`~repro.ingest.StreamingSource.replay` the exact same
         sample universe before trainers re-plan their in-flight epochs.
-        The manifest publishes last: a concurrently polling reader never
-        sees a partial population.
+        ``eval_summary`` records the run's quality-probe verdict (a
+        :meth:`~repro.eval.probe.QualityProbe.summary` mapping) — the
+        serve-side quality gate compares candidate checkpoints on it
+        before hot-reloading.  The manifest publishes last: a
+        concurrently polling reader never sees a partial population.
         """
         names = [t.name for t in trainers]
         if len(set(names)) != len(names):
@@ -651,6 +655,8 @@ class CheckpointStore:
             "winner": winner,
             "topology": topology_state,
             "ingest": ingest_state,
+            "eval_summary": dict(eval_summary) if eval_summary is not None
+            else None,
             "version": _FORMAT_VERSION,
         }
         self._publish(
@@ -690,6 +696,33 @@ class CheckpointStore:
         """
         state = self._manifest(tag).get("ingest")
         return dict(state) if state is not None else None
+
+    def eval_summary(self, tag: str) -> dict | None:
+        """The quality-probe summary recorded with a population tag.
+
+        ``None`` when the tag was saved without one (no probe attached,
+        or a pre-eval checkpoint format) — the serve-side quality gate
+        passes open on those.  Trainer tags have no manifest and raise
+        :class:`CheckpointNotFoundError` like every manifest accessor.
+        """
+        summary = self._manifest(tag).get("eval_summary")
+        return dict(summary) if summary is not None else None
+
+    def stamp_eval_summary(self, tag: str, summary: Mapping | None) -> None:
+        """Record (or replace) a population tag's eval summary in place.
+
+        Re-publishes the manifest atomically with the new summary — the
+        path for probes that finish scoring after the checkpoint was
+        written, and for operators re-grading an archived population.
+        """
+        manifest = self._manifest(tag)
+        manifest["eval_summary"] = (
+            dict(summary) if summary is not None else None
+        )
+        self._publish(
+            self._dir(tag) / self.MANIFEST,
+            json.dumps(manifest, indent=2).encode("utf-8"),
+        )
 
     def load_population(
         self, tag: str, trainers: Sequence[Trainer], topology=None

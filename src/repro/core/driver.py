@@ -124,6 +124,11 @@ class PopulationDriver:
         default (LTFB resolves ``None`` to ``"random_pairwise"``).
     pairing_rng:
         RNG handed to topologies that draw random pairings.
+    judge:
+        What "better" means in tournaments: ``None``/``"loss"`` (the
+        paper's tournament-holdout loss, bit-identical to the pre-seam
+        behaviour), ``"divergence"`` (rank on distributional fidelity),
+        or a constructed :class:`~repro.eval.judge.Judge`.
     source:
         Optional :class:`~repro.ingest.StreamingSource` polled at the top
         of every round: new streamed samples are admitted into the sample
@@ -141,10 +146,13 @@ class PopulationDriver:
         backend: ExecutionBackend | str | None = None,
         topology=None,
         pairing_rng: np.random.Generator | None = None,
+        judge=None,
         source=None,
     ) -> None:
-        # Deferred import: repro.core.topology imports this module.
+        # Deferred imports: repro.core.topology imports this module, and
+        # repro.eval.judge sits above core in the layering.
         from repro.core.topology import resolve_topology
+        from repro.eval.judge import resolve_judge
 
         if not trainers:
             raise ValueError("need at least one trainer")
@@ -159,6 +167,7 @@ class PopulationDriver:
         self.backend = resolve_backend(backend)
         self.topology = resolve_topology(topology)
         self.topology.bind(names, pairing_rng)
+        self.judge = resolve_judge(judge)
         self.source = source
 
     # -- the one run signature ------------------------------------------------

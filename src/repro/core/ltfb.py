@@ -98,6 +98,12 @@ class LtfbDriver(PopulationDriver):
         Coordination strategy: ``None`` (the paper's random pairwise
         tournaments), a :data:`~repro.core.topology.TOPOLOGY_NAMES` name,
         or a :class:`~repro.core.topology.Topology` instance.
+    judge:
+        What tournaments rank on: ``None``/``"loss"`` (the paper's local
+        tournament-set metric — bit-identical to the pre-seam driver),
+        ``"divergence"`` (distributional fidelity; the judged-LTFB
+        ablation), one of :data:`~repro.eval.judge.JUDGE_NAMES`, or a
+        :class:`~repro.eval.judge.Judge` instance.
     """
 
     def __init__(
@@ -109,6 +115,7 @@ class LtfbDriver(PopulationDriver):
         history: History | None = None,
         backend=None,
         topology=None,
+        judge=None,
         source=None,
     ) -> None:
         super().__init__(
@@ -116,6 +123,7 @@ class LtfbDriver(PopulationDriver):
             backend=backend,
             topology=topology if topology is not None else "random_pairwise",
             pairing_rng=rng,
+            judge=judge,
             source=source,
         )
         self._rng = rng

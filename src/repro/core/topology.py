@@ -236,11 +236,14 @@ def run_pairwise_tournament(
 
     This is the paper's tournament mechanics, verbatim: the pair swaps
     exchange packages (the only inter-trainer communication), then each
-    side scores the foreign weights on its *local* tournament set and
-    adopts when the partner scores better (lower).  Returns the seconds
-    spent on the exchange itself; tournament records, history accounting,
-    telemetry, and backend dirty-marking all happen here so every
-    pairwise topology shares one implementation.
+    side scores its own model and the foreign weights with the driver's
+    :class:`~repro.eval.judge.Judge` and adopts when the partner scores
+    better (lower).  The default ``loss`` judge delegates to the
+    trainer's local tournament-set scoring in the pre-seam call order,
+    so loss-judged runs are bit-identical to the unjudged code.  Returns
+    the seconds spent on the exchange itself; tournament records,
+    history accounting, telemetry, and backend dirty-marking all happen
+    here so every pairwise topology shares one implementation.
     """
     a, b = driver.trainers[pair.a], driver.trainers[pair.b]
     scope = driver.config.exchange
@@ -266,12 +269,13 @@ def run_pairwise_tournament(
         topology=topology.name,
         neighborhood=pair.neighborhood,
     )
+    judge = driver.judge
     for me_idx, me, theirs, partner in (
         (pair.a, a, pkg_b, b),
         (pair.b, b, pkg_a, a),
     ):
-        own_score = me.tournament_score()
-        partner_score = me.score_candidate(theirs["weights"], scope)
+        own_score = judge.score(me)
+        partner_score = judge.score_candidate(me, theirs["weights"], scope)
         adopt = partner_score < own_score
         if adopt:
             me.adopt_package(theirs)
@@ -300,6 +304,7 @@ def run_pairwise_tournament(
             adopted=adopt,
             topology=topology.name,
             neighborhood=topology.neighborhood_of(me_idx),
+            judge=judge.name,
         )
     return x1 - x0
 
@@ -544,14 +549,15 @@ class MultiDiscriminator(Topology):
                 topology=self.name,
                 neighborhood=self.neighborhood_of(g),
             )
-        own = [t.tournament_score() for t in trainers]
+        judge = driver.judge
+        own = [judge.score(t) for t in trainers]
         agg = [
             float(
                 np.mean(
                     [
                         own[g] if j == g
-                        else trainers[j].score_candidate(
-                            packages[g]["weights"], scope
+                        else judge.score_candidate(
+                            trainers[j], packages[g]["weights"], scope
                         )
                         for j in range(k)
                     ]
@@ -598,6 +604,7 @@ class MultiDiscriminator(Topology):
                 adopted=adopt,
                 topology=self.name,
                 neighborhood=self.neighborhood_of(me_idx),
+                judge=judge.name,
             )
 
         # -- 2. discriminator rotation -----------------------------------

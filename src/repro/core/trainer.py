@@ -265,13 +265,16 @@ class Trainer:
         swapped in (the paper's GAN tournament); with ``"full"`` the whole
         model is (classic LTFB).
         """
-        getter, setter = self._scope_accessors(scope)
-        own = getter()
-        try:
-            setter(weights)
+        with self.swapped_weights(weights, scope):
             return self.tournament_score()
-        finally:
-            setter(own)
+
+    def swapped_weights(self, weights: Mapping[str, np.ndarray], scope):
+        """Context manager: the foreign ``weights`` swapped in for the
+        block, the trainer's own weights restored on exit (even on error).
+        The swap-score-restore primitive behind :meth:`score_candidate`,
+        also used by judges that score candidates with other metrics
+        (:class:`~repro.eval.judge.DivergenceJudge`)."""
+        return _SwappedWeights(self, weights, scope)
 
     # -- LTFB plumbing ----------------------------------------------------------
 
@@ -325,3 +328,19 @@ class Trainer:
             f"Trainer({self.name!r}, steps={self.steps_done}, "
             f"silo={self.reader.num_samples})"
         )
+
+
+class _SwappedWeights:
+    """Swap foreign weights in on entry, restore the trainer's own on exit."""
+
+    def __init__(self, trainer: Trainer, weights: Mapping, scope) -> None:
+        self._getter, self._setter = trainer._scope_accessors(scope)
+        self._weights = weights
+        self._own = None
+
+    def __enter__(self) -> None:
+        self._own = self._getter()
+        self._setter(self._weights)
+
+    def __exit__(self, *exc_info) -> None:
+        self._setter(self._own)

@@ -1,0 +1,79 @@
+"""Quality observability: streaming divergence estimation and its consumers.
+
+The subsystem turns *distributional fidelity* — how close a surrogate's
+output distribution is to the simulation's ground truth — into a live,
+cheap, per-trainer per-round signal, and makes that signal load-bearing:
+
+- :mod:`repro.eval.divergence` — the fixed estimator protocol: KL / JS /
+  Hellinger plus per-scalar moment deltas over shared fixed-bin
+  histograms of reference-z-scored scalars (documented bias/variance
+  tradeoffs; deterministic in the samples);
+- :mod:`repro.eval.reservoir` — the bounded uniform reference sample
+  (Algorithm R with a private seeded RNG), so streamed campaigns with no
+  held-out file set still have ground truth to compare against;
+- :mod:`repro.eval.probe` — :class:`QualityProbe`, the driver callback
+  emitting ``eval`` events (``divergence`` payload), ``eval.*`` spans,
+  and ``repro_eval_divergence{trainer,metric}`` gauges every round, and
+  condensing the run into the ``eval_summary`` blob checkpoint manifests
+  record;
+- :mod:`repro.eval.judge` — the pluggable tournament judge seam:
+  ``loss`` (the paper's policy, bit-identical to the pre-seam
+  tournaments) vs ``divergence`` (rank on distributional fidelity), for
+  the judged-LTFB ablation.
+
+Downstream, :class:`~repro.telemetry.LiveAggregator` turns the probe's
+events into ``quality_collapse`` alerts (EWMA z-scored, critical when
+divergence blows up while losses still improve — the failure mode losses
+cannot see), and :class:`~repro.serve.ModelRegistry` refuses to
+hot-reload a checkpoint whose recorded eval summary regressed vs the
+model currently serving (the serve-side quality gate).
+
+Typical use::
+
+    from repro.eval import QualityProbe
+
+    probe = QualityProbe(metric="js")
+    history = driver.run(callbacks=[probe, LiveAggregator()])
+    winner, _ = driver.best_trainer()
+    store.save_population(trainers, "round-007", winner=winner.name,
+                          eval_summary=probe.summary(winner=winner.name))
+"""
+
+from repro.eval.divergence import (
+    METRIC_NAMES,
+    DivergenceResult,
+    fixed_bin_edges,
+    hellinger_distance,
+    histogram_probs,
+    js_divergence,
+    kl_divergence,
+    scalar_divergences,
+)
+from repro.eval.judge import (
+    JUDGE_NAMES,
+    DivergenceJudge,
+    Judge,
+    LossJudge,
+    resolve_judge,
+)
+from repro.eval.probe import QualityProbe, summary_value
+from repro.eval.reservoir import Reservoir
+
+__all__ = [
+    "METRIC_NAMES",
+    "DivergenceResult",
+    "fixed_bin_edges",
+    "histogram_probs",
+    "kl_divergence",
+    "js_divergence",
+    "hellinger_distance",
+    "scalar_divergences",
+    "Reservoir",
+    "QualityProbe",
+    "summary_value",
+    "JUDGE_NAMES",
+    "Judge",
+    "LossJudge",
+    "DivergenceJudge",
+    "resolve_judge",
+]

@@ -1,0 +1,64 @@
+"""Bounded uniform reservoir over streamed sample rows (Algorithm R).
+
+The estimators in :mod:`repro.eval.divergence` need a ground-truth
+sample, but PR 8's streaming ingestion means there is no fixed held-out
+file set — samples arrive for as long as the campaign runs.  The
+reservoir bounds the memory of the reference: offer every row as it
+streams past and the reservoir keeps a uniform random subset of
+everything *seen so far*, in O(capacity) memory.
+
+Determinism: the reservoir owns its own seeded
+:class:`numpy.random.Generator` and never touches trainer or pairing RNG
+streams — attaching a :class:`~repro.eval.probe.QualityProbe` cannot
+perturb training.  Given the same seed and the same offer sequence, the
+kept sample is bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Reservoir"]
+
+
+class Reservoir:
+    """Uniform bounded sample of the rows offered so far.
+
+    Rows are 1-D arrays of a fixed width (the first offer fixes it);
+    :meth:`sample` returns them stacked ``(k, width)`` in slot order.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self._rng = np.random.default_rng(seed)
+        self._rows: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def offer(self, rows: np.ndarray) -> None:
+        """Offer ``(n, width)`` rows (or one 1-D row) to the reservoir."""
+        rows = np.asarray(rows)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2:
+            raise ValueError(f"rows must be (n, width), got shape {rows.shape}")
+        for row in rows:
+            self.seen += 1
+            if len(self._rows) < self.capacity:
+                self._rows.append(np.array(row, copy=True))
+            else:
+                # Algorithm R: the i-th offer replaces a random slot with
+                # probability capacity/i, keeping the kept set uniform.
+                slot = int(self._rng.integers(0, self.seen))
+                if slot < self.capacity:
+                    self._rows[slot] = np.array(row, copy=True)
+
+    def sample(self) -> np.ndarray:
+        """The kept rows, stacked ``(len(self), width)``."""
+        if not self._rows:
+            raise ValueError("reservoir is empty")
+        return np.stack(self._rows)

@@ -43,6 +43,7 @@ import json
 import sys
 
 from repro.experiments import (
+    ablation_judge,
     backend_scaling,
     fig07_scalars,
     fig08_images,
@@ -125,6 +126,11 @@ QUALITY_FIGURES = {
     "fig13": lambda args: fig13_ltfb_vs_kindependent.run(
         _quality_bench(args),
         trainer_counts=(2,) if args.quick else (2, 4, 8),
+        **_quality_schedule(args),
+    ),
+    "ablation-judge": lambda args: ablation_judge.run(
+        _quality_bench(args),
+        k=3 if args.quick else 4,
         **_quality_schedule(args),
     ),
     "backends": _backend_scaling,

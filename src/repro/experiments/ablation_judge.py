@@ -1,0 +1,114 @@
+"""Ablation: what judges the LTFB tournament — loss or divergence.
+
+The stock tournament judge is the trainer's own scalar score (validation
+loss, or the discriminator's verdict for GAN trainers) — cheap, local,
+and exactly what the paper runs.  The :mod:`repro.eval` judge seam makes
+the criterion pluggable, so this ablation swaps in the
+``divergence`` judge — each candidate generator is scored by the JS
+divergence between its outputs and the JAG ground truth on the shared
+tournament batch — and re-runs the *identical* campaign: same initial
+population, same pairing stream, same schedule.  The two runs differ in
+nothing but who wins the tournaments.
+
+What to look for: divergence judging selects directly for the
+distribution-level quality the serve gate cares about, so the winner's
+probed divergence should be no worse (typically better) than under loss
+judging, while validation loss stays in the same band — the loss and the
+divergence disagree about *rankings* more than about *reachable
+quality*.
+"""
+
+from __future__ import annotations
+
+from repro.core.ltfb import LtfbConfig, LtfbDriver
+from repro.eval import JUDGE_NAMES, QualityProbe
+from repro.experiments.common import (
+    ExperimentReport,
+    QualityWorkbench,
+    note_health,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    bench: QualityWorkbench,
+    k: int = 4,
+    rounds: int = 8,
+    steps_per_round: int = 20,
+    hyperparam_jitter: float = 0.2,
+) -> ExperimentReport:
+    """Loss-judged vs divergence-judged tournaments on identical seeds."""
+    report = ExperimentReport(
+        experiment="Ablation: tournament judge",
+        description=(
+            "what the tournament optimizes: trainer loss vs JS divergence "
+            f"from the JAG ground truth (k={k}, identical populations and "
+            "pairings; divergence probed every round by repro.eval)"
+        ),
+        columns=[
+            "judge",
+            "adoption_rate",
+            "best_val_loss",
+            "winner_js_div",
+            "best_js_div",
+        ],
+    )
+    config = LtfbConfig(steps_per_round=steps_per_round, rounds=rounds)
+    results: dict[str, dict[str, float]] = {}
+    for judge in JUDGE_NAMES:
+        # Same tag for population and pairing: the two runs share their
+        # initial weights, hyperparameters, and pairing stream, so the
+        # judge is the only thing that differs.
+        trainers = bench.population(
+            k, tag="abl_judge", hyperparam_jitter=hyperparam_jitter
+        )
+        driver = LtfbDriver(
+            trainers,
+            bench.pairing_rng("abl_judge"),
+            config,
+            eval_batch=bench.val_batch,
+            judge=judge,
+        )
+        probe = QualityProbe(capacity=256, seed=bench.seed)
+        history = driver.run(
+            callbacks=[probe, *bench.run_callbacks(f"abl_judge_{judge}")]
+        )
+        winner, _ = driver.best_trainer()
+        summary = probe.summary(winner=winner.name)
+        divergences = [
+            row["js"] for row in summary["trainers"].values()
+        ]
+        results[judge] = dict(
+            adoption_rate=history.adoption_rate(),
+            best_val_loss=min(
+                v["val_loss"] for v in history.eval_series[-1].values()
+            ),
+            winner_js_div=summary["winner_value"],
+            best_js_div=min(divergences),
+        )
+        report.add_row(judge=judge, **results[judge])
+        note_health(report, history)
+
+    loss, div = results["loss"], results["divergence"]
+    report.add_check(
+        "divergence judging matches or beats the winner divergence of "
+        "loss judging (ratio divergence/loss)",
+        1.0,
+        div["winner_js_div"] / loss["winner_js_div"],
+        0.5,
+        note="selecting on the serve-gate criterion should not hurt it",
+    )
+    report.add_check(
+        "validation loss stays in the same band under divergence judging "
+        "(ratio divergence/loss)",
+        1.0,
+        div["best_val_loss"] / loss["best_val_loss"],
+        0.35,
+        note="the judges disagree on rankings, not reachable quality",
+    )
+    report.notes.append(
+        "loss judging is bit-identical to the pre-seam tournament path; "
+        "see tests/test_eval.py determinism checks"
+    )
+    return report

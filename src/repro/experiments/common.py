@@ -523,8 +523,16 @@ class QualityWorkbench:
         backend (``backend``/``workers``); the backend is part of the memo
         key only through the workbench instance itself, because histories
         are bit-identical across backends.
+
+        Every populating run carries a
+        :class:`~repro.eval.QualityProbe`, so its trace has per-round
+        divergence readings and — when the workbench publishes into a
+        checkpoint store — the population manifest is stamped with the
+        probe's eval summary, which is what the serve-side quality gate
+        judges refresh candidates by.
         """
         from repro.core.ltfb import LtfbConfig, LtfbDriver
+        from repro.eval import QualityProbe
         from repro.exec import resolve_backend
 
         key = (tag, k, rounds, steps_per_round, hyperparam_jitter, topology)
@@ -544,8 +552,9 @@ class QualityWorkbench:
                 ),
                 topology=topology,
             )
+            probe = QualityProbe(capacity=256, seed=self.seed)
             driver.run(
-                callbacks=[*callbacks, *self.run_callbacks(tag)]
+                callbacks=[probe, *callbacks, *self.run_callbacks(tag)]
             )
             if self.store is not None:
                 if "autoencoder" not in self.store:
@@ -557,6 +566,7 @@ class QualityWorkbench:
                     f"{safe}-k{k}",
                     winner=winner.name,
                     topology=driver.topology,
+                    eval_summary=probe.summary(winner=winner.name),
                 )
             self._ltfb_cache[key] = driver
         return self._ltfb_cache[key]

@@ -11,12 +11,22 @@ a given quality *improves* with trainer count.
 We run real LTFB training at several population sizes on the same
 partitioned dataset and report, per round, the population-best global
 validation loss and its improvement ratio over the k=1 baseline at the
-same per-trainer iteration count.
+same per-trainer iteration count — plus the population-best JS
+divergence between each generator's output distribution and the JAG
+ground truth, measured every round by the shared
+:mod:`repro.eval` streaming estimators (a
+:class:`~repro.eval.QualityProbe` riding each run).  Validation loss and
+divergence are deliberately different lenses: the loss is what the
+tournament optimizes, the divergence is the distribution-level quality
+the loss cannot certify.
 """
 
 from __future__ import annotations
 
+import math
+
 from repro.core.ltfb import LtfbConfig, LtfbDriver
+from repro.eval import QualityProbe
 from repro.experiments.common import (
     ExperimentReport,
     QualityWorkbench,
@@ -24,6 +34,20 @@ from repro.experiments.common import (
 )
 
 __all__ = ["run"]
+
+
+def _best_divergence_series(
+    probe: QualityProbe, rounds: int, metric: str = "js"
+) -> list[float]:
+    """Population-best (lowest) probed divergence per round."""
+    best = [math.inf] * rounds
+    for points in probe.trajectory.values():
+        for round_index, metrics in points:
+            if 0 <= round_index < rounds:
+                best[round_index] = min(
+                    best[round_index], float(metrics[metric])
+                )
+    return best
 
 
 def run(
@@ -38,6 +62,7 @@ def run(
         raise ValueError("trainer_counts must include the k=1 baseline")
     config = LtfbConfig(steps_per_round=steps_per_round, rounds=rounds)
     series: dict[int, list[float]] = {}
+    div_series: dict[int, list[float]] = {}
     adoption: dict[int, float] = {}
     histories = []
     for k in trainer_counts:
@@ -49,21 +74,28 @@ def run(
             config,
             eval_batch=bench.val_batch,
         )
-        history = driver.run(callbacks=bench.run_callbacks(f"fig12/k{k}"))
+        probe = QualityProbe(capacity=256, seed=bench.seed)
+        history = driver.run(
+            callbacks=[probe, *bench.run_callbacks(f"fig12/k{k}")]
+        )
         histories.append(history)
         series[k] = history.best_val_series()
+        div_series[k] = _best_divergence_series(probe, rounds)
         adoption[k] = history.adoption_rate()
 
     report = ExperimentReport(
         experiment="Figure 12",
         description=(
-            "population-best validation loss vs per-trainer iterations "
-            f"({steps_per_round} steps/round, {rounds} rounds; improvement "
-            "= baseline loss / k-trainer loss at equal iterations)"
+            "population-best validation loss and JS divergence vs "
+            f"per-trainer iterations ({steps_per_round} steps/round, "
+            f"{rounds} rounds; improvement = baseline loss / k-trainer "
+            "loss at equal iterations; divergence via repro.eval "
+            "streaming estimators)"
         ),
         columns=["per_trainer_steps"]
         + [f"k{k}_val_loss" for k in trainer_counts]
-        + [f"k{k}_improvement" for k in trainer_counts if k != 1],
+        + [f"k{k}_improvement" for k in trainer_counts if k != 1]
+        + [f"k{k}_js_div" for k in trainer_counts],
     )
     baseline = series[1]
     for r in range(rounds):
@@ -72,6 +104,7 @@ def run(
         }
         for k in trainer_counts:
             row[f"k{k}_val_loss"] = series[k][r]
+            row[f"k{k}_js_div"] = div_series[k][r]
             if k != 1:
                 row[f"k{k}_improvement"] = baseline[r] / series[k][r]
         report.add_row(**row)
@@ -95,6 +128,12 @@ def run(
     report.notes.append(
         "tournament adoption rates: "
         + ", ".join(f"k={k}: {adoption[k]:.2f}" for k in trainer_counts if k > 1)
+    )
+    report.notes.append(
+        "final population-best JS divergence: "
+        + ", ".join(
+            f"k={k}: {div_series[k][-1]:.4f}" for k in trainer_counts
+        )
     )
     for history in histories:
         note_health(report, history)

@@ -21,14 +21,15 @@ import dataclasses
 import threading
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.checkpoint import CheckpointStore
+from repro.core.checkpoint import CheckpointError, CheckpointStore
+from repro.eval.probe import summary_value
 from repro.serve.errors import ServeError
 from repro.serve.runtime import EnsembleRuntime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.models.autoencoder import MultimodalAutoencoder
 
-__all__ = ["ServingModel", "ModelRegistry"]
+__all__ = ["ServingModel", "GateDecision", "ModelRegistry"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,8 +52,53 @@ class ServingModel:
         return self.runtime.snapshot.topology
 
 
+@dataclasses.dataclass(frozen=True)
+class GateDecision:
+    """One quality-gate check of a refresh candidate.
+
+    ``allowed`` is the verdict; ``reason`` explains it:
+    ``"improved"``/``"within_tolerance"`` (candidate quality is no worse
+    than the tolerance allows), ``"no_candidate_summary"`` /
+    ``"no_incumbent"`` / ``"no_incumbent_summary"`` (the gate passes
+    *open* — refusing on missing data would wedge deployments that never
+    ran a probe), or ``"regressed"`` (the refusal).  ``candidate`` /
+    ``incumbent`` are the compared divergence values (lower is better;
+    ``None`` when a side had no summary).
+    """
+
+    tag: str
+    allowed: bool
+    reason: str
+    candidate: float | None = None
+    incumbent: float | None = None
+    metric: str | None = None
+
+    def render(self) -> str:
+        values = ""
+        if self.candidate is not None and self.incumbent is not None:
+            values = (
+                f" (candidate {self.metric or 'divergence'} "
+                f"{self.candidate:.4f} vs serving {self.incumbent:.4f})"
+            )
+        verdict = "pass" if self.allowed else "refused"
+        return f"quality gate {verdict} for {self.tag!r}: {self.reason}{values}"
+
+
 class ModelRegistry:
-    """Loads, versions, and hot-reloads serving models from a store."""
+    """Loads, versions, and hot-reloads serving models from a store.
+
+    ``refresh()`` runs every candidate through a **quality gate**: the
+    candidate checkpoint's recorded eval summary (stamped into the
+    population manifest by a :class:`~repro.eval.QualityProbe`) is
+    compared against the summary of the tag currently serving, and a
+    candidate whose winner divergence regressed beyond
+    ``quality_tolerance`` (relative) is refused — the current model
+    keeps serving and the refusal is reported through
+    :meth:`on_quality_gate` hooks (the server turns those into the
+    ``repro_serve_quality_gate`` metric, a status field, and a health
+    warning).  Checkpoints without a summary pass open.  An explicit
+    :meth:`load` is the operator override: it never consults the gate.
+    """
 
     def __init__(
         self,
@@ -61,15 +107,21 @@ class ModelRegistry:
         max_batch: int = 32,
         aggregate_mode: str = "winner",
         autoencoder_tag: str = "autoencoder",
+        quality_tolerance: float = 0.05,
     ) -> None:
         self.store = store
         self.autoencoder_tag = autoencoder_tag
         self._autoencoder = autoencoder
         self.max_batch = int(max_batch)
         self.aggregate_mode = aggregate_mode
+        self.quality_tolerance = float(quality_tolerance)
         self._lock = threading.Lock()
         self._current: ServingModel | None = None
         self._reload_hooks: list[Callable[[ServingModel], None]] = []
+        self._gate_hooks: list[Callable[[GateDecision], None]] = []
+        #: The last gate verdict (refusals and passes), for status surfaces.
+        self.last_gate: GateDecision | None = None
+        self._refused_tag: str | None = None
 
     @property
     def autoencoder(self) -> "MultimodalAutoencoder":
@@ -105,6 +157,12 @@ class ModelRegistry:
         observe swaps in order."""
         self._reload_hooks.append(hook)
 
+    def on_quality_gate(self, hook: Callable[[GateDecision], None]) -> None:
+        """Run ``hook(decision)`` after every gate check a ``refresh()``
+        performs — refusals *and* passes, so consumers can count checks
+        and surface the latest verdict."""
+        self._gate_hooks.append(hook)
+
     # -- loading -------------------------------------------------------------
 
     def load(self, tag: str) -> ServingModel:
@@ -130,12 +188,17 @@ class ModelRegistry:
         return model
 
     def refresh(self) -> ServingModel | None:
-        """Deploy the newest store tag if it differs from what is serving.
+        """Deploy the newest store tag if it differs from what is serving
+        *and* it clears the quality gate.
 
         Returns the new :class:`ServingModel` when a swap happened,
         ``None`` otherwise.  This is the hot-reload poll: a training
         campaign checkpoints a better tournament winner, the next
-        ``refresh()`` picks it up.
+        ``refresh()`` picks it up — unless its recorded eval summary
+        shows a quality regression vs the model currently serving, in
+        which case the candidate is refused (and remembered, so the poll
+        loop does not re-judge the same tag every period; a newer tag
+        clears the memory).
         """
         tag = self.store.latest(exclude=(self.autoencoder_tag,))
         if tag is None:
@@ -143,4 +206,62 @@ class ModelRegistry:
         current = self._current
         if current is not None and current.tag == tag:
             return None
+        if tag == self._refused_tag:
+            return None
+        decision = self._quality_check(tag, current)
+        self.last_gate = decision
+        for hook in self._gate_hooks:
+            hook(decision)
+        if not decision.allowed:
+            self._refused_tag = tag
+            return None
+        self._refused_tag = None
         return self.load(tag)
+
+    # -- the quality gate ----------------------------------------------------
+
+    def _recorded_summary(self, tag: str) -> dict | None:
+        try:
+            return self.store.eval_summary(tag)
+        except CheckpointError:
+            # Trainer tags (no manifest) and unreadable manifests: the
+            # gate has nothing to judge on — load() will surface corrupt
+            # checkpoints with a real error.
+            return None
+
+    def _quality_check(
+        self, tag: str, current: ServingModel | None
+    ) -> GateDecision:
+        candidate_summary = self._recorded_summary(tag)
+        candidate = summary_value(candidate_summary)
+        metric = (
+            candidate_summary.get("metric") if candidate_summary else None
+        )
+        if candidate is None:
+            return GateDecision(
+                tag=tag, allowed=True, reason="no_candidate_summary"
+            )
+        if current is None:
+            return GateDecision(
+                tag=tag, allowed=True, reason="no_incumbent",
+                candidate=candidate, metric=metric,
+            )
+        incumbent = summary_value(self._recorded_summary(current.tag))
+        if incumbent is None:
+            return GateDecision(
+                tag=tag, allowed=True, reason="no_incumbent_summary",
+                candidate=candidate, metric=metric,
+            )
+        if candidate <= incumbent:
+            reason = "improved"
+        elif candidate <= incumbent * (1.0 + self.quality_tolerance):
+            reason = "within_tolerance"
+        else:
+            return GateDecision(
+                tag=tag, allowed=False, reason="regressed",
+                candidate=candidate, incumbent=incumbent, metric=metric,
+            )
+        return GateDecision(
+            tag=tag, allowed=True, reason=reason,
+            candidate=candidate, incumbent=incumbent, metric=metric,
+        )

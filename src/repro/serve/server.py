@@ -38,7 +38,7 @@ from repro.serve.errors import (
     ServerClosedError,
     ServerOverloadedError,
 )
-from repro.serve.registry import ModelRegistry, ServingModel
+from repro.serve.registry import GateDecision, ModelRegistry, ServingModel
 from repro.telemetry.events import HEALTH, SERVE, TelemetryHub
 from repro.telemetry.metrics import MetricsRegistry, TIME_BUCKETS
 
@@ -112,7 +112,10 @@ class SurrogateServer:
         self._status_server = None
         self._warned: set[str] = set()
         self._info_labels: tuple | None = None
+        self._gate_checks = 0
+        self._gate_refusals = 0
         registry.on_reload(self._on_reload)
+        registry.on_quality_gate(self._on_quality_gate)
         if registry.loaded:
             self._stamp_model(registry.current())
 
@@ -168,6 +171,18 @@ class SurrogateServer:
             "assembled micro-batch sizes",
             buckets=BATCH_BUCKETS,
         )
+        # The quality-gate family: one counter per verdict, so a scrape
+        # can alert on refused > 0 while still rating gate activity.
+        self.m_gate_passed = r.counter(
+            "repro_serve_quality_gate",
+            "refresh candidates checked by the serve-side quality gate",
+            labels={"decision": "passed"},
+        )
+        self.m_gate_refused = r.counter(
+            "repro_serve_quality_gate",
+            "refresh candidates checked by the serve-side quality gate",
+            labels={"decision": "refused"},
+        )
 
     def _stamp_model(self, model: ServingModel) -> None:
         self.m_model_version.set(model.version)
@@ -194,6 +209,18 @@ class SurrogateServer:
         self.cache.clear()
         self.m_reloads.inc()
         self._stamp_model(model)
+
+    def _on_quality_gate(self, decision: GateDecision) -> None:
+        self._gate_checks += 1
+        if decision.allowed:
+            self.m_gate_passed.inc()
+            return
+        self._gate_refusals += 1
+        self.m_gate_refused.inc()
+        # Per-tag dedup: a *new* refused candidate should warn again even
+        # though the kind repeats.
+        self._warned.discard("quality_gate_refusal")
+        self._warn("quality_gate_refusal", decision.render())
 
     # -- health --------------------------------------------------------------
 
@@ -449,4 +476,22 @@ class SurrogateServer:
             "reloads": self.m_reloads.value,
             "cache": self.cache.stats(),
             "latency": self.m_latency.percentiles(),
+            "quality_gate": self._gate_stats(),
+        }
+
+    def _gate_stats(self) -> dict:
+        last = self.registry.last_gate
+        return {
+            "checks": self._gate_checks,
+            "refusals": self._gate_refusals,
+            "last": None
+            if last is None
+            else {
+                "tag": last.tag,
+                "allowed": last.allowed,
+                "reason": last.reason,
+                "metric": last.metric,
+                "candidate": last.candidate,
+                "incumbent": last.incumbent,
+            },
         }

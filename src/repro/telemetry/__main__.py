@@ -4,8 +4,8 @@
 campaign, or already finished), folds every event through the same
 :class:`~repro.telemetry.live.LiveAggregator` the in-process live plane
 uses, and renders a refreshing snapshot: per-trainer round progress, the
-last topology pairing, ingest watermarks, serve SLO burn, and the alert
-feed.  Because it replays the *trace*, it needs no connection to the run
+last topology pairing, ingest watermarks, serve SLO burn, the last
+quality-probe divergence readings, and the alert feed.  Because it replays the *trace*, it needs no connection to the run
 — ``--follow`` polls the file for new lines, a plain invocation renders
 the final state once.
 
@@ -189,11 +189,25 @@ def render_watch(snap: dict, path=None) -> str:
                 f"  SLO {serve['slo_s'] * 1e3:.1f}ms: burn "
                 f"[{_bar(serve['slo_burn'])}] {serve['slo_burn']:.0%}"
             )
+    quality = snap.get("quality")
+    if quality:
+        metric = quality.get("metric", "js")
+        divergence = quality.get("divergence") or {}
+        bits = []
+        for name in sorted(divergence):
+            value = (divergence[name] or {}).get(metric)
+            if value is not None:
+                bits.append(f"{name} {float(value):.3g}")
+        out.append(
+            f"quality[{metric}] round {quality.get('round')}: "
+            + (", ".join(bits) if bits else "(no readings)")
+        )
     windows = snap.get("windows") or {}
     rows = [
         ("step time", "step_time_s", 1e3, "ms"),
         ("fetch stall", "fetch_stall_s", 1e3, "ms"),
         ("round train", "round_train_s", 1.0, "s"),
+        ("divergence", "eval_divergence", 1.0, ""),
     ]
     window_lines = []
     for label, key, scale, unit in rows:

@@ -421,7 +421,11 @@ class ProgressLogger(Callback):
         self._total_rounds = driver.config.rounds
 
     def on_eval(self, event: TelemetryEvent) -> None:
-        self._last_eval = event.payload["metrics"]
+        # Quality-probe EVAL events carry ``divergence`` instead of
+        # ``metrics``; the round line only renders driver eval snapshots.
+        metrics = event.payload.get("metrics")
+        if metrics is not None:
+            self._last_eval = metrics
 
     def on_health(self, event: TelemetryEvent) -> None:
         p = event.payload

@@ -77,8 +77,13 @@ TOURNAMENT = "tournament"
 #: ``topology``/``neighborhood`` attribution like ``tournament`` events.
 EXCHANGE = "exchange"
 
-#: The population was evaluated on the global validation batch.  Payload:
-#: ``round``, ``metrics`` (per-trainer metric dicts), ``elapsed_s``.
+#: The population was evaluated.  Two producers share the type, told
+#: apart by payload shape: the driver's global-validation pass carries
+#: ``round``, ``metrics`` (per-trainer metric dicts), ``elapsed_s``; a
+#: :class:`~repro.eval.QualityProbe` pass carries ``round``,
+#: ``divergence`` (per-trainer divergence dicts — ``kl``/``js``/
+#: ``hellinger``/``mean_delta``/``std_delta``), ``metric`` (the probe's
+#: ranking metric) and ``elapsed_s``.
 EVAL = "eval"
 
 #: The data store assembled one mini-batch.  Payload: ``batch_size``,
@@ -126,7 +131,8 @@ CHECKPOINT = "checkpoint"
 #: One closed profiling span from a :class:`~repro.telemetry.spans.Tracer`
 #: (only present when tracing is enabled — see :meth:`TelemetryHub.
 #: start_tracing`).  Payload: ``name``, ``cat`` (coarse category:
-#: run/round/phase/train/step/data/exchange), ``track`` (the timeline lane
+#: run/round/phase/train/step/data/exchange/eval/serve), ``track`` (the
+#: timeline lane
 #: the span renders on), ``t0_s`` (start, seconds since the hub epoch),
 #: ``dur_s``, ``id``, optional ``parent`` (enclosing span id) and
 #: ``attrs`` (site-specific annotations).
@@ -134,7 +140,8 @@ SPAN = "span"
 
 #: A :class:`~repro.telemetry.health.HealthMonitor` flagged a run-health
 #: problem.  Payload: ``kind`` (``nan_loss``/``divergence``/
-#: ``winrate_collapse``/``stall_regression``), ``severity``
+#: ``winrate_collapse``/``stall_regression``/``quality_collapse``, plus
+#: serve-side kinds like ``quality_gate_refusal``), ``severity``
 #: (``"warning"``/``"critical"``), ``round``, ``trainer`` (may be
 #: ``None``), ``message``.
 HEALTH = "health"
@@ -144,7 +151,8 @@ HEALTH = "health"
 #: non-finite loss, or a rollup crossed a configured threshold.  Payload:
 #: ``kind`` (e.g. ``step_time_anomaly``/``stall_spike``/
 #: ``stall_regression``/``nan_loss``/``ingest_backpressure``/
-#: ``serve_slo_burn``), ``severity`` (``"warning"``/``"critical"``),
+#: ``serve_slo_burn``/``quality_collapse``), ``severity``
+#: (``"warning"``/``"critical"``),
 #: ``source`` (subsystem: ``train``/``data``/``ingest``/``serve``/
 #: ``exchange``), ``round`` (may be ``None`` outside a campaign),
 #: ``trainer`` (may be ``None``), ``message``, ``value``/``threshold``

@@ -10,7 +10,14 @@ Population training at the paper's scale fails in characteristic ways:
   advantage (Fig. 13) is gone;
 - **stall regressions** — the data path dominates step time (store
   misconfiguration, prefetch depth 0 on a slow reader), i.e. the exact
-  condition the paper's data store exists to prevent.
+  condition the paper's data store exists to prevent;
+- **quality collapse** — a generator's output *distribution* degenerates
+  (mode collapse) while its losses stay flat or keep improving, the one
+  failure mode loss-based checks cannot see.  Detected from the
+  ``divergence`` payloads a :class:`~repro.eval.QualityProbe` emits:
+  flagged when a trainer's divergence blows past a multiple of the best
+  value it had reached, critical when its training loss improved or held
+  over the same stretch.
 
 :class:`HealthMonitor` is a :class:`~repro.telemetry.callbacks.Callback`
 that watches the event stream for all three, records structured
@@ -37,7 +44,9 @@ __all__ = ["HealthWarning", "HealthMonitor"]
 class HealthWarning:
     """One flagged run-health problem."""
 
-    kind: str  # "nan_loss" | "divergence" | "winrate_collapse" | "stall_regression"
+    # "nan_loss" | "divergence" | "winrate_collapse" | "stall_regression"
+    # | "quality_collapse" (plus live/serve kinds; see events.HEALTH)
+    kind: str
     round_index: int
     trainer: str | None
     message: str
@@ -78,6 +87,14 @@ class HealthMonitor(Callback):
     warmup_rounds:
         Rounds exempt from the stall check (first-epoch ingest is
         expected to stall — that is the paper's Fig. 10 initial epoch).
+    quality_factor:
+        Flag ``quality_collapse`` when a trainer's probed divergence
+        exceeds this multiple of the best (lowest) value it has reached.
+        Generous like ``divergence_factor``: early divergence estimates
+        wobble while the generator finds the support.
+    quality_min_points:
+        Probe readings required per trainer before the factor check is
+        meaningful (the first readings define the floor).
 
     Each (kind, trainer, neighborhood) triple is flagged at most once per
     run, so a sick trainer does not flood the log, while a local
@@ -93,6 +110,8 @@ class HealthMonitor(Callback):
         neighborhood_min_adoptions: int = 4,
         stall_fraction_threshold: float = 0.5,
         warmup_rounds: int = 1,
+        quality_factor: float = 3.0,
+        quality_min_points: int = 2,
     ) -> None:
         self.divergence_factor = float(divergence_factor)
         self.collapse_window = int(collapse_window)
@@ -101,6 +120,8 @@ class HealthMonitor(Callback):
         self.neighborhood_min_adoptions = int(neighborhood_min_adoptions)
         self.stall_fraction_threshold = float(stall_fraction_threshold)
         self.warmup_rounds = int(warmup_rounds)
+        self.quality_factor = float(quality_factor)
+        self.quality_min_points = int(quality_min_points)
         self.warnings: list[HealthWarning] = []
         self._hub = None
         self._flagged: set[tuple[str, str | None, str | None]] = set()
@@ -115,6 +136,13 @@ class HealthMonitor(Callback):
         )
         self._round_wins: dict[str | None, dict[str, int]] = {}
         self._round_stall_s = 0.0
+        # Quality-collapse state: per trainer, the best (lowest) probed
+        # divergence, how many probe points have landed, the last finite
+        # mean step loss, and the loss reading at the divergence floor.
+        self._div_floor: dict[str, float] = {}
+        self._div_points: dict[str, int] = {}
+        self._last_loss: dict[str, float] = {}
+        self._loss_at_floor: dict[str, float] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -131,6 +159,11 @@ class HealthMonitor(Callback):
     def on_step_end(self, event: TelemetryEvent) -> None:
         trainer = event.payload.get("trainer")
         losses = event.payload.get("losses") or {}
+        finite = [
+            float(v) for v in losses.values() if math.isfinite(float(v))
+        ]
+        if finite and trainer is not None:
+            self._last_loss[str(trainer)] = sum(finite) / len(finite)
         for term, value in losses.items():
             value = float(value)
             if not math.isfinite(value):
@@ -166,6 +199,54 @@ class HealthMonitor(Callback):
 
     def on_fetch_stall(self, event: TelemetryEvent) -> None:
         self._round_stall_s += float(event.payload.get("stall_s", 0.0))
+
+    def on_eval(self, event: TelemetryEvent) -> None:
+        """Fold a quality-probe pass (driver eval payloads, which carry
+        ``metrics`` instead of ``divergence``, are ignored)."""
+        divergence = event.payload.get("divergence")
+        if not divergence:
+            return
+        metric = str(event.payload.get("metric", "js"))
+        for trainer, values in divergence.items():
+            value = values.get(metric)
+            if value is None or not math.isfinite(float(value)):
+                continue
+            value = float(value)
+            name = str(trainer)
+            self._div_points[name] = self._div_points.get(name, 0) + 1
+            floor = self._div_floor.get(name)
+            if floor is None or value < floor:
+                self._div_floor[name] = value
+                if name in self._last_loss:
+                    self._loss_at_floor[name] = self._last_loss[name]
+                continue
+            if (
+                self._div_points[name] <= self.quality_min_points
+                or floor <= 0
+                or value <= self.quality_factor * floor
+            ):
+                continue
+            # Critical when the loss got better (or held) while the
+            # distribution walked away — losses cannot see this failure.
+            loss_now = self._last_loss.get(name)
+            loss_then = self._loss_at_floor.get(name)
+            loss_improving = (
+                loss_now is not None
+                and loss_then is not None
+                and loss_now <= loss_then
+            )
+            self._warn(
+                "quality_collapse",
+                name,
+                f"trainer {name}: {metric} divergence at {value:.4g}, "
+                f"{value / floor:.1f}x its best {floor:.4g}"
+                + (
+                    " while its training loss still improves"
+                    if loss_improving
+                    else ""
+                ),
+                severity="critical" if loss_improving else "warning",
+            )
 
     def on_round_end(self, event: TelemetryEvent) -> None:
         round_index = int(event.payload.get("round", self._round))

@@ -41,7 +41,18 @@ WINDOW_SERIES = (
     "serve_queue_depth",  # request queue depth per micro-batch
     "serve_latency_s",    # mean queue wait + forward per micro-batch
     "round_train_s",      # train-phase seconds per round
+    "eval_divergence",    # probed divergence per (round, trainer)
 )
+
+
+def _mean_loss(losses: dict | None) -> float | None:
+    """Mean of a trainer's finite loss terms, or ``None``."""
+    if not losses:
+        return None
+    finite = [float(v) for v in losses.values() if math.isfinite(float(v))]
+    if not finite:
+        return None
+    return sum(finite) / len(finite)
 
 
 class LiveAggregator(Callback):
@@ -103,10 +114,16 @@ class LiveAggregator(Callback):
         self.last_pairing: dict | None = None
         self.last_ingest: dict | None = None
         self.last_serve: dict | None = None
+        self.last_quality: dict | None = None
         self.adoptions = 0
         self.tournaments = 0
         self.health_events = 0
         self._round_stall_s = 0.0
+        # Quality-collapse context: best probed divergence per trainer
+        # and the mean loss recorded when that floor was set, so a
+        # detection can say whether the loss still looked healthy.
+        self._div_floor: dict[str, float] = {}
+        self._loss_at_floor: dict[str, float | None] = {}
         self._hub = None
         self._history = None
 
@@ -330,6 +347,76 @@ class LiveAggregator(Callback):
                     )
                 )
 
+    def on_eval(self, event: TelemetryEvent) -> None:
+        # Two producers share the EVAL type: the driver's eval phase
+        # (payload key ``metrics``) and the quality probe (``divergence``).
+        # Only the probe feeds the quality fold.
+        p = event.payload
+        divergence = p.get("divergence")
+        if not divergence:
+            return
+        metric = str(p.get("metric", "js"))
+        round_index = (
+            int(p["round"]) if p.get("round") is not None else self.round_index
+        )
+        rendered: dict[str, dict] = {}
+        for trainer, values in divergence.items():
+            name = str(trainer)
+            rendered[name] = {
+                k: float(v)
+                for k, v in (values or {}).items()
+                if isinstance(v, (int, float))
+            }
+            value = (values or {}).get(metric)
+            if value is None or not math.isfinite(float(value)):
+                continue
+            value = float(value)
+            self.windows["eval_divergence"].push(event.time_s, value)
+            state = self.trainers.setdefault(name, {})
+            state["divergence"] = value
+            loss_now = _mean_loss(state.get("losses"))
+            floor = self._div_floor.get(name)
+            if floor is None or value < floor:
+                self._div_floor[name] = value
+                self._loss_at_floor[name] = loss_now
+            det = self._detector("eval_divergence", name)
+            z = det.update(value)
+            if det.is_anomaly(z):
+                # Critical when the trainer's loss held or improved while
+                # its output distribution walked away from the reference —
+                # the failure mode loss-based monitors cannot see.
+                loss_then = self._loss_at_floor.get(name)
+                improving = (
+                    loss_now is not None
+                    and loss_then is not None
+                    and loss_now <= loss_then
+                )
+                self._fire(
+                    Alert(
+                        kind="quality_collapse",
+                        severity="critical" if improving else "warning",
+                        source="eval",
+                        round_index=round_index,
+                        trainer=name,
+                        value=value,
+                        threshold=det.z_threshold,
+                        message=(
+                            f"trainer {name}: {metric} divergence {value:.4g} "
+                            f"is {z:.1f} sigma above its EWMA baseline"
+                            + (
+                                " while its training loss still improves"
+                                if improving
+                                else ""
+                            )
+                        ),
+                    )
+                )
+        self.last_quality = {
+            "round": round_index,
+            "metric": metric,
+            "divergence": rendered,
+        }
+
     def on_round_end(self, event: TelemetryEvent) -> None:
         p = event.payload
         round_index = int(p.get("round", -1))
@@ -404,6 +491,7 @@ class LiveAggregator(Callback):
             "pairing": self.last_pairing,
             "ingest": self.last_ingest,
             "serve": self._serve_snapshot(),
+            "quality": self.last_quality,
             "tournaments": {
                 "judged": self.tournaments,
                 "adoptions": self.adoptions,

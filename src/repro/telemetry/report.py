@@ -20,6 +20,7 @@ from typing import Iterable
 
 from repro.telemetry.callbacks import CounterAggregator, JsonlTraceWriter, WallClockTimer
 from repro.telemetry.events import (
+    EVAL,
     EVENT_TYPES,
     HEALTH,
     INGEST,
@@ -36,6 +37,7 @@ __all__ = [
     "summarize_trace",
     "summarize_pairings",
     "summarize_ingest",
+    "summarize_eval",
     "trace_summary",
     "render_trace_report",
     "trace_report",
@@ -230,6 +232,53 @@ def summarize_ingest(events: Iterable[TelemetryEvent]) -> dict | None:
     }
 
 
+def summarize_eval(events: Iterable[TelemetryEvent]) -> dict | None:
+    """Aggregate the trace's quality-probe ``eval`` events (the ones
+    carrying a ``divergence`` payload; driver eval snapshots, which carry
+    ``metrics``, are not part of this section).  Returns ``None`` when the
+    trace has no probe events.
+
+    Keys: ``probes`` (probe passes seen), ``metric`` (the probe's primary
+    divergence), ``last_round``, and per-trainer ``trainers`` rows with
+    the ``last`` and ``best`` (lowest) primary-metric reading plus the
+    number of ``points`` folded — the offline counterpart of the live
+    plane's ``quality`` snapshot section.
+    """
+    probes = 0
+    metric = None
+    last_round = None
+    trainers: dict[str, dict] = {}
+    for event in events:
+        if event.type != EVAL:
+            continue
+        p = event.payload
+        divergence = p.get("divergence")
+        if not divergence:
+            continue
+        probes += 1
+        metric = str(p.get("metric", metric or "js"))
+        last_round = p.get("round", last_round)
+        for name, values in divergence.items():
+            value = (values or {}).get(metric)
+            if value is None:
+                continue
+            value = float(value)
+            row = trainers.setdefault(
+                str(name), {"last": value, "best": value, "points": 0}
+            )
+            row["last"] = value
+            row["best"] = min(row["best"], value)
+            row["points"] += 1
+    if not probes:
+        return None
+    return {
+        "probes": probes,
+        "metric": metric,
+        "last_round": last_round,
+        "trainers": trainers,
+    }
+
+
 def trace_summary(path) -> dict:
     """Machine-readable trace summary: every section of the text report
     as one JSON-encodable dict (``trace-report --format json``).
@@ -239,8 +288,9 @@ def trace_summary(path) -> dict:
     ``total``/``rounds``), ``counters`` (the full
     :meth:`~repro.telemetry.callbacks.CounterAggregator.summary` dict,
     per-worker keys included), ``percentiles`` (histogram summaries keyed
-    by metric name, only metrics that saw data), ``pairings``/``ingest``
-    (the :func:`summarize_pairings`/:func:`summarize_ingest` aggregates,
+    by metric name, only metrics that saw data), ``pairings``/``ingest``/
+    ``eval`` (the :func:`summarize_pairings`/:func:`summarize_ingest`/
+    :func:`summarize_eval` aggregates,
     ``None`` when the trace carries no such events), ``resources`` (per-source
     peak-RSS/CPU rows from ``resource_sample`` events), ``health`` (the
     raw warning payloads) and ``spans`` (count + track census, ``None``
@@ -276,6 +326,7 @@ def trace_summary(path) -> dict:
         "percentiles": percentiles,
         "pairings": summarize_pairings(events),
         "ingest": summarize_ingest(events),
+        "eval": summarize_eval(events),
         "resources": summarize_resources(events),
         "health": [dict(e.payload) for e in events if e.type == HEALTH],
         "spans": spans,
@@ -401,6 +452,22 @@ def render_trace_report(path) -> str:
                 f"high watermark"
             )
         out.append(lag_line)
+    quality = summarize_eval(events)
+    if quality:
+        out.append("eval quality:")
+        out.append(
+            f"  {quality['probes']} probe pass"
+            f"{'es' if quality['probes'] != 1 else ''} "
+            f"(metric {quality['metric']}), last round "
+            f"{quality['last_round']}"
+        )
+        for name in sorted(quality["trainers"]):
+            row = quality["trainers"][name]
+            out.append(
+                f"  {name}: last {row['last']:.4g} / best {row['best']:.4g} "
+                f"over {row['points']} point"
+                f"{'s' if row['points'] != 1 else ''}"
+            )
     out.extend(_render_percentiles(events))
     resources = summarize_resources(events)
     if resources:

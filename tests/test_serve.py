@@ -247,6 +247,122 @@ class TestRegistry:
         assert runtime.winner.snapshot.trainer_name == "trainer01"
 
 
+def _summary(value: float, metric: str = "js") -> dict:
+    """A minimal stamped eval summary the gate can judge by."""
+    return {"metric": metric, "winner_value": value}
+
+
+@pytest.fixture()
+def gate_store(tmp_path, tiny_dataset, tiny_spec, tiny_autoencoder):
+    """A fresh two-tag store per test, so stamped eval summaries never
+    leak between gate scenarios (or into the shared ``serve_store``)."""
+    spec = dataclasses.replace(tiny_spec, k=2)
+    train_ids = np.arange(tiny_dataset.n_samples - 64)
+    trainers = build_population(
+        tiny_dataset, train_ids, RngFactory(48), spec, tiny_autoencoder
+    )
+    store = CheckpointStore(tmp_path / "ckpts")
+    store.save_autoencoder(tiny_autoencoder)
+    store.save_population(trainers, "round-001", winner=trainers[0].name)
+    for t in trainers:
+        t.train_steps(1)
+    store.save_population(trainers, "round-002", winner=trainers[1].name)
+    return store
+
+
+class TestQualityGate:
+    def test_regressed_candidate_refused(self, gate_store):
+        gate_store.stamp_eval_summary("round-001", _summary(0.10))
+        gate_store.stamp_eval_summary("round-002", _summary(0.50))
+        registry = ModelRegistry(gate_store)
+        decisions = []
+        registry.on_quality_gate(decisions.append)
+        registry.load("round-001")
+        assert registry.refresh() is None
+        # The incumbent keeps serving.
+        assert registry.current().tag == "round-001"
+        assert len(decisions) == 1
+        decision = decisions[0]
+        assert not decision.allowed
+        assert decision.reason == "regressed"
+        assert decision.candidate == pytest.approx(0.50)
+        assert decision.incumbent == pytest.approx(0.10)
+        assert registry.last_gate is decision
+        # The refused tag is remembered: the poll loop does not re-judge
+        # (and re-warn about) the same candidate every period.
+        assert registry.refresh() is None
+        assert len(decisions) == 1
+
+    def test_improved_candidate_swapped(self, gate_store):
+        gate_store.stamp_eval_summary("round-001", _summary(0.50))
+        gate_store.stamp_eval_summary("round-002", _summary(0.10))
+        registry = ModelRegistry(gate_store)
+        registry.load("round-001")
+        model = registry.refresh()
+        assert model is not None and model.tag == "round-002"
+        assert registry.last_gate.allowed
+        assert registry.last_gate.reason == "improved"
+
+    def test_within_tolerance_passes(self, gate_store):
+        gate_store.stamp_eval_summary("round-001", _summary(0.100))
+        gate_store.stamp_eval_summary("round-002", _summary(0.104))
+        registry = ModelRegistry(gate_store, quality_tolerance=0.05)
+        registry.load("round-001")
+        model = registry.refresh()
+        assert model is not None and model.tag == "round-002"
+        assert registry.last_gate.reason == "within_tolerance"
+
+    def test_missing_candidate_summary_passes_open(self, gate_store):
+        # round-002 was never probed: the gate has nothing to judge and
+        # must not wedge the deployment.  (The explicit None stamp also
+        # re-publishes round-002's manifest, keeping it the newest tag
+        # after round-001's stamp bumped that manifest's mtime.)
+        gate_store.stamp_eval_summary("round-001", _summary(0.10))
+        gate_store.stamp_eval_summary("round-002", None)
+        registry = ModelRegistry(gate_store)
+        registry.load("round-001")
+        model = registry.refresh()
+        assert model is not None and model.tag == "round-002"
+        assert registry.last_gate.allowed
+        assert registry.last_gate.reason == "no_candidate_summary"
+
+    def test_missing_incumbent_summary_passes_open(self, gate_store):
+        gate_store.stamp_eval_summary("round-002", _summary(0.50))
+        registry = ModelRegistry(gate_store)
+        registry.load("round-001")
+        model = registry.refresh()
+        assert model is not None and model.tag == "round-002"
+        assert registry.last_gate.reason == "no_incumbent_summary"
+
+    def test_explicit_load_overrides_gate(self, gate_store):
+        gate_store.stamp_eval_summary("round-001", _summary(0.10))
+        gate_store.stamp_eval_summary("round-002", _summary(0.50))
+        registry = ModelRegistry(gate_store)
+        registry.load("round-001")
+        assert registry.refresh() is None
+        # The operator override: load() never consults the gate.
+        model = registry.load("round-002")
+        assert model.tag == "round-002"
+        assert registry.current().tag == "round-002"
+
+    def test_server_surfaces_refusal(self, gate_store):
+        gate_store.stamp_eval_summary("round-001", _summary(0.10))
+        gate_store.stamp_eval_summary("round-002", _summary(0.50))
+        registry = ModelRegistry(gate_store, max_batch=8)
+        registry.load("round-001")
+        server = SurrogateServer(
+            registry, ServeConfig(max_batch=8, max_delay_s=0.002)
+        )
+        assert registry.refresh() is None
+        stats = server.stats()["quality_gate"]
+        assert stats["checks"] == 1
+        assert stats["refusals"] == 1
+        assert stats["last"]["reason"] == "regressed"
+        assert stats["last"]["tag"] == "round-002"
+        assert server.m_gate_refused.value == 1
+        assert server.m_gate_passed.value == 0
+
+
 class TestServer:
     def test_batched_matches_unbatched_bit_identical(
         self, serve_store, tiny_autoencoder
